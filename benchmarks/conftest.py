@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Every file here regenerates one of the paper's artifacts (see the experiment
+index in DESIGN.md) and doubles as a shape assertion: the benchmark measures
+the harness's wall-clock cost, and the test body checks the *simulated*
+numbers reproduce the paper's qualitative results.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def one_shot(benchmark, fn, *args, **kwargs):
+    """Run a heavy harness exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return one_shot

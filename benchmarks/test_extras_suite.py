@@ -1,0 +1,20 @@
+"""X1 — the extended suite as a benchmark target (beyond the paper's table).
+
+One pass over all 15 extra rows under Taskgrind, asserting every verdict
+matches the expectation the suite documents (including the modeled
+limitations: mutex FPs, taskloop descriptor FPs, user-TLS indexing)."""
+
+import pytest
+
+from repro.bench.extras import all_programs, run_extras
+
+
+def test_bench_extras(benchmark, once):
+    rows, matches = once(benchmark, run_extras)
+    assert matches == len(rows) == len(all_programs())
+
+
+def test_support_matrix_rows_present():
+    names = {p.name for p in all_programs()}
+    assert "x006-critical-is-not-ordering" in names     # paper §VI.b
+    assert "x015-user-thread-local-indexing" in names   # paper §IV-C limit

@@ -1,0 +1,66 @@
+"""F4 — regenerate Fig. 4 (time & memory vs mesh size) + the ROMP sidebar.
+
+Shape assertions: O(s^3) growth for every series, the ordering
+Taskgrind > Archer > reference in time, the ROMP first-iteration crash with
+far larger overheads at big sizes.
+"""
+
+import pytest
+
+from repro.bench.fig4 import measure, run_fig4
+
+
+@pytest.fixture(scope="module")
+def points():
+    pts = run_fig4(sizes=(4, 8, 16))
+    return {(p.tool, p.s): p for p in pts}
+
+
+def test_bench_fig4_sweep(benchmark, once):
+    pts = once(benchmark, run_fig4, (4, 8))
+    assert len(pts) == 6
+
+
+class TestFigureShape:
+    def test_cubic_time_growth(self, points):
+        for tool in ("none", "archer", "taskgrind"):
+            r = points[(tool, 16)].time_s / points[(tool, 8)].time_s
+            assert 4 < r < 12, tool              # O(s^3): x8 per doubling
+
+    def test_tool_ordering_every_size(self, points):
+        for s in (4, 8, 16):
+            assert points[("none", s)].time_s < points[("archer", s)].time_s
+            assert points[("archer", s)].time_s < \
+                points[("taskgrind", s)].time_s
+
+    def test_memory_ordering_at_large_s(self, points):
+        assert points[("none", 16)].mem_mib < points[("archer", 16)].mem_mib
+        assert points[("none", 16)].mem_mib < \
+            points[("taskgrind", 16)].mem_mib
+
+    def test_memory_growth(self, points):
+        for tool in ("none", "archer", "taskgrind"):
+            assert points[(tool, 16)].mem_mib > points[(tool, 4)].mem_mib
+
+
+class TestRompSidebar:
+    def test_crashes_first_iteration(self):
+        p = measure("romp", 16, 4)
+        assert p.crashed
+
+    def test_blows_up_at_large_sizes(self):
+        """Paper: 79 s / 75 GB at -s 64 before the crash."""
+        p16 = measure("romp", 16, 4)
+        p32 = measure("romp", 32, 4)
+        assert p32.mem_mib > 4 * p16.mem_mib
+        assert p32.time_s > 4 * p16.time_s
+        # far above Taskgrind's interval-tree footprint at the same size
+        tg = measure("taskgrind", 32, 1)
+        assert p32.mem_mib > 10 * tg.mem_mib
+
+    @pytest.mark.slow
+    def test_s64_order_of_magnitude(self):
+        p = measure("romp", 64, 4)
+        assert p.crashed
+        assert 40 <= p.time_s <= 200             # paper: 79 s
+        assert 30 * 1024 <= p.mem_mib <= 150 * 1024   # paper: 75 GB

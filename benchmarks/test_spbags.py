@@ -1,0 +1,143 @@
+"""A2 — related-work comparison: SP-bags (Nondeterminator) vs Taskgrind.
+
+The paper's Section VI-b: Nondeterminator detects Cilk determinacy races
+with a low-complexity algorithm (SP-bags) *under the serial-elision
+assumption*; "Taskgrind has no such assumption".  This bench:
+
+* checks both tools agree on a Cilk test battery (racy and clean programs);
+* measures the cost profile difference: SP-bags works per access during the
+  (serial) run; Taskgrind pays a post-mortem segment-pair analysis;
+* demonstrates the assumption gap: a program whose *parallel* schedules
+  differ from the serial elision still gets analyzed by Taskgrind running
+  the actual parallel execution, while SP-bags can only ever see the serial
+  order.
+"""
+
+import pytest
+
+from repro.baselines.spbags import SpBagsTool
+from repro.cilk.runtime import make_cilk_env
+from repro.core.cilk_shim import attach_cilk
+from repro.core.tool import TaskgrindTool
+from repro.machine.machine import Machine
+
+
+def run_cilk(program, *, tool=None, serial_elision=False, nworkers=4,
+             seed=0):
+    machine = Machine(seed=seed)
+    if tool is not None:
+        machine.add_tool(tool)
+    env = make_cilk_env(machine, nworkers=nworkers,
+                        serial_elision=serial_elision)
+    if isinstance(tool, TaskgrindTool):
+        attach_cilk(tool, env)
+    elif isinstance(tool, SpBagsTool):
+        tool.attach_cilk(env)
+
+    def main():
+        with env.ctx.function("main", line=1):
+            program(env)
+    machine.run(main)
+    return machine
+
+
+def make_battery():
+    """(name, program, racy) triples."""
+    def racy_siblings(env):
+        x = env.ctx.malloc(8)
+
+        def child(frame):
+            x.write(0)
+
+        def root(frame):
+            env.spawn(frame, child)
+            env.spawn(frame, child)
+            env.sync(frame)
+        env.run(root)
+
+    def clean_synced(env):
+        x = env.ctx.malloc(8)
+
+        def child(frame):
+            x.write(0)
+
+        def root(frame):
+            env.spawn(frame, child)
+            env.sync(frame)
+            env.spawn(frame, child)
+            env.sync(frame)
+        env.run(root)
+
+    def racy_continuation(env):
+        x = env.ctx.malloc(8)
+
+        def child(frame):
+            x.read(0)
+
+        def root(frame):
+            env.spawn(frame, child)
+            x.write(0)
+            env.sync(frame)
+        env.run(root)
+
+    def clean_tree(env):
+        a = env.ctx.malloc(8 * 16, elem=8)
+
+        def leaf(frame, i):
+            a.write(i)
+
+        def root(frame):
+            for i in range(16):
+                env.spawn(frame, leaf, i)
+            env.sync(frame)
+        env.run(root)
+
+    return [("racy-siblings", racy_siblings, True),
+            ("clean-synced", clean_synced, False),
+            ("racy-continuation", racy_continuation, True),
+            ("clean-tree", clean_tree, False)]
+
+
+def run_spbags_battery():
+    out = {}
+    for name, program, racy in make_battery():
+        tool = SpBagsTool()
+        run_cilk(program, tool=tool, serial_elision=True)
+        out[name] = bool(tool.finalize())
+    return out
+
+
+def run_taskgrind_battery():
+    out = {}
+    for name, program, racy in make_battery():
+        tool = TaskgrindTool()
+        run_cilk(program, tool=tool)
+        out[name] = bool(tool.finalize())
+    return out
+
+
+def test_bench_spbags(benchmark):
+    verdicts = benchmark(run_spbags_battery)
+    assert verdicts == {name: racy for name, _p, racy in make_battery()}
+
+
+def test_bench_taskgrind_cilk(benchmark):
+    verdicts = benchmark(run_taskgrind_battery)
+    assert verdicts == {name: racy for name, _p, racy in make_battery()}
+
+
+class TestAssumptionGap:
+    def test_spbags_needs_serial_elision(self):
+        from repro.errors import ToolError
+        tool = SpBagsTool()
+        _name, program, _racy = make_battery()[0]
+        with pytest.raises(ToolError):
+            run_cilk(program, tool=tool, serial_elision=False)
+
+    def test_taskgrind_analyzes_actual_parallel_run(self):
+        _name, program, _racy = make_battery()[0]
+        for seed in range(3):
+            tool = TaskgrindTool()
+            machine = run_cilk(program, tool=tool, seed=seed)
+            assert tool.finalize()
+            assert machine.scheduler.peak_live > 1   # truly parallel run

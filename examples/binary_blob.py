@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""The paper's core motivation, live: races inside binary-only code.
+
+A "vendor library" exists only as machine code — here, a program in the
+simulated guest ISA, JIT-translated to VEX-style IR and executed by the
+guest VM.  Two tasks call into it concurrently and it writes a shared word.
+
+* Compile-time tools (Archer, TaskSanitizer) never instrumented the blob:
+  they see *nothing* — the false-negative class the paper opens with.
+* Taskgrind, being heavyweight DBI, instruments every translated load and
+  store: the race is found, with the allocation site of the shared buffer.
+
+Run with::
+
+    python examples/binary_blob.py
+"""
+
+from repro.baselines.archer import ArcherTool
+from repro.core.reports import format_report
+from repro.core.tool import TaskgrindTool
+from repro.machine.machine import Machine
+from repro.openmp.api import make_env
+from repro.vex.translate import Assembler, GuestVM
+
+VENDOR_BLOB = """
+    ; r1 = output pointer, r2 = value: a "fast accumulate" routine
+    ld  r3, [r1]
+    add r3, r3, r2
+    st  [r1], r3
+    halt
+"""
+
+
+def run_under(tool_factory):
+    machine = Machine(seed=0)
+    tool = tool_factory()
+    machine.add_tool(tool)
+    env = make_env(machine, nthreads=4, source_file="app.c")
+    env.rt.ompt.register(tool.make_ompt_shim())
+    ctx = env.ctx
+
+    def main() -> None:
+        with ctx.function("main", line=1):
+            shared = ctx.malloc(8, line=3, name="shared")
+            binary = Assembler().assemble(VENDOR_BLOB)
+
+            def call_vendor(tv):
+                vm = GuestVM(ctx, binary, symbol="vendor_accumulate",
+                             library="libvendor.so")
+                vm.regs[1] = shared.addr
+                vm.regs[2] = 21
+                vm.run()
+
+            def body() -> None:
+                ctx.line(8)
+                env.task(call_vendor, name="worker1")
+                ctx.line(10)
+                env.task(call_vendor, name="worker2")
+                env.taskwait()
+            env.parallel_single(body)
+
+    machine.run(main)
+    return tool, tool.finalize()
+
+
+def main() -> None:
+    print("two tasks call vendor_accumulate() — a binary-only routine that")
+    print("read-modify-writes a shared word with no synchronisation\n")
+
+    _, archer_reports = run_under(ArcherTool)
+    print(f"Archer (compile-time instrumentation): "
+          f"{len(archer_reports)} report(s) — blind to the blob")
+
+    tool, tg_reports = run_under(TaskgrindTool)
+    print(f"Taskgrind (heavyweight DBI): {len(tg_reports)} report(s)\n")
+    for report in tg_reports:
+        print(format_report(report))
+    assert tg_reports and not archer_reports
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""The paper's Listings 4-6: what a useful race report looks like.
+
+Transcribes Listing 4 (task.1.c — two sibling tasks both write x[0]) and
+prints the ROMP-style report (raw addresses, Listing 5) next to the
+Taskgrind report (segment pragma locations + allocation site, Listing 6).
+
+Run with::
+
+    python examples/error_reporting.py
+"""
+
+from repro.bench.errorreport import render
+
+
+def main() -> None:
+    print(render())
+
+
+if __name__ == "__main__":
+    main()

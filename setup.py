@@ -1,0 +1,9 @@
+"""Setuptools shim so ``pip install -e .`` works without the ``wheel`` package.
+
+The offline environment lacks ``wheel`` (needed for PEP 660 editable builds
+with this setuptools version); ``python setup.py develop`` / legacy editable
+installs go through this shim instead.  All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""repro — a simulated reproduction of Taskgrind (Correctness'24 @ SC24).
+
+Taskgrind is a Valgrind tool for determinacy-race analysis of task-parallel
+programs (OpenMP, Cilk).  This package reproduces the paper's entire system
+in pure Python over a deterministic simulated process: the instrumentation
+substrate, the task-parallel runtimes, Taskgrind itself, the comparator
+tools of the evaluation, and the harnesses regenerating every table and
+figure.
+
+The 60-second tour::
+
+    from repro import Machine, TaskgrindTool, make_env, format_report
+
+    machine = Machine(seed=0)
+    tool = TaskgrindTool()
+    machine.add_tool(tool)
+    env = make_env(machine, nthreads=4)
+    env.rt.ompt.register(tool.make_ompt_shim())
+
+    def program():
+        with env.ctx.function("main", line=1):
+            x = env.ctx.malloc(8, line=3)
+            def body():
+                env.task(lambda tv: x.write(0, line=7))
+                env.task(lambda tv: x.write(0, line=10))   # races!
+                env.taskwait()
+            env.parallel_single(body)
+
+    machine.run(program)
+    for report in tool.finalize():
+        print(format_report(report))
+
+Package map (details in each subpackage's docstring):
+
+* :mod:`repro.machine` — the simulated process + cost model
+* :mod:`repro.vex` — the Valgrind-core-style instrumentation layer
+* :mod:`repro.openmp` / :mod:`repro.cilk` / :mod:`repro.qthreads` — runtimes
+* :mod:`repro.core` — Taskgrind (segments, Algorithm 1, suppressions)
+* :mod:`repro.baselines` — Archer, TaskSanitizer, ROMP, SP-bags models
+* :mod:`repro.workloads` — the LULESH proxy and synthetic kernels
+* :mod:`repro.bench` — the Table I / Table II / Fig. 4 harnesses
+"""
+
+from repro.baselines.archer import ArcherTool
+from repro.baselines.romp import RompTool
+from repro.baselines.tasksanitizer import TaskSanitizerTool
+from repro.core.reports import RaceReport, format_report
+from repro.core.tool import TaskgrindOptions, TaskgrindTool
+from repro.machine.machine import Machine
+from repro.openmp.api import OmpEnv, make_env
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine", "OmpEnv", "make_env",
+    "TaskgrindTool", "TaskgrindOptions", "RaceReport", "format_report",
+    "ArcherTool", "TaskSanitizerTool", "RompTool",
+    "__version__",
+]

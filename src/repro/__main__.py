@@ -1,0 +1,41 @@
+"""``python -m repro`` — the harness launcher.
+
+Subcommands map one-to-one to the paper's artifacts::
+
+    python -m repro table1            # Table I verdict matrix
+    python -m repro table2            # Table II LULESH matrix
+    python -m repro fig4 [--romp]     # Fig. 4 sweep
+    python -m repro errorreport       # Listings 4-6
+    python -m repro extras            # the beyond-the-paper suite
+    python -m repro stability         # verdict stability across seeds
+    python -m repro offline TRACE     # offline analysis of a saved trace
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+COMMANDS = {
+    "table1": "repro.bench.table1",
+    "table2": "repro.bench.table2",
+    "fig4": "repro.bench.fig4",
+    "errorreport": "repro.bench.errorreport",
+    "extras": "repro.bench.extras",
+    "stability": "repro.bench.stability",
+    "offline": "repro.core.offline",
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help") or argv[0] not in COMMANDS:
+        print(__doc__)
+        return 0 if argv and argv[0] in ("-h", "--help") else 2
+    import importlib
+    module = importlib.import_module(COMMANDS[argv[0]])
+    return module.main(argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

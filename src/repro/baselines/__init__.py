@@ -1,0 +1,30 @@
+"""Modeled state-of-the-art comparators (paper Section V / Table I).
+
+Each baseline is a :class:`repro.vex.tool.Tool` whose *blind spots are
+mechanisms*, not hardcoded verdicts:
+
+* :mod:`repro.baselines.archer` — Archer: ThreadSanitizer (pure happens-before
+  over vector clocks + shadow memory) fed OpenMP synchronisation through
+  OMPT.  Compile-time instrumentation (misses runtime-internal accesses);
+  thread-centric (same-thread program order hides races the scheduler
+  serialized — the paper's single-thread LULESH observation); verdicts depend
+  on the observed schedule.
+* :mod:`repro.baselines.tasksanitizer` — TaskSanitizer: segment-based like
+  Taskgrind but compile-time, gated by a Clang-8 feature matrix (the ``ncs``
+  cells), without ``inoutset``/``detach`` support and without the undeferred
+  sequencing rule.
+* :mod:`repro.baselines.romp` — ROMP: dynamic binary instrumentation like
+  Taskgrind (sees everything) but OpenMP-only, with access-history shadow
+  state, no debug info in reports, a modeled crash on threadprivate+tasking
+  (the ``segv`` cell) and a blow-up on large inputs (the LULESH sidebar).
+* :mod:`repro.baselines.spbags` — Nondeterminator's SP-bags for the Cilk
+  comparison (related-work ablation A2): serial-elision assumption included.
+"""
+
+from repro.baselines.common import ToolOutcome, Verdict, classify
+from repro.baselines.archer import ArcherTool
+from repro.baselines.tasksanitizer import TaskSanitizerTool
+from repro.baselines.romp import RompTool
+
+__all__ = ["ToolOutcome", "Verdict", "classify",
+           "ArcherTool", "TaskSanitizerTool", "RompTool"]

@@ -1,0 +1,47 @@
+"""Verdict bookkeeping shared by the benchmark harness and all tools."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class Verdict(enum.Enum):
+    """A Table I cell."""
+
+    TP = "TP"     # racy program, race reported
+    FP = "FP"     # race-free program, race reported
+    TN = "TN"     # race-free program, nothing reported
+    FN = "FN"     # racy program, nothing reported
+    NCS = "ncs"   # no compiler support (program rejected at build time)
+    SEGV = "segv" # instrumented execution crashed
+    DEADLOCK = "deadlock"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def classify(reported: bool, racy: bool) -> Verdict:
+    """Fold a tool's output against ground truth into a Table I verdict."""
+    if racy:
+        return Verdict.TP if reported else Verdict.FN
+    return Verdict.FP if reported else Verdict.TN
+
+
+@dataclass
+class ToolOutcome:
+    """Everything a single (program, tool, threads, seed) run produced."""
+
+    tool: str
+    reports: List = field(default_factory=list)
+    verdict: Optional[Verdict] = None
+    crashed: bool = False
+    crash_reason: str = ""
+    sim_seconds: float = 0.0
+    sim_memory_mib: float = 0.0
+    report_count: int = 0
+
+    @property
+    def reported(self) -> bool:
+        return self.report_count > 0

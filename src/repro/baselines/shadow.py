@@ -1,0 +1,115 @@
+"""Shadow memory: a sorted interval map with copy-on-split payloads.
+
+ThreadSanitizer keeps per-granule shadow cells; with our interval-granular
+access events, the natural shadow structure is a map from disjoint address
+ranges to cell payloads, splitting ranges on partial overlap.  Used by the
+TSan core (Archer) and ROMP's access histories.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Callable, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+V = TypeVar("V")
+
+
+class IntervalMap(Generic[V]):
+    """Disjoint, sorted ``[lo, hi) -> value`` ranges."""
+
+    __slots__ = ("_los", "_his", "_vals")
+
+    def __init__(self) -> None:
+        self._los: List[int] = []
+        self._his: List[int] = []
+        self._vals: List[V] = []
+
+    def __len__(self) -> int:
+        return len(self._los)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, V]]:
+        yield from zip(self._los, self._his, self._vals)
+
+    # -- queries -----------------------------------------------------------
+
+    def overlaps(self, lo: int, hi: int) -> List[Tuple[int, int, V]]:
+        """All ``(lo, hi, value)`` entries intersecting ``[lo, hi)``."""
+        out: List[Tuple[int, int, V]] = []
+        if lo >= hi or not self._los:
+            return out
+        i = bisect_right(self._los, lo) - 1
+        if i < 0:
+            i = 0
+        while i < len(self._los) and self._los[i] < hi:
+            if self._his[i] > lo:
+                out.append((self._los[i], self._his[i], self._vals[i]))
+            i += 1
+        return out
+
+    def get_point(self, addr: int) -> Optional[V]:
+        i = bisect_right(self._los, addr) - 1
+        if i >= 0 and addr < self._his[i]:
+            return self._vals[i]
+        return None
+
+    # -- mutation --------------------------------------------------------------
+
+    def _split_at(self, addr: int) -> None:
+        """Ensure no stored range straddles ``addr``."""
+        i = bisect_right(self._los, addr) - 1
+        if i >= 0 and self._los[i] < addr < self._his[i]:
+            lo, hi, val = self._los[i], self._his[i], self._vals[i]
+            self._los[i:i + 1] = [lo, addr]
+            self._his[i:i + 1] = [addr, hi]
+            self._vals[i:i + 1] = [val, val]
+
+    def update(self, lo: int, hi: int,
+               fn: Callable[[Optional[V]], Optional[V]]) -> None:
+        """Rewrite ``[lo, hi)``: ``fn`` maps old payload (None = unmapped) to
+        new payload (None = remove).  Gaps inside the range are passed as
+        ``None`` exactly once per gap.
+        """
+        if lo >= hi:
+            return
+        self._split_at(lo)
+        self._split_at(hi)
+        i = bisect_right(self._los, lo) - 1
+        if i < 0 or self._his[i] <= lo:
+            i += 1
+        new_los: List[int] = []
+        new_his: List[int] = []
+        new_vals: List[V] = []
+        cursor = lo
+        j = i
+        while j < len(self._los) and self._los[j] < hi:
+            if self._los[j] > cursor:          # gap before this entry
+                nv = fn(None)
+                if nv is not None:
+                    new_los.append(cursor)
+                    new_his.append(self._los[j])
+                    new_vals.append(nv)
+            nv = fn(self._vals[j])
+            if nv is not None:
+                new_los.append(self._los[j])
+                new_his.append(self._his[j])
+                new_vals.append(nv)
+            cursor = self._his[j]
+            j += 1
+        if cursor < hi:                        # trailing gap
+            nv = fn(None)
+            if nv is not None:
+                new_los.append(cursor)
+                new_his.append(hi)
+                new_vals.append(nv)
+        self._los[i:j] = new_los
+        self._his[i:j] = new_his
+        self._vals[i:j] = new_vals
+
+    def clear_range(self, lo: int, hi: int) -> None:
+        self.update(lo, hi, lambda _v: None)
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def covered_bytes(self) -> int:
+        return sum(h - l for l, h in zip(self._los, self._his))

@@ -1,0 +1,157 @@
+"""ThreadSanitizer core: FastTrack-style happens-before detection.
+
+This is the engine under Archer (paper Section VI: "Archer was introduced as
+a ThreadSanitizer extension to support OpenMP semantics").  Key modeled
+properties:
+
+* **Thread-centric** — clocks are per *OS thread*; accesses by two tasks the
+  scheduler happened to serialize onto one thread are ordered by that
+  thread's program order.  This is the mechanism behind Archer's
+  single-thread false negatives on LULESH (paper Section V-B) and its
+  schedule-dependent verdicts.
+* **Observed-schedule only** — a pure happens-before detector can only flag
+  races that are unordered *in the witnessed execution*.
+* **Shadow reset on free** — TSan's allocator interceptors clear shadow state
+  for freed ranges, so allocator recycling produces no false positives (the
+  contrast to naive Taskgrind in Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.baselines.shadow import IntervalMap
+from repro.baselines.vector_clock import Epoch, SyncVar, VectorClock
+from repro.machine.debuginfo import SourceLocation
+
+
+@dataclass
+class TsanRace:
+    """One detected race (pre-deduplication)."""
+
+    lo: int
+    hi: int
+    kind: str                      # 'ww', 'rw', 'wr'
+    thread_a: int
+    thread_b: int
+    loc_a: Optional[SourceLocation]
+    loc_b: Optional[SourceLocation]
+
+    def key(self) -> Tuple[str, str]:
+        a, b = str(self.loc_a), str(self.loc_b)
+        return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class _Cell:
+    """Shadow payload for one byte range (FastTrack simplification)."""
+
+    write_epoch: Optional[Epoch] = None
+    write_loc: Optional[SourceLocation] = None
+    #: last read epoch + loc per thread since the last write
+    reads: Dict[int, Tuple[int, Optional[SourceLocation]]] = field(
+        default_factory=dict)
+
+    def clone(self) -> "_Cell":
+        c = _Cell(self.write_epoch, self.write_loc)
+        c.reads = dict(self.reads)
+        return c
+
+
+class TsanCore:
+    """Vector clocks + shadow memory + race recording."""
+
+    def __init__(self) -> None:
+        self._vcs: Dict[int, VectorClock] = {}
+        self._sync: Dict[object, SyncVar] = {}
+        self.shadow: IntervalMap[_Cell] = IntervalMap()
+        self.races: List[TsanRace] = []
+        self.checked_accesses = 0
+
+    # -- clocks ----------------------------------------------------------------
+
+    def vc(self, tid: int) -> VectorClock:
+        c = self._vcs.get(tid)
+        if c is None:
+            c = self._vcs[tid] = VectorClock({tid: 1})
+        return c
+
+    def sync_var(self, key: object) -> SyncVar:
+        sv = self._sync.get(key)
+        if sv is None:
+            sv = self._sync[key] = SyncVar()
+        return sv
+
+    def release(self, tid: int, key: object) -> None:
+        """``release(key)``: publish this thread's clock, then advance it."""
+        self.sync_var(key).release(self.vc(tid))
+        self.vc(tid).tick(tid)
+
+    def acquire(self, tid: int, key: object) -> None:
+        self.sync_var(key).acquire(self.vc(tid))
+
+    # -- accesses -----------------------------------------------------------------
+
+    def on_write(self, tid: int, lo: int, hi: int,
+                 loc: Optional[SourceLocation]) -> None:
+        self.checked_accesses += 1
+        cur = self.vc(tid)
+        epoch = cur.epoch(tid)
+
+        def upd(cell: Optional[_Cell]) -> _Cell:
+            cell = _Cell() if cell is None else cell.clone()
+            if cell.write_epoch is not None and \
+                    not cur.dominates_epoch(cell.write_epoch):
+                self.races.append(TsanRace(lo, hi, "ww", cell.write_epoch[0],
+                                           tid, cell.write_loc, loc))
+            for rtid, (rclk, rloc) in cell.reads.items():
+                if not cur.dominates_epoch((rtid, rclk)):
+                    self.races.append(TsanRace(lo, hi, "rw", rtid, tid,
+                                               rloc, loc))
+            cell.write_epoch = epoch
+            cell.write_loc = loc
+            cell.reads = {}
+            return cell
+
+        self.shadow.update(lo, hi, upd)
+
+    def on_read(self, tid: int, lo: int, hi: int,
+                loc: Optional[SourceLocation]) -> None:
+        self.checked_accesses += 1
+        cur = self.vc(tid)
+
+        def upd(cell: Optional[_Cell]) -> _Cell:
+            cell = _Cell() if cell is None else cell.clone()
+            if cell.write_epoch is not None and \
+                    not cur.dominates_epoch(cell.write_epoch):
+                self.races.append(TsanRace(lo, hi, "wr", cell.write_epoch[0],
+                                           tid, cell.write_loc, loc))
+            cell.reads[tid] = (cur.get(tid), loc)
+            return cell
+
+        self.shadow.update(lo, hi, upd)
+
+    # -- allocator integration ---------------------------------------------------------
+
+    def on_free_range(self, lo: int, hi: int) -> None:
+        """TSan clears shadow on free: recycled memory starts clean."""
+        self.shadow.clear_range(lo, hi)
+
+    # -- results ------------------------------------------------------------------------
+
+    def unique_races(self) -> List[TsanRace]:
+        """TSan-style deduplication by source-location pair."""
+        seen: Set[Tuple[str, str]] = set()
+        out: List[TsanRace] = []
+        for race in self.races:
+            k = race.key()
+            if k not in seen:
+                seen.add(k)
+                out.append(race)
+        return out
+
+    def memory_bytes(self, *, shadow_per_app_byte: int = 4,
+                     cell_overhead: int = 48) -> int:
+        return (self.shadow.covered_bytes * shadow_per_app_byte
+                + len(self.shadow) * cell_overhead)

@@ -1,0 +1,63 @@
+"""Vector clocks and epochs (FastTrack-style), for the TSan core."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+Epoch = Tuple[int, int]          # (thread_id, clock)
+
+
+class VectorClock:
+    """A sparse vector clock over simulated thread ids."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, init: Optional[Dict[int, int]] = None) -> None:
+        self._c: Dict[int, int] = dict(init or {})
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self._c)
+
+    def get(self, tid: int) -> int:
+        return self._c.get(tid, 0)
+
+    def tick(self, tid: int) -> int:
+        """Increment ``tid``'s component; returns the new clock value."""
+        v = self._c.get(tid, 0) + 1
+        self._c[tid] = v
+        return v
+
+    def join(self, other: "VectorClock") -> None:
+        for tid, v in other._c.items():
+            if v > self._c.get(tid, 0):
+                self._c[tid] = v
+
+    def dominates_epoch(self, epoch: Epoch) -> bool:
+        """``epoch happens-before this clock`` (FastTrack's e ≤ C test)."""
+        tid, clk = epoch
+        return clk <= self._c.get(tid, 0)
+
+    def epoch(self, tid: int) -> Epoch:
+        return (tid, self._c.get(tid, 0))
+
+    def items(self) -> Iterable[Tuple[int, int]]:
+        return self._c.items()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(f"t{t}:{v}" for t, v in sorted(self._c.items()))
+        return f"VC({body})"
+
+
+class SyncVar:
+    """A release/acquire rendezvous object (one per lock, task, barrier...)."""
+
+    __slots__ = ("vc",)
+
+    def __init__(self) -> None:
+        self.vc = VectorClock()
+
+    def release(self, from_vc: VectorClock) -> None:
+        self.vc.join(from_vc)
+
+    def acquire(self, into_vc: VectorClock) -> None:
+        into_vc.join(self.vc)

@@ -1,0 +1,18 @@
+"""Benchmark harnesses: everything needed to regenerate the paper's tables.
+
+* :mod:`repro.bench.programs` — the :class:`BenchProgram` descriptor (entry
+  point, ground truth, compiler requirements, the paper's expected verdicts).
+* :mod:`repro.bench.runner` — runs one (program × tool × threads × seed)
+  combination on a fresh :class:`~repro.machine.machine.Machine` and folds
+  the outcome into a Table I verdict.
+* :mod:`repro.bench.drb` — the DataRaceBench subset of Table I.
+* :mod:`repro.bench.tmb` — the seven Taskgrind-specific microbenchmarks.
+* :mod:`repro.bench.table1` / :mod:`repro.bench.table2` /
+  :mod:`repro.bench.fig4` / :mod:`repro.bench.errorreport` — the per-artifact
+  harnesses (``python -m repro.bench.table1`` etc.).
+"""
+
+from repro.bench.programs import BenchProgram
+from repro.bench.runner import RunResult, run_benchmark, TOOLS
+
+__all__ = ["BenchProgram", "RunResult", "run_benchmark", "TOOLS"]

@@ -1,0 +1,667 @@
+"""The DataRaceBench subset of Table I (task-related constructs).
+
+Each function transcribes the corresponding DataRaceBench kernel to the
+simulated OpenMP API, preserving the property the original exercises (the
+missing dependence, the undeferred task, the non-sibling dependence, ...).
+``expected`` records the verdicts the paper's Table I reports (at
+``OMP_NUM_THREADS=4``) so the harness prints measured-vs-paper; the paper's
+own ``FN/TP`` variance notation is kept verbatim.
+
+Where a cell's cause is a *tool* property it is modeled in the tool (e.g.
+TaskSanitizer's global dependence matching); where it is a *program*
+property it is modeled here (e.g. firstprivate captures on the tests whose
+Taskgrind FPs come from task-descriptor recycling, lazy reference captures
+on DRB100/101).  EXPERIMENTS.md discusses every row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.programs import BenchProgram
+
+REGISTRY: List[BenchProgram] = []
+
+
+def drb(name: str, racy: bool, *, min_clang: int = 8,
+        features: frozenset = frozenset(), expected: Dict[str, str] = None,
+        description: str = ""):
+    """Decorator registering one DRB program."""
+    def wrap(fn):
+        REGISTRY.append(BenchProgram(
+            name=name, racy=racy, entry=fn, min_clang=min_clang,
+            features=features, expected=expected or {},
+            source_file=f"{name}.c", description=description or fn.__doc__ or ""))
+        return fn
+    return wrap
+
+
+def by_name(name: str) -> BenchProgram:
+    for p in REGISTRY:
+        if p.name == name:
+            return p
+    raise KeyError(name)
+
+
+# ---------------------------------------------------------------------------
+# dependence basics
+# ---------------------------------------------------------------------------
+
+@drb("027-taskdependmissing-orig", True,
+     expected={"tasksanitizer": "TP", "archer": "FN", "romp": "TP",
+               "taskgrind": "TP"})
+def drb027(env):
+    """Two tasks write ``i``; the second is missing its depend clause."""
+    ctx = env.ctx
+    i = ctx.malloc(4, line=3, name="i")
+
+    def body():
+        ctx.line(6)
+        env.task(lambda tv: i.write(0, 1, line=7), depend={"out": [i]},
+                 name="t_out")
+        ctx.line(9)
+        env.task(lambda tv: i.write(0, 2, line=10), name="t_missing")
+    env.parallel_single(body)
+
+
+@drb("072-taskdep1-orig", False,
+     expected={"tasksanitizer": "TN", "archer": "TN", "romp": "TN",
+               "taskgrind": "TN"})
+def drb072(env):
+    """out -> in dependence chain, correctly synchronised."""
+    ctx = env.ctx
+    i = ctx.malloc(4, line=3, name="i")
+
+    def body():
+        ctx.line(6)
+        env.task(lambda tv: i.write(0, 1, line=7), depend={"out": [i]})
+        ctx.line(9)
+        env.task(lambda tv: i.read(0, line=10), depend={"in": [i]})
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@drb("078-taskdep2-orig", False,
+     expected={"tasksanitizer": "TN", "archer": "TN", "romp": "TN",
+               "taskgrind": "FP"})
+def drb078(env):
+    """One writer, two concurrent readers (with firstprivate captures)."""
+    ctx = env.ctx
+    x = ctx.malloc(4, line=3, name="x")
+    k = ctx.stack_var("k", 8, elem=8)
+
+    def body():
+        ctx.line(6)
+        env.task(lambda tv: x.write(0, 1, line=7), depend={"out": [x]})
+        for n in range(2):
+            k.write(0, n)
+            ctx.line(9 + 3 * n)
+            env.task(lambda tv: (tv.private_value("k"), x.read(0)),
+                     depend={"in": [x]}, firstprivate={"k": k})
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@drb("079-taskdep3-orig", False, min_clang=9,
+     expected={"tasksanitizer": "ncs", "archer": "TN", "romp": "TN",
+               "taskgrind": "FP"})
+def drb079(env):
+    """Writer + reader pair over two locations (array-section deps)."""
+    ctx = env.ctx
+    a = ctx.malloc(8, line=3, name="a", elem=4)
+    k = ctx.stack_var("k", 8, elem=8)
+
+    def body():
+        ctx.line(6)
+        env.task(lambda tv: (a.write(0), a.write(1)),
+                 depend={"out": [(a.addr, 8)]})
+        for n in range(2):
+            k.write(0, n)
+            ctx.line(9 + 3 * n)
+            env.task(lambda tv, n=n: (tv.private_value("k"), a.read(n)),
+                     depend={"in": [(a.addr, 8)]}, firstprivate={"k": k})
+        env.taskwait()
+    env.parallel_single(body)
+
+
+# ---------------------------------------------------------------------------
+# taskloop
+# ---------------------------------------------------------------------------
+
+N_TASKLOOP = 32
+
+
+@drb("095-doall2-taskloop-orig", True, min_clang=9,
+     expected={"tasksanitizer": "ncs", "archer": "TP", "romp": "TP",
+               "taskgrind": "TP"})
+def drb095(env):
+    """taskloop without collapse: chunks race on the neighbour element."""
+    ctx = env.ctx
+    a = ctx.malloc(4 * (N_TASKLOOP + 1), line=3, name="a", elem=4)
+
+    def chunk(tv, lo, hi):
+        for i in range(lo, hi):
+            a.read(i + 1, line=8)       # reads the next chunk's element...
+            a.write(i, line=9)          # ...which that chunk writes
+
+    def body():
+        ctx.line(7)
+        env.taskloop(chunk, 0, N_TASKLOOP, num_tasks=4)
+    env.parallel_single(body)
+
+
+@drb("096-doall2-taskloop-collapse-orig", False, min_clang=9,
+     expected={"tasksanitizer": "ncs", "archer": "TN", "romp": "TN",
+               "taskgrind": "FP"})
+def drb096(env):
+    """taskloop collapse(2): disjoint writes, no race."""
+    ctx = env.ctx
+    n, m = 6, 6
+    a = ctx.malloc(4 * n * m, line=3, name="a", elem=4)
+
+    def body():
+        ctx.line(7)
+        env.taskloop_collapse2(
+            lambda tv, i, j: a.write(i * m + j, line=9), 0, n, 0, m,
+            num_tasks=4)
+    env.parallel_single(body)
+
+
+# ---------------------------------------------------------------------------
+# capture semantics
+# ---------------------------------------------------------------------------
+
+@drb("100-task-reference-orig", False, min_clang=9,
+     expected={"tasksanitizer": "ncs", "archer": "FP", "romp": "TN",
+               "taskgrind": "FP"})
+def drb100(env):
+    """Reference-style capture: tasks re-read the original at start."""
+    ctx = env.ctx
+    x = ctx.malloc(8, line=3, name="x", elem=8)
+
+    def body():
+        for k in range(3):
+            ctx.line(6)
+            x.write(0, k, line=6)
+            ctx.line(8)
+            env.task(lambda tv: ctx.compute(10), lazy_capture={"x": x})
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@drb("101-task-value-orig", False,
+     expected={"tasksanitizer": "FP", "archer": "FP", "romp": "TN",
+               "taskgrind": "FP"})
+def drb101(env):
+    """By-value capture that compilers lower as a start-time re-read."""
+    ctx = env.ctx
+    i = ctx.malloc(8, line=3, name="i", elem=8)
+
+    def body():
+        for k in range(3):
+            ctx.line(6)
+            i.write(0, k, line=6)
+            ctx.line(8)
+            env.task(lambda tv: ctx.compute(10), lazy_capture={"i": i})
+        env.taskwait()
+    env.parallel_single(body)
+
+
+# ---------------------------------------------------------------------------
+# taskwait / taskgroup
+# ---------------------------------------------------------------------------
+
+@drb("106-taskwaitmissing-orig", True,
+     expected={"tasksanitizer": "TP", "archer": "TP", "romp": "TP",
+               "taskgrind": "TP"})
+def drb106(env):
+    """Parent reads the task's output without a taskwait."""
+    ctx = env.ctx
+    x = ctx.malloc(4, line=3, name="x")
+
+    def body():
+        ctx.line(6)
+        env.task(lambda tv: x.write(0, 42, line=7))
+        ctx.line(9)
+        x.read(0, line=9)               # should have taskwait'ed first
+    env.parallel_single(body)
+
+
+@drb("107-taskgroup-orig", False,
+     expected={"tasksanitizer": "FP", "archer": "TN", "romp": "TN",
+               "taskgrind": "FP"})
+def drb107(env):
+    """taskgroup orders the tasks before the parent's reads."""
+    ctx = env.ctx
+    a = ctx.malloc(8, line=3, name="a", elem=4)
+    k = ctx.stack_var("k", 8, elem=8)
+
+    def body():
+        def group():
+            for n in range(2):
+                k.write(0, n)
+                ctx.line(7 + 2 * n)
+                env.task(lambda tv, n=n: (tv.private_value("k"),
+                                          a.write(n, line=8 + 2 * n)),
+                         firstprivate={"k": k})
+        ctx.line(6)
+        env.taskgroup(group)
+        a.read(0, line=12)
+        a.read(1, line=13)
+    env.parallel_single(body)
+
+
+# ---------------------------------------------------------------------------
+# undeferred tasks
+# ---------------------------------------------------------------------------
+
+@drb("122-taskundeferred-orig", False,
+     expected={"tasksanitizer": "FP", "archer": "TN", "romp": "FP",
+               "taskgrind": "TN"})
+def drb122(env):
+    """if(0) tasks are sequenced with the encountering task."""
+    ctx = env.ctx
+    x = ctx.malloc(4, line=3, name="x")
+
+    def body():
+        for _ in range(3):
+            ctx.line(6)
+            env.task(lambda tv: x.write(0, line=7), if_=False)
+            x.read(0, line=9)           # safe: the task already completed
+    env.parallel_single(body)
+
+
+@drb("123-taskundeferred-orig", True,
+     expected={"tasksanitizer": "TP", "archer": "TP", "romp": "TP",
+               "taskgrind": "TP"})
+def drb123(env):
+    """Undeferred tasks on *different* threads still race with each other."""
+    ctx = env.ctx
+    x = ctx.global_var("x", 4)
+
+    def region(tid):
+        ctx.line(6)
+        env.task(lambda tv: x.write(0, line=7), if_=False)
+    env.parallel(region)
+
+
+# ---------------------------------------------------------------------------
+# threadprivate
+# ---------------------------------------------------------------------------
+
+@drb("127-tasking-threadprivate1-orig", False, min_clang=9,
+     features=frozenset({"romp-segv"}),
+     expected={"tasksanitizer": "ncs", "archer": "TN", "romp": "segv",
+               "taskgrind": "FP"})
+def drb127(env):
+    """Tasks write the executing thread's threadprivate copy."""
+    ctx = env.ctx
+    k = ctx.stack_var("k", 8, elem=8)
+
+    def body():
+        for n in range(2):
+            k.write(0, n)
+            ctx.line(6 + 2 * n)
+            env.task(lambda tv: (tv.private_value("k"),
+                                 env.threadprivate("tp1").write(0, line=8)),
+                     firstprivate={"k": k})
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@drb("128-tasking-threadprivate2-orig", False, min_clang=9,
+     expected={"tasksanitizer": "ncs", "archer": "TN", "romp": "TN",
+               "taskgrind": "FP"})
+def drb128(env):
+    """Like 127 with a taskwait-free but still-safe access pattern."""
+    ctx = env.ctx
+    k = ctx.stack_var("k", 8, elem=8)
+
+    def body():
+        for n in range(2):
+            k.write(0, n)
+            ctx.line(6 + 2 * n)
+            env.task(lambda tv: (tv.private_value("k"),
+                                 env.threadprivate("tp2").write(0, line=8),
+                                 env.threadprivate("tp2").read(0, line=9)),
+                     firstprivate={"k": k})
+        env.taskwait()
+    env.parallel_single(body)
+
+
+# ---------------------------------------------------------------------------
+# mergeable
+# ---------------------------------------------------------------------------
+
+@drb("129-mergeable-taskwait-orig", True, min_clang=9,
+     expected={"tasksanitizer": "ncs", "archer": "FN", "romp": "FN",
+               "taskgrind": "FN"})
+def drb129(env):
+    """Racy only when the task is *merged* (then its 'private' x aliases the
+    parent's) — the runtime never merges deferred tasks, so no tool can
+    witness the race: the paper's universal FN."""
+    ctx = env.ctx
+    x = ctx.malloc(8, line=3, name="x", elem=8)
+
+    def body():
+        x.write(0, 2, line=5)
+        ctx.line(6)
+        env.task(lambda tv: tv.private(
+            "x").write(0, tv.private_value("x") + 1, line=7),
+            mergeable=True, firstprivate={"x": x})
+        x.read(0, line=9)               # race iff the task was merged
+    env.parallel_single(body)
+
+
+@drb("130-mergeable-taskwait-orig", False, min_clang=9,
+     expected={"tasksanitizer": "ncs", "archer": "TN", "romp": "TN",
+               "taskgrind": "TN"})
+def drb130(env):
+    """The corrected version: taskwait before the parent's read."""
+    ctx = env.ctx
+    x = ctx.malloc(8, line=3, name="x", elem=8)
+
+    def body():
+        x.write(0, 2, line=5)
+        ctx.line(6)
+        env.task(lambda tv: ctx.compute(5), mergeable=True)
+        env.taskwait()
+        x.read(0, line=9)
+    env.parallel_single(body)
+
+
+# ---------------------------------------------------------------------------
+# OpenMP 4.5 dependence patterns
+# ---------------------------------------------------------------------------
+
+@drb("131-taskdep4-orig-omp45", True, min_clang=9,
+     expected={"tasksanitizer": "ncs", "archer": "TP", "romp": "TP",
+               "taskgrind": "TP"})
+def drb131(env):
+    """Writer, reader, then a second writer missing its dependence."""
+    ctx = env.ctx
+    x = ctx.malloc(4, line=3, name="x")
+
+    def body():
+        ctx.line(6)
+        env.task(lambda tv: x.write(0, 1, line=7), depend={"out": [x]})
+        ctx.line(9)
+        env.task(lambda tv: x.read(0, line=10), depend={"in": [x]})
+        ctx.line(12)
+        env.task(lambda tv: x.write(0, 2, line=13))     # missing depend!
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@drb("132-taskdep4-orig-omp45", False, min_clang=9,
+     expected={"tasksanitizer": "ncs", "archer": "TN", "romp": "TN",
+               "taskgrind": "TN"})
+def drb132(env):
+    """131 fixed: the second writer declares inout."""
+    ctx = env.ctx
+    x = ctx.malloc(4, line=3, name="x")
+
+    def body():
+        ctx.line(6)
+        env.task(lambda tv: x.write(0, 1, line=7), depend={"out": [x]})
+        ctx.line(9)
+        env.task(lambda tv: x.read(0, line=10), depend={"in": [x]})
+        ctx.line(12)
+        env.task(lambda tv: x.write(0, 2, line=13), depend={"inout": [x]})
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@drb("133-taskdep5-orig-omp45", False, min_clang=9,
+     expected={"tasksanitizer": "ncs", "archer": "TN", "romp": "TN",
+               "taskgrind": "TN"})
+def drb133(env):
+    """Concurrent readers between ordered writers (all correct)."""
+    ctx = env.ctx
+    x = ctx.malloc(4, line=3, name="x")
+
+    def body():
+        ctx.line(6)
+        env.task(lambda tv: x.write(0, 1, line=7), depend={"out": [x]})
+        for n in range(2):
+            ctx.line(9 + n)
+            env.task(lambda tv: x.read(0, line=10), depend={"in": [x]})
+        ctx.line(12)
+        env.task(lambda tv: x.write(0, 2, line=13), depend={"out": [x]})
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@drb("134-taskdep5-orig-omp45", True, min_clang=9,
+     expected={"tasksanitizer": "ncs", "archer": "TP", "romp": "TP",
+               "taskgrind": "TP"})
+def drb134(env):
+    """133 broken: the trailing writer only declares in."""
+    ctx = env.ctx
+    x = ctx.malloc(4, line=3, name="x")
+
+    def body():
+        ctx.line(6)
+        env.task(lambda tv: x.write(0, 1, line=7), depend={"out": [x]})
+        for n in range(2):
+            ctx.line(9 + n)
+            env.task(lambda tv: x.read(0, line=10), depend={"in": [x]})
+        ctx.line(12)
+        env.task(lambda tv: x.write(0, 2, line=13), depend={"in": [x]})
+        env.taskwait()
+    env.parallel_single(body)
+
+
+# ---------------------------------------------------------------------------
+# mutexinoutset
+# ---------------------------------------------------------------------------
+
+@drb("135-taskdep-mutexinoutset-orig", False, min_clang=9,
+     expected={"tasksanitizer": "ncs", "archer": "TN", "romp": "FP",
+               "taskgrind": "TN"})
+def drb135(env):
+    """Two mutexinoutset members increment x; a dependent reader follows."""
+    ctx = env.ctx
+    x = ctx.malloc(4, line=3, name="x")
+
+    def body():
+        ctx.line(5)
+        env.task(lambda tv: x.write(0, 0, line=6), depend={"out": [x]})
+        for n in range(2):
+            ctx.line(8 + 2 * n)
+            env.task(lambda tv: (x.read(0), x.write(0, line=9 + 2 * n)),
+                     depend={"mutexinoutset": [x]})
+        ctx.line(13)
+        env.task(lambda tv: x.read(0, line=14), depend={"in": [x]})
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@drb("136-taskdep-mutexinoutset-orig", True,
+     expected={"tasksanitizer": "TP", "archer": "TP", "romp": "TP",
+               "taskgrind": "TP"})
+def drb136(env):
+    """135 broken: the parent reads x with no dependence at all."""
+    ctx = env.ctx
+    x = ctx.malloc(4, line=3, name="x")
+
+    def body():
+        ctx.line(5)
+        env.task(lambda tv: x.write(0, 0, line=6), depend={"out": [x]})
+        for n in range(2):
+            ctx.line(8 + 2 * n)
+            env.task(lambda tv: (x.read(0), x.write(0, line=9 + 2 * n)),
+                     depend={"mutexinoutset": [x]})
+        x.read(0, line=13)              # no dependence, no taskwait: race
+    env.parallel_single(body)
+
+
+# ---------------------------------------------------------------------------
+# OpenMP 5.0: inoutset
+# ---------------------------------------------------------------------------
+
+@drb("165-taskdep4-orig-omp50", True, min_clang=11,
+     expected={"tasksanitizer": "ncs", "archer": "FN", "romp": "TP",
+               "taskgrind": "TP"})
+def drb165(env):
+    """inoutset members are mutually unordered — and both write x."""
+    ctx = env.ctx
+    x = ctx.malloc(4, line=3, name="x")
+
+    def body():
+        ctx.line(5)
+        env.task(lambda tv: x.write(0, 0, line=6), depend={"out": [x]})
+        for n in range(2):
+            ctx.line(8 + 2 * n)
+            env.task(lambda tv: x.write(0, line=9 + 2 * n),
+                     depend={"inoutset": [x]})
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@drb("166-taskdep4-orig-omp50", False, min_clang=11,
+     expected={"tasksanitizer": "ncs", "archer": "TN", "romp": "TN",
+               "taskgrind": "TN"})
+def drb166(env):
+    """inoutset members write disjoint elements: correct."""
+    ctx = env.ctx
+    a = ctx.malloc(8, line=3, name="a", elem=4)
+    x = ctx.malloc(4, line=4, name="x")
+
+    def body():
+        ctx.line(6)
+        env.task(lambda tv: x.write(0, 0, line=7), depend={"out": [x]})
+        for n in range(2):
+            ctx.line(9 + 2 * n)
+            env.task(lambda tv, n=n: a.write(n, line=10 + 2 * n),
+                     depend={"inoutset": [x]})
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@drb("167-taskdep4-orig-omp50", False, min_clang=11,
+     expected={"tasksanitizer": "ncs", "archer": "TN", "romp": "TN",
+               "taskgrind": "TN"})
+def drb167(env):
+    """inoutset set ordered against a later out writer: correct."""
+    ctx = env.ctx
+    x = ctx.malloc(4, line=3, name="x")
+
+    def body():
+        for n in range(2):
+            ctx.line(5 + 2 * n)
+            env.task(lambda tv: x.read(0, line=6 + 2 * n),
+                     depend={"inoutset": [x]})
+        ctx.line(10)
+        env.task(lambda tv: x.write(0, line=11), depend={"out": [x]})
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@drb("168-taskdep5-orig-omp50", True, min_clang=11,
+     expected={"tasksanitizer": "ncs", "archer": "TP", "romp": "TP",
+               "taskgrind": "TP"})
+def drb168(env):
+    """An inoutset member races with the parent's unsynchronised read."""
+    ctx = env.ctx
+    x = ctx.malloc(4, line=3, name="x")
+
+    def body():
+        ctx.line(5)
+        env.task(lambda tv: x.write(0, line=6), depend={"inoutset": [x]})
+        x.read(0, line=8)               # no taskwait
+    env.parallel_single(body)
+
+
+# ---------------------------------------------------------------------------
+# non-sibling dependences (the rows that motivate Taskgrind)
+# ---------------------------------------------------------------------------
+
+@drb("173-non-sibling-taskdep", True,
+     expected={"tasksanitizer": "FN", "archer": "FN", "romp": "FN",
+               "taskgrind": "TP"})
+def drb173(env):
+    """depend clauses only bind siblings: an uncle and a nephew race."""
+    ctx = env.ctx
+    x = ctx.malloc(4, line=3, name="x")
+
+    def body():
+        ctx.line(5)
+        env.task(lambda tv: x.write(0, 1, line=6), depend={"out": [x]},
+                 name="uncle")
+
+        def outer(tv):
+            ctx.line(9)
+            env.task(lambda tv2: x.write(0, 2, line=10),
+                     depend={"out": [x]}, name="nephew")
+            env.taskwait()
+
+        ctx.line(8)
+        env.task(outer, name="outer")
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@drb("174-non-sibling-taskdep", False,
+     expected={"tasksanitizer": "FP", "archer": "TN", "romp": "TN",
+               "taskgrind": "FP"},
+     description="The paper's Table I prints 'TP' for TaskSanitizer on this "
+                 "race-free row — semantically a report on a no-race "
+                 "program, i.e. FP; we record FP.")
+def drb174(env):
+    """173 fixed with a taskgroup; captures keep Taskgrind's descriptor FP,
+    and TaskSanitizer's missing taskgroup support makes it report too."""
+    ctx = env.ctx
+    x = ctx.malloc(4, line=3, name="x")
+    k = ctx.stack_var("k", 8, elem=8)
+
+    def body():
+        ctx.line(5)
+        env.taskgroup(lambda: env.task(
+            lambda tv: x.write(0, 1, line=6), name="uncle"))
+
+        def outer(tv):
+            for n in range(2):
+                k.write(0, n)
+                ctx.line(10 + 2 * n)
+                env.task(lambda tv2, n=n: (tv2.private_value("k"),
+                                           x.read(0, line=11 + 2 * n)),
+                         firstprivate={"k": k}, name=f"nephew{n}")
+            env.taskwait()
+
+        ctx.line(9)
+        env.task(outer, name="outer")
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@drb("175-non-sibling-taskdep2", True,
+     expected={"tasksanitizer": "FN", "archer": "TP", "romp": "TP",
+               "taskgrind": "TP"})
+def drb175(env):
+    """Non-sibling dependences across *nested parallel regions*."""
+    ctx = env.ctx
+    x = ctx.global_var("x", 4)
+
+    def body():
+        def nested_writer(label, line):
+            def outer(tv):
+                def inner_region(_tid):
+                    def single_body():
+                        ctx.line(line)
+                        env.task(lambda tv2: x.write(0, line=line + 1),
+                                 depend={"out": [x]}, name=label)
+                    env.single(single_body)
+                env.parallel(inner_region, num_threads=2)
+            return outer
+
+        ctx.line(5)
+        env.task(nested_writer("w1", 6), name="o1")
+        ctx.line(9)
+        env.task(nested_writer("w2", 10), name="o2")
+        env.taskwait()
+    env.parallel_single(body)
+
+
+def all_programs() -> List[BenchProgram]:
+    return list(REGISTRY)

@@ -1,0 +1,336 @@
+"""Extended microbenchmark suite (beyond the paper's Table I).
+
+The paper's DRB subset exercises tasking constructs; this suite extends
+coverage to the corners the paper mentions but does not benchmark — detach
+events, taskloop chunking controls, locks/critical, nested parallelism,
+final/priority, barrier-partitioned phases — each with ground truth and the
+verdict the *reproduced* Taskgrind should produce.  These rows act as a
+regression net for the tool's semantics beyond the published table.
+
+Run with ``python -m repro.bench.extras`` or ``pytest`` via
+``tests/bench/test_extras.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.bench.programs import BenchProgram
+from repro.bench.runner import run_benchmark
+from repro.util.tables import render_table
+
+REGISTRY: List[BenchProgram] = []
+
+
+def extra(name: str, racy: bool, *, taskgrind: str,
+          description: str = ""):
+    def wrap(fn):
+        REGISTRY.append(BenchProgram(
+            name=name, racy=racy, entry=fn, source_file=f"{name}.c",
+            expected={"taskgrind": taskgrind},
+            description=description or fn.__doc__ or ""))
+        return fn
+    return wrap
+
+
+def by_name(name: str) -> BenchProgram:
+    for p in REGISTRY:
+        if p.name == name:
+            return p
+    raise KeyError(name)
+
+
+def all_programs() -> List[BenchProgram]:
+    return list(REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# detach
+# ---------------------------------------------------------------------------
+
+@extra("x001-detach-fulfilled-orders", False, taskgrind="TN")
+def x001(env):
+    """A detached task's completion (at fulfill) orders its writes before
+    the dependent successor's reads."""
+    ctx = env.ctx
+    x = ctx.malloc(8, line=3)
+    box = {}
+
+    def producer(tv):
+        x.write(0, 1, line=7)
+        box["ev"] = tv.detach_event
+
+    def body():
+        ctx.line(6)
+        env.task(producer, detachable=True, depend={"out": [x]})
+        ctx.line(10)
+        env.task(lambda tv: box["ev"].fulfill(), name="fulfiller")
+        ctx.line(12)
+        env.task(lambda tv: x.read(0, line=13), depend={"in": [x]})
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@extra("x002-detach-fulfiller-races", True, taskgrind="TP")
+def x002(env):
+    """The fulfilling task itself races with the detached body's buffer."""
+    ctx = env.ctx
+    x = ctx.malloc(8, line=3)
+    box = {}
+
+    def producer(tv):
+        box["ev"] = tv.detach_event
+        x.write(0, 1, line=8)
+
+    def fulfiller(tv):
+        x.write(0, 2, line=11)     # unordered with the producer's write
+        box["ev"].fulfill()
+
+    def body():
+        ctx.line(6)
+        env.task(producer, detachable=True)
+        ctx.line(10)
+        env.task(fulfiller)
+        env.taskwait()
+    env.parallel_single(body)
+
+
+# ---------------------------------------------------------------------------
+# taskloop controls
+# ---------------------------------------------------------------------------
+
+@extra("x003-taskloop-grainsize-disjoint", False, taskgrind="FP",
+       description="Race-free, but Taskgrind reports the chunk tasks' "
+                   "firstprivate bound slots recycled through the runtime's "
+                   "fast arena — the same mechanism as the paper's DRB096 "
+                   "FP row.")
+def x003(env):
+    """grainsize-chunked taskloop writing disjoint slices."""
+    ctx = env.ctx
+    a = ctx.malloc(4 * 32, line=3, elem=4)
+
+    def body():
+        ctx.line(6)
+        env.taskloop(lambda tv, lo, hi: a.write_range(lo, hi, line=7),
+                     0, 32, grainsize=8)
+    env.parallel_single(body)
+
+
+@extra("x004-taskloop-nogroup-race", True, taskgrind="TP")
+def x004(env):
+    """nogroup drops the implicit taskgroup: the parent's read races."""
+    ctx = env.ctx
+    a = ctx.malloc(4 * 16, line=3, elem=4)
+
+    def body():
+        ctx.line(6)
+        env.taskloop(lambda tv, lo, hi: a.write_range(lo, hi, line=7),
+                     0, 16, num_tasks=4, nogroup=True)
+        a.read(0, line=9)           # no group, no taskwait: racy
+    env.parallel_single(body)
+
+
+@extra("x005-taskloop-overlapping-chunks", True, taskgrind="TP")
+def x005(env):
+    """Chunks writing a shared accumulator element race with each other."""
+    ctx = env.ctx
+    a = ctx.malloc(4 * 17, line=3, elem=4)
+
+    def body():
+        ctx.line(6)
+        env.taskloop(lambda tv, lo, hi: (a.write_range(lo, hi, line=7),
+                                         a.write(16, line=8)),
+                     0, 16, num_tasks=4)
+    env.parallel_single(body)
+
+
+# ---------------------------------------------------------------------------
+# mutual exclusion (the paper: Taskgrind does NOT support mutexes)
+# ---------------------------------------------------------------------------
+
+@extra("x006-critical-is-not-ordering", False, taskgrind="FP",
+       description="Taskgrind has no mutex support (paper Section VI.b): a "
+                   "critical-protected shared update is mutual-exclusion-"
+                   "safe but determinacy-unordered, so Taskgrind reports "
+                   "it.  (Archer, which models mutexes, stays silent.)")
+def x006(env):
+    ctx = env.ctx
+    x = ctx.global_var("x006", 8, elem=8)
+
+    def region(tid):
+        with env.critical("acc"):
+            x.write(0, line=7)
+    env.parallel(region)
+
+
+@extra("x007-lock-protected", False, taskgrind="FP",
+       description="Same as x006 via omp_lock_t.")
+def x007(env):
+    ctx = env.ctx
+    x = ctx.global_var("x007", 8, elem=8)
+    lock = env.lock("L")
+
+    def region(tid):
+        with lock:
+            x.write(0, line=8)
+    env.parallel(region)
+
+
+# ---------------------------------------------------------------------------
+# nesting
+# ---------------------------------------------------------------------------
+
+@extra("x008-nested-parallel-disjoint", False, taskgrind="TN")
+def x008(env):
+    """Nested parallel regions writing per-member slots."""
+    ctx = env.ctx
+    a = ctx.global_var("x008", 8 * 8, elem=8)
+
+    def outer(tid):
+        base = env.thread_num() * 2
+
+        def inner(_tid2):
+            a.write(base + env.thread_num(), line=9)
+        env.parallel(inner, num_threads=2)
+    env.parallel(outer, num_threads=2)
+
+
+@extra("x009-nested-parallel-shared-race", True, taskgrind="TP")
+def x009(env):
+    """Both nested regions' members write one shared word."""
+    ctx = env.ctx
+    x = ctx.global_var("x009", 8, elem=8)
+
+    def outer(tid):
+        def inner(_tid2):
+            x.write(0, line=8)
+        env.parallel(inner, num_threads=2)
+    env.parallel(outer, num_threads=2)
+
+
+# ---------------------------------------------------------------------------
+# final / barriers / single
+# ---------------------------------------------------------------------------
+
+@extra("x010-final-includes-descendants", False, taskgrind="TN")
+def x010(env):
+    """final(true): descendants execute included and sequenced."""
+    ctx = env.ctx
+    x = ctx.malloc(8, line=3)
+
+    def inner(tv):
+        x.write(0, line=8)
+
+    def outer(tv):
+        env.task(inner)
+        x.write(0, line=11)      # sequenced after the included child
+
+    def body():
+        ctx.line(6)
+        env.task(outer, final=True)
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@extra("x011-barrier-phases", False, taskgrind="TN")
+def x011(env):
+    """Classic two-phase pattern: all-write, barrier, all-read."""
+    ctx = env.ctx
+    a = ctx.global_var("x011", 8 * 4, elem=8)
+
+    def region(tid):
+        me = env.thread_num()
+        a.write(me, line=6)
+        env.barrier()
+        a.read((me + 1) % env.num_threads(), line=8)
+    env.parallel(region)
+
+
+@extra("x012-missing-barrier", True, taskgrind="TP")
+def x012(env):
+    """x011 with the barrier dropped: neighbour reads race."""
+    ctx = env.ctx
+    a = ctx.global_var("x012", 8 * 4, elem=8)
+
+    def region(tid):
+        me = env.thread_num()
+        a.write(me, line=6)
+        a.read((me + 1) % env.num_threads(), line=7)
+    env.parallel(region)
+
+
+@extra("x013-single-nowait-race", True, taskgrind="TP")
+def x013(env):
+    """single nowait: the other members race past the single's write."""
+    ctx = env.ctx
+    x = ctx.global_var("x013", 8, elem=8)
+
+    def region(tid):
+        env.single(lambda: x.write(0, line=6), nowait=True)
+        x.read(0, line=8)
+    env.parallel(region)
+
+
+@extra("x014-single-with-barrier", False, taskgrind="TN")
+def x014(env):
+    """The fixed x013: the single's implicit barrier orders the reads."""
+    ctx = env.ctx
+    x = ctx.global_var("x014", 8, elem=8)
+
+    def region(tid):
+        env.single(lambda: x.write(0, line=6))
+        x.read(0, line=8)
+    env.parallel(region)
+
+
+@extra("x015-user-thread-local-indexing", False, taskgrind="FP",
+       description="The paper's Section IV-C closing limitation: "
+                   "'array[omp_get_thread_num()]' is user-based thread-"
+                   "local storage — per-thread by construction, but not in "
+                   "any TLS region, so Taskgrind's TCB/DTV suppression "
+                   "cannot recognise it and reports the aliasing accesses "
+                   "of tasks that shared a thread.")
+def x015(env):
+    ctx = env.ctx
+    a = ctx.global_var("x015", 8 * 8, elem=8)
+
+    def task_body(tv):
+        a.write(env.thread_num(), line=8)    # per-thread slot, by hand
+
+    def body():
+        for n in range(4):
+            ctx.line(6 + n)
+            env.task(task_body, annotate_deferrable=True)
+        env.taskwait()
+    env.parallel_single(body)
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+
+def run_extras(seed: int = 2, nthreads: int = 4):
+    rows = []
+    matches = 0
+    for program in REGISTRY:
+        result = run_benchmark(program, "taskgrind", nthreads=nthreads,
+                               seed=seed)
+        expected = program.expected["taskgrind"]
+        ok = result.cell() == expected
+        matches += ok
+        rows.append([program.name, "yes" if program.racy else "no",
+                     f"{result.cell()} ({expected})" + ("" if ok else " *")])
+    return rows, matches
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    rows, matches = run_extras()
+    print(render_table(["benchmark", "race", "taskgrind (expected)"], rows,
+                       title="Extended suite (beyond the paper's Table I)"))
+    print(f"\n{matches}/{len(rows)} rows as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

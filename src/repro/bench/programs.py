@@ -1,0 +1,37 @@
+"""Benchmark program descriptor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+
+@dataclass(frozen=True)
+class BenchProgram:
+    """One benchmark: entry point + ground truth + tool-relevant metadata.
+
+    ``expected`` records the verdicts the *paper's* Table I reports for this
+    program (per tool), so the harness can print measured-vs-paper side by
+    side.  Cells like ``FN/TP`` (the paper's own schedule-variance notation)
+    are kept verbatim and matched against either value.
+    """
+
+    name: str
+    racy: bool
+    entry: Callable                       # entry(env: OmpEnv) -> None
+    description: str = ""
+    source_file: str = "main.c"
+    #: minimum Clang major version that compiles this test (TaskSanitizer
+    #: ships Clang 8 — the paper's ``ncs`` cells)
+    min_clang: int = 8
+    #: construct tags (crash triggers, feature notes)
+    features: frozenset = frozenset()
+    #: paper Table I verdicts: tool name -> cell text
+    expected: Dict[str, str] = field(default_factory=dict)
+
+    def expects(self, tool: str, measured: str) -> Optional[bool]:
+        """Does ``measured`` match the paper's cell?  None when unlisted."""
+        cell = self.expected.get(tool)
+        if cell is None:
+            return None
+        return measured in cell.split("/")

@@ -1,0 +1,119 @@
+"""Run one (program × tool × threads × seed) combination.
+
+Outcome classification mirrors the paper's tables exactly: ``TP/FP/TN/FN``
+from reports-vs-ground-truth, ``ncs`` when the modeled compiler rejects the
+program, ``segv`` when the instrumented run crashes, ``deadlock`` when the
+simulator's deadlock detector fires (the Taskgrind multi-thread cells of
+Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.baselines.archer import ArcherTool
+from repro.baselines.common import ToolOutcome, Verdict, classify
+from repro.baselines.romp import RompTool
+from repro.baselines.tasksanitizer import TaskSanitizerTool
+from repro.bench.programs import BenchProgram
+from repro.core.tool import TaskgrindOptions, TaskgrindTool
+from repro.errors import GuestCrash, NoCompilerSupport, OutOfMemory, SimDeadlock
+from repro.machine.cost import MemoryMeter
+from repro.machine.machine import Machine
+from repro.openmp.api import OmpEnv, make_env
+from repro.vex.tool import NullTool
+
+#: tool name -> factory
+TOOLS: Dict[str, Callable] = {
+    "none": NullTool,
+    "taskgrind": TaskgrindTool,
+    "archer": ArcherTool,
+    "tasksanitizer": TaskSanitizerTool,
+    "romp": RompTool,
+}
+
+
+@dataclass
+class RunResult:
+    """Everything one benchmark run produced."""
+
+    program: str
+    tool: str
+    nthreads: int
+    seed: int
+    verdict: Verdict
+    report_count: int = 0
+    reports: list = field(default_factory=list)
+    sim_seconds: float = 0.0
+    memory: Optional[MemoryMeter] = None
+    crash_reason: str = ""
+    machine: Optional[Machine] = None
+    tool_obj: object = None
+
+    @property
+    def sim_memory_mib(self) -> float:
+        return self.memory.total_mib if self.memory is not None else 0.0
+
+    def cell(self) -> str:
+        """The Table I cell text for this run."""
+        return str(self.verdict)
+
+
+def run_benchmark(program: BenchProgram, tool_name: str, *,
+                  nthreads: int = 4, seed: int = 0,
+                  taskgrind_options: Optional[TaskgrindOptions] = None,
+                  keep_machine: bool = False) -> RunResult:
+    """Execute ``program`` under ``tool_name`` and classify the outcome."""
+    factory = TOOLS[tool_name]
+    if tool_name == "taskgrind" and taskgrind_options is not None:
+        tool = factory(taskgrind_options)
+    else:
+        tool = factory()
+
+    # compile-time gates (ncs) and instrumentation-time crashes (ROMP segv)
+    try:
+        tool.compile_check(program)
+    except NoCompilerSupport:
+        return RunResult(program.name, tool_name, nthreads, seed, Verdict.NCS)
+    except GuestCrash as crash:
+        return RunResult(program.name, tool_name, nthreads, seed,
+                         Verdict.SEGV, crash_reason=crash.reason)
+
+    machine = Machine(seed=seed)
+    if tool_name != "none":
+        machine.add_tool(tool)
+    env = make_env(machine, nthreads=nthreads,
+                   source_file=program.source_file)
+    if hasattr(tool, "make_ompt_shim") and tool_name != "none":
+        env.rt.ompt.register(tool.make_ompt_shim())
+
+    def entry() -> None:
+        with env.ctx.function("main", file=program.source_file, line=1):
+            program.entry(env)
+
+    result = RunResult(program.name, tool_name, nthreads, seed,
+                       Verdict.TN, tool_obj=tool)
+    try:
+        machine.run(entry)
+    except SimDeadlock:
+        result.verdict = Verdict.DEADLOCK
+        result.sim_seconds = machine.cost.seconds
+        result.memory = machine.memory_meter()
+        return result
+    except (GuestCrash, OutOfMemory) as crash:
+        result.verdict = Verdict.SEGV
+        result.crash_reason = str(crash)
+        result.sim_seconds = machine.cost.seconds
+        result.memory = machine.memory_meter()
+        return result
+
+    reports = tool.finalize()
+    result.reports = reports
+    result.report_count = len(reports)
+    result.verdict = classify(bool(reports), program.racy)
+    result.sim_seconds = machine.cost.seconds
+    result.memory = machine.memory_meter()
+    if keep_machine:
+        result.machine = machine
+    return result

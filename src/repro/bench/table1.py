@@ -1,0 +1,123 @@
+"""Table I harness: the microbenchmark verdict matrix.
+
+Runs every DRB program (OMP_NUM_THREADS=4) and every TMB program (1 and 4
+threads) under all four tools, prints measured verdicts next to the paper's
+cells, and a summary of agreement plus the headline metric (false negatives
+per tool — Taskgrind must have the fewest, with its single FN on the
+mergeable test).
+
+Usage: ``python -m repro.bench.table1 [--seed N]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bench import drb, tmb
+from repro.bench.programs import BenchProgram
+from repro.bench.runner import run_benchmark
+from repro.util.tables import render_table
+
+TOOL_ORDER = ["tasksanitizer", "archer", "romp", "taskgrind"]
+
+#: the harness seed defines "the observed execution" the table reports
+DEFAULT_SEED = 2
+
+
+@dataclass
+class Table1Row:
+    program: str
+    block: str                      # 'drb' | 'tmb-1t' | 'tmb-4t'
+    racy: bool
+    measured: Dict[str, str] = field(default_factory=dict)
+    expected: Dict[str, str] = field(default_factory=dict)
+    report_counts: Dict[str, int] = field(default_factory=dict)
+
+    def matches(self, tool: str) -> Optional[bool]:
+        cell = self.expected.get(tool)
+        if cell is None:
+            return None
+        return self.measured.get(tool) in cell.split("/")
+
+
+def _expected_for(program: BenchProgram, block: str) -> Dict[str, str]:
+    exp = program.expected
+    if block == "drb":
+        return dict(exp)
+    key = "1t" if block == "tmb-1t" else "4t"
+    return dict(exp.get(key, {}))       # type: ignore[union-attr]
+
+
+def run_table1(seed: int = DEFAULT_SEED,
+               tools: Optional[List[str]] = None) -> List[Table1Row]:
+    """Run the whole matrix; returns one row per (program, block)."""
+    tools = tools or TOOL_ORDER
+    rows: List[Table1Row] = []
+    jobs = [(p, "drb", 4) for p in drb.all_programs()]
+    jobs += [(p, "tmb-1t", 1) for p in tmb.all_programs()]
+    jobs += [(p, "tmb-4t", 4) for p in tmb.all_programs()]
+    for program, block, nthreads in jobs:
+        row = Table1Row(program=program.name, block=block, racy=program.racy,
+                        expected=_expected_for(program, block))
+        for tool in tools:
+            result = run_benchmark(program, tool, nthreads=nthreads,
+                                   seed=seed)
+            row.measured[tool] = result.cell()
+            row.report_counts[tool] = result.report_count
+        rows.append(row)
+    return rows
+
+
+def render(rows: List[Table1Row]) -> str:
+    out: List[str] = []
+    blocks = [("drb", "DRB (OMP_NUM_THREADS=4)"),
+              ("tmb-1t", "TMB (OMP_NUM_THREADS=1)"),
+              ("tmb-4t", "TMB (OMP_NUM_THREADS=4)")]
+    headers = ["benchmark", "race"] + [
+        f"{t} (paper)" for t in TOOL_ORDER]
+    match_count = {t: 0 for t in TOOL_ORDER}
+    cell_count = {t: 0 for t in TOOL_ORDER}
+    fn_count = {t: 0 for t in TOOL_ORDER}
+    for key, title in blocks:
+        body = []
+        for row in (r for r in rows if r.block == key):
+            cells = []
+            for tool in TOOL_ORDER:
+                measured = row.measured.get(tool, "-")
+                paper = row.expected.get(tool, "?")
+                mark = "" if row.matches(tool) else " *"
+                cells.append(f"{measured} ({paper}){mark}")
+                if row.matches(tool) is not None:
+                    cell_count[tool] += 1
+                    if row.matches(tool):
+                        match_count[tool] += 1
+                if measured == "FN":
+                    fn_count[tool] += 1
+            body.append([row.program, "yes" if row.racy else "no"] + cells)
+        out.append(render_table(headers, body, title=title))
+        out.append("")
+    out.append("cell = measured (paper); * marks measured != paper")
+    out.append("")
+    agreement = ", ".join(
+        f"{t}: {match_count[t]}/{cell_count[t]}" for t in TOOL_ORDER)
+    out.append(f"agreement with the paper's cells: {agreement}")
+    fns = ", ".join(f"{t}: {fn_count[t]}" for t in TOOL_ORDER)
+    out.append(f"false negatives (headline metric):  {fns}")
+    return "\n".join(out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--tools", nargs="*", default=None)
+    args = parser.parse_args(argv)
+    rows = run_table1(seed=args.seed, tools=args.tools)
+    print(render(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

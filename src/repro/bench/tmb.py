@@ -1,0 +1,215 @@
+"""The seven Taskgrind microbenchmarks (TMB), paper Section V-A.
+
+Each TMB targets one heavyweight-DBI pitfall from Section IV.  They are run
+at 1 *and* 4 threads (Table I's two TMB blocks): single-thread runs force the
+memory-recycling / thread-local / segment-local aliasing of independent
+segments; 4-thread runs exercise true deferred execution.
+
+All TMB tasks carry the Taskgrind *deferrable annotation* (the same client
+request the paper added to LULESH) so that the logical task graph — not
+LLVM's single-thread serialization — is analyzed, which is what lets the
+paper claim 100% single-thread accuracy while Archer reports nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bench.programs import BenchProgram
+
+REGISTRY: List[BenchProgram] = []
+
+
+def tmb(name: str, racy: bool, *, expected_1t: Dict[str, str],
+        expected_4t: Dict[str, str], description: str = ""):
+    def wrap(fn):
+        REGISTRY.append(BenchProgram(
+            name=name, racy=racy, entry=fn, source_file=f"{name}.c",
+            expected={"1t": expected_1t, "4t": expected_4t},  # type: ignore[arg-type]
+            description=description or fn.__doc__ or ""))
+        return fn
+    return wrap
+
+
+def by_name(name: str) -> BenchProgram:
+    for p in REGISTRY:
+        if p.name == name:
+            return p
+    raise KeyError(name)
+
+
+@tmb("1000-memory-recycling.1", False,
+     expected_1t={"tasksanitizer": "TN", "archer": "TN", "romp": "TN",
+                  "taskgrind": "TN"},
+     expected_4t={"tasksanitizer": "TN", "archer": "TN", "romp": "TN",
+                  "taskgrind": "FP"})
+def tmb1000(env):
+    """Listing 1: independent tasks malloc/write/free — the allocator may
+    recycle the address.  Taskgrind's no-op free defeats it; the remaining
+    4-thread FP comes from task-*descriptor* recycling in the runtime's
+    private arena (the paper's future-work limitation)."""
+    ctx = env.ctx
+    k = ctx.stack_var("k", 8, elem=8)
+
+    def body():
+        for n in range(2):
+            k.write(0, n)
+            ctx.line(5)
+
+            def task_body(tv):
+                tv.private_value("k")
+                with ctx.function("worker", line=20):
+                    x = ctx.malloc(4, line=6, name="x")
+                    x.write(0, 1, line=7)
+                    ctx.free(x)
+            env.task(task_body, firstprivate={"k": k},
+                     annotate_deferrable=True)
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@tmb("1001-stack.1", True,
+     expected_1t={"tasksanitizer": "TP", "archer": "FN", "romp": "FN",
+                  "taskgrind": "TP"},
+     expected_4t={"tasksanitizer": "TP", "archer": "FN/TP", "romp": "TP",
+                  "taskgrind": "TP"})
+def tmb1001(env):
+    """Two independent tasks write the *parent's* stack variable: a real
+    race.  ROMP's coarse owner-thread stack filter hides it single-threaded;
+    Taskgrind's frame registration does not (the variable predates both
+    segments)."""
+    ctx = env.ctx
+
+    def body():
+        y = ctx.stack_var("y", 8, elem=8)
+        for n in range(2):
+            ctx.line(5 + n)
+            env.task(lambda tv: y.write(0, line=6), annotate_deferrable=True)
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@tmb("1002-stack.2", False,
+     expected_1t={"tasksanitizer": "TN", "archer": "TN", "romp": "TN",
+                  "taskgrind": "TN"},
+     expected_4t={"tasksanitizer": "TN", "archer": "TN", "romp": "TN",
+                  "taskgrind": "FP"})
+def tmb1002(env):
+    """Independent tasks whose only shared state is the firstprivate
+    round-trip through the task descriptor.  Single-threaded (included fast
+    path, no descriptor) everything is clean; multi-threaded, descriptor
+    recycling in the uninstrumentable fast arena gives Taskgrind its
+    parent-frame/descriptor FP."""
+    ctx = env.ctx
+    g = ctx.global_var("g1002", 16, elem=8)
+    k = ctx.stack_var("k", 8, elem=8)
+
+    def body():
+        for n in range(2):
+            k.write(0, n)
+            ctx.line(5 + n)
+            env.task(lambda tv, n=n: (tv.private_value("k"),
+                                      g.write(n, line=6)),
+                     firstprivate={"k": k}, annotate_deferrable=True)
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@tmb("1003-stack.3", False,
+     expected_1t={"tasksanitizer": "FP", "archer": "TN", "romp": "TN",
+                  "taskgrind": "TN"},
+     expected_4t={"tasksanitizer": "TN", "archer": "TN", "romp": "TN",
+                  "taskgrind": "TN"})
+def tmb1003(env):
+    """Independent tasks each write their *own* local: on one thread the
+    frames alias (same address), which only Taskgrind's frame registration
+    recognises as segment-local."""
+    ctx = env.ctx
+
+    def body():
+        for n in range(2):
+            ctx.line(5 + n)
+
+            def task_body(tv):
+                z = ctx.stack_var("z", 8, elem=8)
+                z.write(0, line=7)
+            env.task(task_body, annotate_deferrable=True)
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@tmb("1004-stack.4", True,
+     expected_1t={"tasksanitizer": "TP", "archer": "FN", "romp": "TP",
+                  "taskgrind": "TP"},
+     expected_4t={"tasksanitizer": "TP", "archer": "TP", "romp": "TP",
+                  "taskgrind": "TP"})
+def tmb1004(env):
+    """Independent tasks race on a *global* — no stack/TLS filter applies,
+    so every task-centric tool must report it; Archer still misses the
+    serialized single-thread run."""
+    ctx = env.ctx
+    g = ctx.global_var("g1004", 8, elem=8)
+
+    def body():
+        for n in range(2):
+            ctx.line(5 + n)
+            env.task(lambda tv: g.write(0, line=6), annotate_deferrable=True)
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@tmb("1005-stack.5", False,
+     expected_1t={"tasksanitizer": "FP", "archer": "TN", "romp": "TN",
+                  "taskgrind": "TN"},
+     expected_4t={"tasksanitizer": "TN", "archer": "TN", "romp": "TN",
+                  "taskgrind": "TN"})
+def tmb1005(env):
+    """Like 1003 but the aliasing locals live in a *callee* frame (each task
+    calls a helper), exercising frame registration through calls."""
+    ctx = env.ctx
+
+    def body():
+        for n in range(2):
+            ctx.line(5 + n)
+
+            def task_body(tv):
+                with ctx.function("helper", line=20):
+                    w = ctx.stack_var("w", 8, elem=8)
+                    w.write(0, line=21)
+                    w.read(0, line=22)
+            env.task(task_body, annotate_deferrable=True)
+        env.taskwait()
+    env.parallel_single(body)
+
+
+@tmb("1006-tls.1", False,
+     expected_1t={"tasksanitizer": "FP", "archer": "TN", "romp": "TN",
+                  "taskgrind": "TN"},
+     expected_4t={"tasksanitizer": "FP", "archer": "TN", "romp": "TN",
+                  "taskgrind": "FP"})
+def tmb1006(env):
+    """``_Thread_local`` writes: an undeferred task and the parent touch the
+    same thread's TLS copy (sequenced — but only tools modeling the
+    undeferred rule know), while two deferred captured tasks write their own
+    copies (descriptor recycling gives Taskgrind its 4-thread FP)."""
+    ctx = env.ctx
+    k = ctx.stack_var("k", 8, elem=8)
+
+    def body():
+        ctx.line(4)
+        env.task(lambda tv: ctx.tls_var("tls1006", 8, elem=8).write(0, line=5),
+                 if_=False)
+        ctx.tls_var("tls1006", 8, elem=8).write(0, line=7)
+        for n in range(2):
+            k.write(0, n)
+            ctx.line(9 + n)
+            env.task(lambda tv: (tv.private_value("k"),
+                                 ctx.tls_var("tls1006", 8,
+                                             elem=8).write(0, line=10)),
+                     firstprivate={"k": k}, annotate_deferrable=True)
+        env.taskwait()
+    env.parallel_single(body)
+
+
+def all_programs() -> List[BenchProgram]:
+    return list(REGISTRY)

@@ -1,0 +1,22 @@
+"""Simulated Cilk runtime (spawn/sync over work-stealing deques).
+
+The paper lists OpenCilk support as work-in-progress (Section III-A-b): the
+Cheetah runtime's approach differs enough from OpenMP that the integration
+is hard.  This package provides the simulated equivalent: a spawn/sync
+tasking runtime with per-worker deques, an observer interface mirroring what
+a Cilk tool shim needs (spawn/frame-begin/frame-end/sync), and the paper's
+modeling assumption that *"Cilk programs can be assumed to have a single
+parallel region containing all tasks"*.
+
+Substitution note (DESIGN.md): real Cilk is work-first (the spawned child
+runs immediately, the *continuation* is stealable).  Python cannot migrate a
+running function's continuation across threads, so deferred-child (help-
+first) scheduling is used instead — it produces the same series-parallel DAG,
+which is all the determinacy-race analyses consume.  A ``serial_elision``
+mode executes children inline depth-first, giving exactly the serial C
+elision order that SP-bags (Nondeterminator) requires.
+"""
+
+from repro.cilk.runtime import CilkEnv, CilkFrame, CilkObserver, make_cilk_env
+
+__all__ = ["CilkEnv", "CilkFrame", "CilkObserver", "make_cilk_env"]

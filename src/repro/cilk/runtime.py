@@ -1,0 +1,238 @@
+"""Cilk-style spawn/sync runtime over the simulated machine.
+
+API shape (mirrors ``cilk_spawn`` / ``cilk_sync``)::
+
+    env = make_cilk_env(machine, nworkers=4)
+
+    def fib(frame, n):
+        if n < 2:
+            return n
+        a = env.spawn(frame, fib, n - 1)
+        b = fib(env.frame(frame), n - 2)    # the "called" branch
+        env.sync(frame)
+        return a.result + b
+
+    result = env.run(fib, 10)
+
+``spawn`` returns a :class:`SpawnHandle` whose ``.result`` is valid after the
+enclosing ``sync``.  Tool shims subscribe a :class:`CilkObserver`.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import RuntimeModelError
+from repro.machine.machine import Machine
+from repro.machine.program import GuestContext
+from repro.machine.threads import ThreadState
+
+
+class CilkObserver:
+    """Tool callbacks for the Cilk runtime (what a Cheetah shim would hook)."""
+
+    def on_spawn(self, parent: "CilkFrame", child: "CilkFrame",
+                 thread_id: int) -> None: ...
+    def on_frame_begin(self, frame: "CilkFrame", thread_id: int) -> None: ...
+    def on_frame_end(self, frame: "CilkFrame", thread_id: int) -> None: ...
+    def on_sync_begin(self, frame: "CilkFrame", thread_id: int) -> None: ...
+    def on_sync_end(self, frame: "CilkFrame", thread_id: int) -> None: ...
+
+
+@dataclass
+class CilkFrame:
+    """One spawned (or root) Cilk procedure instance."""
+
+    fid: int
+    fn: Optional[Callable]
+    args: tuple
+    parent: Optional["CilkFrame"]
+    name: str = ""
+    outstanding: int = 0                 # spawned children not yet returned
+    result: object = None
+    done: bool = False
+    exec_thread: int = -1
+    create_loc: object = None
+
+    def label(self) -> str:
+        loc = f" @ {self.create_loc}" if self.create_loc else ""
+        return f"{self.name}{loc}"
+
+    def __hash__(self) -> int:
+        return self.fid
+
+
+class SpawnHandle:
+    """What ``spawn`` returns; ``.result`` is valid after the sync."""
+
+    def __init__(self, frame: CilkFrame) -> None:
+        self.frame = frame
+
+    @property
+    def result(self) -> object:
+        if not self.frame.done:
+            raise RuntimeModelError(
+                "spawn result read before the enclosing sync")
+        return self.frame.result
+
+
+class CilkEnv:
+    """The Cilk runtime instance bound to one guest run."""
+
+    def __init__(self, ctx: GuestContext, *, nworkers: int = 4,
+                 serial_elision: bool = False) -> None:
+        self.ctx = ctx
+        self.machine = ctx.machine
+        self.nworkers = 1 if serial_elision else nworkers
+        self.serial_elision = serial_elision
+        self.observers: List[CilkObserver] = []
+        self._deques: Dict[int, collections.deque] = {}
+        self._frame_stack: Dict[int, List[CilkFrame]] = {}
+        self._next_fid = 0
+        self._shutdown = False
+        self._live_frames = 0
+
+    def register(self, observer: CilkObserver) -> None:
+        self.observers.append(observer)
+
+    def _emit(self, method: str, *args) -> None:
+        for obs in self.observers:
+            getattr(obs, method)(*args)
+
+    # -- identity -------------------------------------------------------------
+
+    def _tid(self) -> int:
+        return self.machine.scheduler.current_id()
+
+    def current_frame(self) -> CilkFrame:
+        stack = self._frame_stack.get(self._tid())
+        if not stack:
+            raise RuntimeModelError("no active Cilk frame on this thread")
+        return stack[-1]
+
+    def frame(self, frame: CilkFrame) -> CilkFrame:
+        """Identity helper so call sites read like `fib(env.frame(f), ...)`."""
+        return frame
+
+    # -- the program entry -------------------------------------------------------
+
+    def run(self, fn: Callable, *args) -> object:
+        """Run ``fn(root_frame, *args)`` with the worker pool active."""
+        root = self._new_frame(fn, args, parent=None, name="cilk_main")
+        self._live_frames += 1
+        workers = []
+        for w in range(1, self.nworkers):
+            workers.append(self.machine.new_thread(
+                self._worker_loop, name=f"cilk.w{w}"))
+        try:
+            result = self._execute(root)
+        finally:
+            self._shutdown = True
+        self.machine.scheduler.block_until(
+            lambda: all(t.state == ThreadState.DONE for t in workers),
+            "cilk pool shutdown")
+        return result
+
+    def _worker_loop(self) -> None:
+        while not self._shutdown:
+            frame = self._find_work()
+            if frame is not None:
+                self._execute(frame)
+            else:
+                self.machine.scheduler.block_until(
+                    lambda: self._shutdown or self._work_visible(),
+                    "cilk steal")
+
+    # -- spawn / sync -----------------------------------------------------------------
+
+    def _new_frame(self, fn, args, parent, name="") -> CilkFrame:
+        frame = CilkFrame(fid=self._next_fid, fn=fn, args=tuple(args),
+                          parent=parent,
+                          name=name or f"spawn{self._next_fid}",
+                          create_loc=self.ctx.current_location
+                          if self._frame_stack.get(self._tid()) else None)
+        self._next_fid += 1
+        return frame
+
+    def spawn(self, parent: CilkFrame, fn: Callable, *args) -> SpawnHandle:
+        """``cilk_spawn fn(args)`` from ``parent``."""
+        self.machine.cost.charge_task(self.machine.scheduler.current())
+        child = self._new_frame(fn, args, parent)
+        parent.outstanding += 1
+        self._live_frames += 1
+        self._emit("on_spawn", parent, child, self._tid())
+        if self.serial_elision:
+            # the serial C elision: the child runs to completion inline
+            self._execute(child)
+        else:
+            self._deques.setdefault(self._tid(),
+                                    collections.deque()).append(child)
+            self.machine.scheduler.yield_point()
+        return SpawnHandle(child)
+
+    def sync(self, frame: CilkFrame) -> None:
+        """``cilk_sync``: wait for every child spawned by ``frame``."""
+        self.machine.cost.charge_sync(self.machine.scheduler.current())
+        self._emit("on_sync_begin", frame, self._tid())
+        while frame.outstanding > 0:
+            work = self._find_work()
+            if work is not None:
+                self._execute(work)
+            else:
+                self.machine.scheduler.block_until(
+                    lambda: frame.outstanding == 0 or self._work_visible(),
+                    f"cilk sync in {frame.label}")
+        self._emit("on_sync_end", frame, self._tid())
+
+    # -- scheduling ------------------------------------------------------------------------
+
+    def _work_visible(self) -> bool:
+        return any(self._deques.values())
+
+    def _find_work(self) -> Optional[CilkFrame]:
+        tid = self._tid()
+        own = self._deques.get(tid)
+        if own:
+            return own.pop()                      # own deque: LIFO
+        victims = [t for t, dq in self._deques.items() if dq]
+        if victims:
+            order = list(victims)
+            self.machine.rng.shuffle("cilk.steal", order)
+            for victim in order:
+                dq = self._deques[victim]
+                if dq:
+                    return dq.popleft()           # steal: FIFO
+        return None
+
+    def _execute(self, frame: CilkFrame) -> object:
+        tid = self._tid()
+        self.machine.cost.charge_schedule(self.machine.scheduler.current())
+        frame.exec_thread = tid
+        self._frame_stack.setdefault(tid, []).append(frame)
+        self._emit("on_frame_begin", frame, tid)
+        with self.ctx.function(frame.name, line=0):
+            frame.result = frame.fn(frame, *frame.args)
+            if frame.outstanding > 0:
+                # Cilk's implicit sync at every procedure's end
+                self.sync(frame)
+        self._emit("on_frame_end", frame, tid)
+        self._frame_stack[tid].pop()
+        frame.done = True
+        self._live_frames -= 1
+        if frame.parent is not None:
+            frame.parent.outstanding -= 1
+        if not self.serial_elision:
+            self.machine.scheduler.yield_point()
+        return frame.result
+
+
+def make_cilk_env(machine: Machine, *, nworkers: int = 4,
+                  serial_elision: bool = False,
+                  source_file: str = "main.cilk") -> CilkEnv:
+    """Build the GuestContext + CilkEnv pair for one run."""
+    ctx = GuestContext(machine, source_file=source_file, nthreads=nworkers)
+    env = CilkEnv(ctx, nworkers=nworkers, serial_elision=serial_elision)
+    ctx.extensions["cilk"] = env
+    return env

@@ -1,0 +1,151 @@
+"""Determinacy-race analysis passes (the paper's Algorithm 1).
+
+Three interchangeable implementations, all producing identical candidate
+sets (property-tested against each other):
+
+* :func:`find_races_naive` — the faithful Algorithm 1: for every ordered pair
+  of segments with no happens-before path, intersect
+  ``s1.w ∩ (s2.r ∪ s2.w)``.  :math:`O(n^2)` pairs; used on the
+  microbenchmarks and as the oracle.
+* :func:`find_races_indexed` — address-indexed candidate generation: a sweep
+  over all write intervals finds only the segment pairs that actually share
+  bytes, then applies the same happens-before filter.  This is what the
+  harness uses for LULESH-sized graphs.
+* :func:`find_races_parallel` — the paper's future-work item ("the analysis
+  is embarrassingly parallel, but currently run sequentially"): the indexed
+  candidate set is partitioned across worker threads.  Benchmarked by the A1
+  ablation.
+
+The passes produce *raw* :class:`RaceCandidate` conflicts; the Section IV
+suppressions are applied afterwards by
+:class:`repro.core.suppress.SuppressionEngine` so ablations can toggle them
+independently.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from repro.core.segments import Segment, SegmentGraph
+from repro.util.intervals import IntervalSet
+
+
+@dataclass
+class RaceCandidate:
+    """An unordered segment pair conflicting on ``ranges`` (pre-suppression)."""
+
+    s1: Segment
+    s2: Segment
+    ranges: IntervalSet
+
+    def key(self) -> Tuple[int, int]:
+        a, b = self.s1.id, self.s2.id
+        return (a, b) if a <= b else (b, a)
+
+
+def _conflict_ranges(s1: Segment, s2: Segment) -> IntervalSet:
+    """``(s1.w ∩ (s2.r ∪ s2.w)) ∪ (s2.w ∩ s1.r)`` as a normalized set."""
+    out = s1.writes.intersection_tree(s2.writes)
+    for other in (s2.reads,):
+        out = out.union(s1.writes.intersection_tree(other))
+    out = out.union(s2.writes.intersection_tree(s1.reads))
+    return out
+
+
+def find_races_naive(graph: SegmentGraph) -> List[RaceCandidate]:
+    """Faithful Algorithm 1: all-pairs with happens-before filtering."""
+    out: List[RaceCandidate] = []
+    segs = [s for s in graph.segments if s.has_accesses]
+    for i in range(len(segs)):
+        s1 = segs[i]
+        for j in range(i + 1, len(segs)):
+            s2 = segs[j]
+            if not s1.writes and not s2.writes:
+                continue
+            if graph.ordered(s1, s2):
+                continue
+            ranges = _conflict_ranges(s1, s2)
+            if ranges:
+                out.append(RaceCandidate(s1, s2, ranges))
+    return out
+
+
+def _write_index(segs: Sequence[Segment]
+                 ) -> List[Tuple[int, int, int, bool]]:
+    """Flatten every access interval into (lo, hi, seg_index, is_write)."""
+    events: List[Tuple[int, int, int, bool]] = []
+    for idx, seg in enumerate(segs):
+        for iv in seg.writes:
+            events.append((iv.lo, iv.hi, idx, True))
+        for iv in seg.reads:
+            events.append((iv.lo, iv.hi, idx, False))
+    events.sort(key=lambda e: (e[0], e[1]))
+    return events
+
+
+def _candidate_pairs(segs: Sequence[Segment]) -> Set[Tuple[int, int]]:
+    """Segment index pairs that share at least one byte with >=1 write.
+
+    Sweep over sorted intervals with an active set pruned by end address.
+    """
+    events = _write_index(segs)
+    pairs: Set[Tuple[int, int]] = set()
+    active: List[Tuple[int, int, int, bool]] = []     # (hi, lo, idx, is_write)
+    for lo, hi, idx, is_write in events:
+        active = [a for a in active if a[0] > lo]     # drop non-overlapping
+        for ahi, alo, aidx, awrite in active:
+            if aidx != idx and (is_write or awrite):
+                pairs.add((aidx, idx) if aidx < idx else (idx, aidx))
+        active.append((hi, lo, idx, is_write))
+    return pairs
+
+
+def find_races_indexed(graph: SegmentGraph) -> List[RaceCandidate]:
+    """Address-indexed Algorithm 1 (same result set as the naive pass)."""
+    segs = [s for s in graph.segments if s.has_accesses]
+    out: List[RaceCandidate] = []
+    for i, j in sorted(_candidate_pairs(segs)):
+        s1, s2 = segs[i], segs[j]
+        if graph.ordered(s1, s2):
+            continue
+        ranges = _conflict_ranges(s1, s2)
+        if ranges:
+            out.append(RaceCandidate(s1, s2, ranges))
+    return out
+
+
+def find_races_parallel(graph: SegmentGraph, *,
+                        workers: int = 4) -> List[RaceCandidate]:
+    """Parallelized candidate verification (paper Section VII future work).
+
+    Candidate generation stays sequential (it is a single cheap sweep); the
+    happens-before check + interval intersection of each candidate pair —
+    the dominant cost — is farmed out over a thread pool.
+    """
+    segs = [s for s in graph.segments if s.has_accesses]
+    pairs = sorted(_candidate_pairs(segs))
+    graph._reachability()                 # materialize once, shared read-only
+
+    def check(chunk: Sequence[Tuple[int, int]]) -> List[RaceCandidate]:
+        found: List[RaceCandidate] = []
+        for i, j in chunk:
+            s1, s2 = segs[i], segs[j]
+            if graph.ordered(s1, s2):
+                continue
+            ranges = _conflict_ranges(s1, s2)
+            if ranges:
+                found.append(RaceCandidate(s1, s2, ranges))
+        return found
+
+    if not pairs:
+        return []
+    chunk_size = max(1, len(pairs) // (workers * 4))
+    chunks = [pairs[k:k + chunk_size] for k in range(0, len(pairs), chunk_size)]
+    out: List[RaceCandidate] = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+        for res in pool.map(check, chunks):
+            out.extend(res)
+    out.sort(key=lambda c: c.key())
+    return out

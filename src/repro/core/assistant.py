@@ -1,0 +1,176 @@
+"""Fix suggestions: toward the paper's "parallel programming assistant".
+
+The paper closes (Section VII) with the goal of moving Taskgrind "toward a
+more general 'trial and error' parallel programming assistant", and its
+related-work section credits the OmpSs-2 toolchain with "synchronizations
+mechanism suggestions", explicitly leaving model-specific suggestions as
+future work.  This module implements that step for the OpenMP model: each
+race report is classified by the *relationship between the two segments*
+and mapped to the synchronisation that would order them:
+
+==============================  =============================================
+relationship                    suggestion
+==============================  =============================================
+sibling explicit tasks          matching ``depend`` clauses on the
+                                conflicting storage (out for writers, in for
+                                readers)
+task vs. its creating task's    ``taskwait`` (or a ``depend`` + dependent
+continuation                    continuation task) before the later access
+tasks in different parents      hoist the dependence to common ancestors, or
+(non-sibling)                   a ``taskgroup`` around the outer tasks
+implicit tasks (worksharing)    a ``barrier`` between the conflicting phases
+anything on one thread's stack  privatize the variable (``firstprivate``)
+==============================  =============================================
+
+Suggestions are heuristics for a human, rendered after the standard report;
+they never change verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.reports import RaceReport
+from repro.core.segments import Segment
+
+
+@dataclass
+class Suggestion:
+    """One suggested fix."""
+
+    action: str            # short imperative, e.g. "add depend clauses"
+    detail: str            # full sentence with locations
+    confidence: str        # 'high' | 'medium' | 'low'
+
+    def __str__(self) -> str:
+        return f"[{self.confidence}] {self.action}: {self.detail}"
+
+
+def _task_of(seg: Segment):
+    return seg.task
+
+
+def _is_explicit_task(seg: Segment) -> bool:
+    task = _task_of(seg)
+    return task is not None and getattr(task, "fn", None) is not None and \
+        seg.kind == "task"
+
+
+def _is_implicit(seg: Segment) -> bool:
+    return seg.kind == "implicit"
+
+
+def _parent_of(seg: Segment):
+    task = _task_of(seg)
+    return getattr(task, "parent", None)
+
+
+def _are_siblings(a: Segment, b: Segment) -> bool:
+    pa, pb = _parent_of(a), _parent_of(b)
+    return pa is not None and pa is pb
+
+
+def _is_ancestor(ancestor, task) -> bool:
+    node = getattr(task, "parent", None)
+    while node is not None:
+        if node is ancestor:
+            return True
+        node = getattr(node, "parent", None)
+    return False
+
+
+def _conflict_desc(report: RaceReport) -> str:
+    span = report.ranges.span
+    what = f"{report.ranges.total_bytes} byte(s) at {span.lo:#x}"
+    if report.alloc_site is not None:
+        what += f" (block from {report.alloc_site})"
+    return what
+
+
+def suggest(report: RaceReport) -> List[Suggestion]:
+    """Fix suggestions for one race report, most applicable first."""
+    s1, s2 = report.s1, report.s2
+    out: List[Suggestion] = []
+    where = _conflict_desc(report)
+    l1, l2 = s1.label(), s2.label()
+
+    both_tasks = _is_explicit_task(s1) and _is_explicit_task(s2)
+    if both_tasks and _are_siblings(s1, s2):
+        out.append(Suggestion(
+            action="add depend clauses",
+            detail=f"tasks {l1} and {l2} are siblings: declare "
+                   f"depend(out/inout) on {where} on the writer and "
+                   f"depend(in) on the reader so the runtime orders them",
+            confidence="high"))
+        out.append(Suggestion(
+            action="or serialize via taskwait",
+            detail=f"insert '#pragma omp taskwait' between the creation of "
+                   f"{l1} and {l2} if the order is always required",
+            confidence="medium"))
+        return out
+
+    t1, t2 = _task_of(s1), _task_of(s2)
+    if both_tasks and (
+            _is_ancestor(t1, t2) or _is_ancestor(t2, t1)):
+        inner = l2 if _is_ancestor(t1, t2) else l1
+        outer = l1 if _is_ancestor(t1, t2) else l2
+        out.append(Suggestion(
+            action="wait for descendants",
+            detail=f"{inner} is a descendant of {outer}: use "
+                   f"'#pragma omp taskgroup' (taskwait only covers direct "
+                   f"children) around the creating region",
+            confidence="high"))
+        return out
+
+    if both_tasks:       # tasks under different parents: the DRB173 shape
+        out.append(Suggestion(
+            action="hoist the dependence",
+            detail=f"tasks {l1} and {l2} have different parents — depend "
+                   f"clauses only bind siblings.  Declare the dependence on "
+                   f"their common ancestors' tasks, or enclose the outer "
+                   f"tasks in a taskgroup",
+            confidence="high"))
+        return out
+
+    one_task = _is_explicit_task(s1) or _is_explicit_task(s2)
+    if one_task:
+        task_lab = l1 if _is_explicit_task(s1) else l2
+        other_lab = l2 if _is_explicit_task(s1) else l1
+        out.append(Suggestion(
+            action="add taskwait",
+            detail=f"the code at {other_lab} runs concurrently with task "
+                   f"{task_lab}: insert '#pragma omp taskwait' before the "
+                   f"access to {where}",
+            confidence="high"))
+        return out
+
+    if _is_implicit(s1) and _is_implicit(s2):
+        out.append(Suggestion(
+            action="add a barrier",
+            detail=f"the team members at {l1} and {l2} conflict on {where}: "
+                   f"separate the phases with '#pragma omp barrier' (or drop "
+                   f"a 'nowait')",
+            confidence="high"))
+        if "stack" in report.region_desc or "tls" in report.region_desc:
+            out.append(Suggestion(
+                action="privatize",
+                detail="the conflicting storage is thread-adjacent: consider "
+                       "private/firstprivate instead of sharing it",
+                confidence="medium"))
+        return out
+
+    out.append(Suggestion(
+        action="review the synchronisation",
+        detail=f"segments {l1} and {l2} conflict on {where}; no structural "
+               f"pattern recognised — check the intended ordering",
+        confidence="low"))
+    return out
+
+
+def render_suggestions(report: RaceReport) -> str:
+    """The suggestion block appended under a formatted report."""
+    lines = ["suggested fixes:"]
+    for s in suggest(report):
+        lines.append(f"    {s}")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""CLI for offline trace analysis: ``python -m repro.core.offline``.
+
+Runs Algorithm 1 (+ suppressions + report formatting) over a trace produced
+by :func:`repro.core.trace.save_trace`, outside the "Valgrind framework" —
+the paper's Section VII future-work deployment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.reports import format_report, reports_to_json
+from repro.core.trace import analyze_trace
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace JSON from save_trace()")
+    parser.add_argument("--mode", default="indexed",
+                        choices=["naive", "indexed", "parallel"])
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+    parser.add_argument("--suggest", action="store_true",
+                        help="append fix suggestions to each report")
+    args = parser.parse_args(argv)
+    reports = analyze_trace(args.trace, mode=args.mode, workers=args.workers)
+    if args.json:
+        print(reports_to_json(reports))
+    else:
+        print(f"{len(reports)} determinacy race(s)\n")
+        for report in reports:
+            print(format_report(report))
+            if args.suggest:
+                from repro.core.assistant import render_suggestions
+                print(render_suggestions(report))
+            print()
+    return 0 if not reports else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

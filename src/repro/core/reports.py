@@ -1,0 +1,153 @@
+"""Race reports: the Listing 6 error format.
+
+A :class:`RaceReport` carries everything the paper's report shows:
+
+* the two conflicting segments, labelled by the source location of the task
+  pragma that created them (``task.1.c:8`` / ``task.1.c:11``);
+* the conflicting byte range;
+* the heap block it falls into, with size, block address and the *allocation
+  site* stack trace Taskgrind recorded by wrapping the allocator
+  (``allocated in block 0xC3EA040 of size 8 from task.1.c:3``);
+* representative per-access source locations when debug info is present.
+
+``format_report(..., style="romp")`` renders the same conflict the way the
+paper's Listing 5 shows ROMP reporting it — raw addresses, no debug info —
+for the L456 error-reporting comparison bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.analysis import RaceCandidate
+from repro.core.segments import Segment
+from repro.machine.debuginfo import SourceLocation, format_stack
+from repro.util.intervals import Interval, IntervalSet
+
+
+@dataclass
+class RaceReport:
+    """One determinacy-race report, ready for rendering."""
+
+    s1: Segment
+    s2: Segment
+    ranges: IntervalSet
+    s1_loc: Optional[SourceLocation] = None      # representative access locs
+    s2_loc: Optional[SourceLocation] = None
+    block_addr: Optional[int] = None
+    block_size: Optional[int] = None
+    alloc_site: Optional[SourceLocation] = None
+    alloc_stack: Tuple[SourceLocation, ...] = ()
+    region_desc: str = ""
+
+    def key(self) -> Tuple[str, str]:
+        """Deduplication key: the pair of segment labels (source order)."""
+        a, b = self.s1.label(), self.s2.label()
+        return (a, b) if a <= b else (b, a)
+
+
+def build_report(machine, cand: RaceCandidate) -> RaceReport:
+    """Assemble a report for one surviving candidate."""
+    span = cand.ranges.span
+    assert span is not None
+    s1_loc = cand.s1.sample_loc(span.lo, span.hi)
+    s2_loc = cand.s2.sample_loc(span.lo, span.hi)
+    report = RaceReport(s1=cand.s1, s2=cand.s2, ranges=cand.ranges,
+                        s1_loc=s1_loc, s2_loc=s2_loc,
+                        region_desc=machine.space.describe(span.lo))
+    block = machine.allocator.block_at(span.lo)
+    if block is not None:
+        report.block_addr = block.addr
+        report.block_size = block.req_size or block.size
+        report.alloc_site = block.alloc_site
+        report.alloc_stack = tuple(block.alloc_stack)
+    return report
+
+
+def format_report(report: RaceReport, *, style: str = "taskgrind") -> str:
+    """Render a report in the paper's Listing 6 (or Listing 5) shape."""
+    if style == "romp":
+        return _format_romp(report)
+    span = report.ranges.span
+    lines = [
+        f"Segments {report.s1.label()} and {report.s2.label()} were declared",
+        "    independent while accessing the same memory address",
+    ]
+    nbytes = report.ranges.total_bytes
+    if report.block_addr is not None:
+        lines.append(
+            f"{nbytes} bytes from {span.lo:#x} allocated in block "
+            f"{report.block_addr:#x} of size {report.block_size}")
+        if report.alloc_site is not None:
+            lines.append(f"    from {report.alloc_site}")
+        if report.alloc_stack:
+            lines.append(format_stack(report.alloc_stack))
+    else:
+        lines.append(f"{nbytes} bytes from {span.lo:#x} "
+                     f"({report.region_desc})")
+    if report.s1_loc or report.s2_loc:
+        lines.append("conflicting accesses:")
+        if report.s1_loc:
+            lines.append(f"    at {report.s1_loc}")
+        if report.s2_loc:
+            lines.append(f"    at {report.s2_loc}")
+    return "\n".join(lines)
+
+
+def _format_romp(report: RaceReport) -> str:
+    """ROMP's Listing 5 style: raw addresses, no debug info by default."""
+    span = report.ranges.span
+    return "\n".join([
+        "data race found:",
+        f"  two accesses to address {span.lo:#x}",
+        "  (no source information available)",
+    ])
+
+
+def dedupe_reports(reports: List[RaceReport]) -> List[RaceReport]:
+    """Collapse reports with identical segment-label pairs (loop iterations)."""
+    seen = {}
+    for r in reports:
+        seen.setdefault(r.key(), r)
+    return list(seen.values())
+
+
+# ---------------------------------------------------------------------------
+# machine-readable output (the analogue of Valgrind's --xml)
+# ---------------------------------------------------------------------------
+
+def report_to_dict(report: RaceReport) -> dict:
+    """One report as plain data (stable keys, JSON-serializable)."""
+    return {
+        "kind": "DeterminacyRace",
+        "segments": [
+            {"label": report.s1.label(), "thread": report.s1.thread_id,
+             "access": str(report.s1_loc) if report.s1_loc else None},
+            {"label": report.s2.label(), "thread": report.s2.thread_id,
+             "access": str(report.s2_loc) if report.s2_loc else None},
+        ],
+        "conflict": {
+            "ranges": [[lo, hi] for lo, hi in report.ranges.pairs()],
+            "bytes": report.ranges.total_bytes,
+            "region": report.region_desc,
+        },
+        "allocation": None if report.block_addr is None else {
+            "block": report.block_addr,
+            "size": report.block_size,
+            "site": str(report.alloc_site) if report.alloc_site else None,
+            "stack": [str(loc) for loc in report.alloc_stack],
+        },
+    }
+
+
+def reports_to_json(reports: List[RaceReport], *, indent: int = 2) -> str:
+    """All reports as a JSON document (Valgrind ``--xml`` analogue)."""
+    import json
+    doc = {
+        "tool": "taskgrind",
+        "protocol": 1,
+        "error_count": len(reports),
+        "errors": [report_to_dict(r) for r in reports],
+    }
+    return json.dumps(doc, indent=indent)

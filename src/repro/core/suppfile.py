@@ -1,0 +1,159 @@
+"""Valgrind-style suppression files for Taskgrind reports.
+
+Valgrind tools ship with (and let users write) suppression files that mute
+known-benign reports; Taskgrind inherits the facility.  The format here is
+the Valgrind one, restricted to the fields a determinacy-race report has::
+
+    {
+       lulesh-scratch-reuse            # suppression name (free text)
+       Taskgrind:Race                  # tool:kind selector
+       seg:lulesh.cc:*                 # both segment labels must match one
+       seg:lulesh.cc:*                 #   seg: pattern each (fnmatch)
+       alloc:lulesh.cc:171             # optional allocation-site pattern
+    }
+
+* ``seg:`` lines match against the two segment labels (the task pragma
+  locations); a report is muted only if *both* labels match (in either
+  order) the one-or-two ``seg:`` patterns given.
+* ``alloc:`` (optional) matches the allocation site of the conflicting
+  block.
+* ``obj:``/``fun:`` lines match any frame of the allocation stack —
+  function names, fnmatch-style.
+
+Load with :func:`parse_suppressions`, apply with
+:class:`SuppressionFile.filter`, or pass a path via
+``TaskgrindOptions.suppression_file``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.reports import RaceReport
+from repro.errors import ToolError
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression entry."""
+
+    name: str
+    selector: str = "Taskgrind:Race"
+    seg_patterns: Tuple[str, ...] = ()
+    alloc_pattern: Optional[str] = None
+    fun_patterns: Tuple[str, ...] = ()
+    hits: int = 0
+
+    def matches(self, report: RaceReport) -> bool:
+        labels = (report.s1.label(), report.s2.label())
+        if self.seg_patterns:
+            if len(self.seg_patterns) == 1:
+                pat = self.seg_patterns[0]
+                if not (fnmatch.fnmatchcase(labels[0], pat)
+                        and fnmatch.fnmatchcase(labels[1], pat)):
+                    return False
+            else:
+                a, b = self.seg_patterns[0], self.seg_patterns[1]
+                fwd = fnmatch.fnmatchcase(labels[0], a) and \
+                    fnmatch.fnmatchcase(labels[1], b)
+                rev = fnmatch.fnmatchcase(labels[0], b) and \
+                    fnmatch.fnmatchcase(labels[1], a)
+                if not (fwd or rev):
+                    return False
+        if self.alloc_pattern is not None:
+            site = str(report.alloc_site) if report.alloc_site else ""
+            if not fnmatch.fnmatchcase(site, self.alloc_pattern):
+                return False
+        if self.fun_patterns:
+            frames = [loc.function for loc in report.alloc_stack]
+            for pat in self.fun_patterns:
+                if not any(fnmatch.fnmatchcase(fr, pat) for fr in frames):
+                    return False
+        return True
+
+
+class SuppressionFile:
+    """A parsed collection of suppressions."""
+
+    def __init__(self, entries: Sequence[Suppression]) -> None:
+        self.entries = list(entries)
+
+    def filter(self, reports: List[RaceReport]
+               ) -> Tuple[List[RaceReport], int]:
+        """Return (surviving reports, number suppressed)."""
+        kept: List[RaceReport] = []
+        muted = 0
+        for report in reports:
+            entry = self.match(report)
+            if entry is None:
+                kept.append(report)
+            else:
+                entry.hits += 1
+                muted += 1
+        return kept, muted
+
+    def match(self, report: RaceReport) -> Optional[Suppression]:
+        for entry in self.entries:
+            if entry.matches(report):
+                return entry
+        return None
+
+    def used_entries(self) -> List[Suppression]:
+        return [e for e in self.entries if e.hits]
+
+
+def parse_suppressions(text: str) -> SuppressionFile:
+    """Parse the Valgrind-style format described in the module docstring."""
+    entries: List[Suppression] = []
+    lines = [ln.split("#", 1)[0].strip() for ln in text.splitlines()]
+    i = 0
+    while i < len(lines):
+        if not lines[i]:
+            i += 1
+            continue
+        if lines[i] != "{":
+            raise ToolError(f"suppression parse error at line {i + 1}: "
+                            f"expected '{{', got {lines[i]!r}")
+        i += 1
+        body: List[str] = []
+        while i < len(lines) and lines[i] != "}":
+            if lines[i]:
+                body.append(lines[i])
+            i += 1
+        if i == len(lines):
+            raise ToolError("suppression parse error: unterminated entry")
+        i += 1                                # consume '}'
+        if not body:
+            raise ToolError("suppression parse error: empty entry")
+        name = body[0]
+        selector = "Taskgrind:Race"
+        segs: List[str] = []
+        alloc: Optional[str] = None
+        funs: List[str] = []
+        for line in body[1:]:
+            if line.startswith("seg:"):
+                segs.append(line[len("seg:"):])
+            elif line.startswith("alloc:"):
+                alloc = line[len("alloc:"):]
+            elif line.startswith(("fun:", "obj:")):
+                funs.append(line.split(":", 1)[1])
+            elif ":" in line and not line.startswith(("seg", "alloc")):
+                selector = line
+            else:
+                raise ToolError(
+                    f"suppression parse error: unknown line {line!r}")
+        if len(segs) > 2:
+            raise ToolError("suppression parse error: at most two seg: "
+                            "patterns per entry")
+        entries.append(Suppression(name=name, selector=selector,
+                                   seg_patterns=tuple(segs),
+                                   alloc_pattern=alloc,
+                                   fun_patterns=tuple(funs)))
+    return SuppressionFile(entries)
+
+
+def load_suppressions(path: str) -> SuppressionFile:
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse_suppressions(fh.read())

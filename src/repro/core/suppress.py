@@ -1,0 +1,167 @@
+"""False-positive suppression (paper Section IV).
+
+Four mechanisms, individually toggleable so the S4 ablation bench can
+quantify each one's contribution:
+
+1. **Symbol filtering** (IV-A) — the *ignore-list* drops accesses occurring
+   in matching symbols (default: ``__kmp*`` and friends, the parallel
+   runtime's own non-determinism); the *instrument-list*, when non-empty,
+   keeps only matching symbols.  Applied at recording time by the tool.
+2. **Memory recycling** (IV-B) — defeated structurally by replacing ``free``
+   with a no-op (see :class:`repro.core.tool.TaskgrindTool.attach`), so
+   nothing to do at analysis time; the flag here merely controls whether the
+   replacement is installed.  The runtime's private ``__kmp_fast_allocate``
+   arena is *not* covered — the paper's future-work limitation.
+3. **Thread-local accesses** (IV-C) — a conflict inside a TLS block is
+   suppressed when both segments ran on the same thread with the same
+   TCB/DTV snapshot.  A DTV block allocated *and* freed within a segment is
+   absent from the end-of-segment snapshot, so such conflicts survive — the
+   paper's stated limitation, and the ``tls_gen_warnings`` counter implements
+   the "could warn via the generation number" remark.
+4. **Segment-local (stack) accesses** (IV-D) — a conflict on a stack address
+   is suppressed when, for *both* segments, the address lies below the stack
+   pointer registered at segment start (i.e. in a frame pushed during the
+   segment itself).  A conflict in the *parent's* frame is not suppressed —
+   the residual multi-thread TMB false positives the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.analysis import RaceCandidate
+from repro.core.segments import Segment
+from repro.machine.memory import RegionKind
+from repro.util.intervals import Interval, IntervalSet
+
+#: Default ignore-list: LLVM OpenMP runtime internals, the dynamic loader,
+#: and libc allocator internals (the paper names ``__kmp`` explicitly).
+DEFAULT_IGNORE_LIST: Tuple[str, ...] = (
+    "__kmp", "__kmpc", "_dl_", "__libc_", "__vg_",
+)
+
+
+@dataclass
+class SuppressionConfig:
+    """Which Section IV suppressions are active."""
+
+    ignore_list: Tuple[str, ...] = DEFAULT_IGNORE_LIST
+    instrument_list: Tuple[str, ...] = ()
+    suppress_recycling: bool = True        # install the free-as-noop wrapper
+    suppress_tls: bool = True
+    suppress_stack: bool = True
+    suppress_sequenced_same_thread: bool = True  # kept True; listed for ablation
+
+
+@dataclass
+class SuppressionStats:
+    """How many conflict byte-ranges each mechanism removed."""
+
+    tls_suppressed: int = 0
+    stack_suppressed: int = 0
+    survived: int = 0
+    fully_suppressed_pairs: int = 0
+    tls_gen_warnings: int = 0
+
+
+class SuppressionEngine:
+    """Applies the analysis-time suppressions (TLS + stack) to candidates."""
+
+    def __init__(self, machine, config: Optional[SuppressionConfig] = None
+                 ) -> None:
+        self.machine = machine
+        self.config = config or SuppressionConfig()
+        self.stats = SuppressionStats()
+
+    # -- recording-time filter (used by the tool's on_access) ----------------
+
+    def symbol_filtered(self, symbol_name: str) -> bool:
+        """True when accesses in ``symbol_name`` must be dropped."""
+        from repro.machine.debuginfo import DebugInfo
+        cfg = self.config
+        if cfg.instrument_list and not DebugInfo.matches_any(
+                symbol_name, cfg.instrument_list):
+            return True
+        return DebugInfo.matches_any(symbol_name, cfg.ignore_list)
+
+    # -- analysis-time filters -------------------------------------------------
+
+    def filter_candidate(self, cand: RaceCandidate) -> Optional[RaceCandidate]:
+        """Return the candidate with suppressed byte-ranges removed.
+
+        ``None`` when every conflicting byte was suppressed.
+        """
+        surviving = IntervalSet()
+        for piece in cand.ranges:
+            if self._piece_suppressed(piece, cand.s1, cand.s2):
+                continue
+            surviving.add(piece.lo, piece.hi)
+        if not surviving:
+            self.stats.fully_suppressed_pairs += 1
+            return None
+        self.stats.survived += 1
+        return RaceCandidate(cand.s1, cand.s2, surviving)
+
+    def _piece_suppressed(self, piece: Interval, s1: Segment,
+                          s2: Segment) -> bool:
+        region = self.machine.space.region_at(piece.lo)
+        if region is None:
+            return False
+        if region.kind == RegionKind.STACK and self.config.suppress_stack:
+            if self._stack_local(piece, s1, region) and \
+                    self._stack_local(piece, s2, region):
+                self.stats.stack_suppressed += 1
+                return True
+        if region.kind == RegionKind.TLS and self.config.suppress_tls:
+            if self._tls_suppressed(piece, s1, s2):
+                self.stats.tls_suppressed += 1
+                return True
+        return False
+
+    @staticmethod
+    def _stack_local(piece: Interval, seg: Segment, region) -> bool:
+        """Did ``seg`` only reach ``piece`` through frames it pushed itself?
+
+        Stacks grow downward: an address *below* the stack pointer registered
+        at segment start belongs to a frame created inside the segment.  The
+        segment must also have executed on the thread owning the stack —
+        otherwise it reached the bytes through a shared pointer and the
+        conflict is real (TMB 1001-stack.1).
+        """
+        if region.owner_thread != seg.thread_id:
+            return False
+        lo, hi = seg.stack_bounds
+        if not (lo <= piece.lo and piece.hi <= hi):
+            return False
+        return piece.hi <= seg.sp_at_start
+
+    def _tls_suppressed(self, piece: Interval, s1: Segment,
+                        s2: Segment) -> bool:
+        """Same thread + same DTV ⇒ the 'conflict' is one thread's own TLS."""
+        if s1.thread_id != s2.thread_id:
+            return False
+        snap1, snap2 = s1.tls_snapshot, s2.tls_snapshot
+        if snap1 is None or snap2 is None:
+            return False
+        if snap1.generation != snap2.generation:
+            # DTV churn between the segments: the paper's gen-number warning
+            self.stats.tls_gen_warnings += 1
+        covered = snap1.covers(piece.lo, piece.size) and \
+            snap2.covers(piece.lo, piece.size)
+        if not covered:
+            # e.g. a dynamic block allocated+freed inside the segment never
+            # made it into the snapshot: conflict survives (paper limitation)
+            return False
+        return snap1.dtv == snap2.dtv and snap1.tcb == snap2.tcb
+
+    # -- batch API ------------------------------------------------------------------
+
+    def filter_all(self, candidates: List[RaceCandidate]
+                   ) -> List[RaceCandidate]:
+        out = []
+        for cand in candidates:
+            kept = self.filter_candidate(cand)
+            if kept is not None:
+                out.append(kept)
+        return out

@@ -1,0 +1,201 @@
+"""TaskgrindTool: the Valgrind plugin (paper Sections III–IV).
+
+Wiring (mirrors Fig. 2 of the paper):
+
+* ``attach`` replaces ``malloc``/``free`` through the Valgrind replacement
+  registry — ``malloc`` to save allocation-site stack traces for reports
+  (III-C), ``free`` as a no-op to defeat allocator recycling (IV-B) — and
+  subscribes to the ``tg_*`` client requests issued by the injected OMPT shim
+  (:mod:`repro.core.ompt_shim`).
+* ``on_access`` observes **every** access (DBI), drops those filtered by the
+  ignore/instrument lists (IV-A), and records the rest into the current
+  segment's interval trees (III-B).
+* ``finalize`` runs the determinacy-race pass (Algorithm 1), applies the TLS
+  and stack suppressions (IV-C/IV-D), and assembles the Listing-6 reports.
+
+Modeled defect — the Table II multi-thread ``deadlock``
+-------------------------------------------------------
+The paper reports that Taskgrind deadlocks on LULESH with 4 threads and that
+the cause "remains to be investigated".  We model a concrete, plausible tool
+bug with exactly the paper's trigger matrix: when an *annotated-deferrable*
+task with dependence predecessors starts on a thread other than a
+predecessor's executor, the plugin waits for that executor to confirm the
+cross-thread event ordering by issuing a subsequent request.  If the executor
+ran the predecessor *inside a barrier* and then went idle, it never issues
+one — and since it is itself waiting for the blocked task to finish, the
+circular wait trips the simulator's deadlock detector.  Single-thread runs
+(predecessor executor == current thread) and the TMB suite (annotated but
+dependence-free) never take this path, matching Tables I and II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.analysis import (RaceCandidate, find_races_indexed,
+                                 find_races_naive, find_races_parallel)
+from repro.core.ompt_shim import TaskgrindOmptShim
+from repro.core.reports import RaceReport, build_report, dedupe_reports
+from repro.core.segments import SegmentBuilder, SegmentModelConfig
+from repro.core.suppress import SuppressionConfig, SuppressionEngine
+from repro.machine.cost import ToolCost
+from repro.openmp.ompt import SyncKind
+from repro.vex.events import AccessEvent
+from repro.vex.tool import Tool
+
+
+@dataclass
+class TaskgrindOptions:
+    """Command-line-ish options of the tool."""
+
+    suppression: SuppressionConfig = field(default_factory=SuppressionConfig)
+    segment_model: SegmentModelConfig = field(default_factory=SegmentModelConfig)
+    #: 'indexed' (default), 'naive' (faithful Algorithm 1) or 'parallel'
+    analysis: str = "indexed"
+    analysis_workers: int = 4
+    #: collapse reports with identical segment-label pairs
+    dedupe: bool = False
+    #: model the multi-thread cross-thread-confirmation lock-up (Table II)
+    model_multithread_lockup: bool = True
+    #: path to a Valgrind-style suppression file (see repro.core.suppfile)
+    suppression_file: Optional[str] = None
+
+
+class TaskgrindTool(Tool):
+    """The Taskgrind Valgrind tool."""
+
+    name = "taskgrind"
+    is_dbi = True
+    # ~100x single-thread slowdown and the Valgrind big lock (serialized
+    # client); translation charged once per symbol (JIT to VEX IR).
+    cost = ToolCost(access_factor=117.0, compute_factor=20.0,
+                    translation_ops=200_000.0,
+                    serialize=True, bytes_per_tree_node=64,
+                    bytes_per_segment=192)
+
+    #: Valgrind core resident baseline: translation cache, VEX, tool statics.
+    VALGRIND_CORE_BYTES = 44 << 20
+
+    def __init__(self, options: Optional[TaskgrindOptions] = None) -> None:
+        super().__init__()
+        self.options = options or TaskgrindOptions()
+        self.builder: Optional[SegmentBuilder] = None
+        self.suppressor: Optional[SuppressionEngine] = None
+        self.reports: List[RaceReport] = []
+        self.raw_candidates: int = 0
+        self.filtered_accesses = 0
+        self.recorded_accesses = 0
+        self.file_suppressed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self, machine) -> None:
+        super().attach(machine)
+        self.builder = SegmentBuilder(machine, self.options.segment_model)
+        self.suppressor = SuppressionEngine(machine,
+                                            self.options.suppression)
+        if self.options.suppression.suppress_recycling:
+            machine.replacements.replace("free")      # free -> no-op (IV-B)
+        machine.replacements.replace("malloc")        # stack traces (III-C)
+
+        req = machine.client_requests
+        req.subscribe("tg_parallel_begin",
+                      lambda p: self.builder.on_parallel_begin(*p))
+        req.subscribe("tg_parallel_end",
+                      lambda p: self.builder.on_parallel_end(*p))
+        req.subscribe("tg_implicit_begin",
+                      lambda p: self.builder.on_implicit_task_begin(*p))
+        req.subscribe("tg_implicit_end",
+                      lambda p: self.builder.on_implicit_task_end(*p))
+        req.subscribe("tg_task_create",
+                      lambda p: self.builder.on_task_create(*p))
+        req.subscribe("tg_task_dependence",
+                      lambda p: self.builder.on_task_dependence_pair(*p))
+        req.subscribe("tg_task_begin", self._on_task_begin)
+        req.subscribe("tg_task_end",
+                      lambda p: self.builder.on_task_schedule_end(*p))
+        req.subscribe("tg_task_detach_fulfill",
+                      lambda p: self.builder.on_task_detach_fulfill(*p))
+        req.subscribe("tg_sync_begin",
+                      lambda p: self.builder.on_sync_begin(*p))
+        req.subscribe("tg_sync_end",
+                      lambda p: self.builder.on_sync_end(*p))
+        req.subscribe("taskgrind_deferrable",
+                      lambda task: self.builder.on_task_annotate_deferrable(task))
+
+    def make_ompt_shim(self) -> TaskgrindOmptShim:
+        """The OMPT tool Taskgrind injects into the client (register it on
+        the runtime's dispatcher)."""
+        return TaskgrindOmptShim(self.machine)
+
+    # -- the modeled multi-thread lock-up ----------------------------------------
+
+    def _on_task_begin(self, payload) -> None:
+        task, thread_id = payload
+        if self.options.model_multithread_lockup:
+            self._confirm_cross_thread_order(task, thread_id)
+        self.builder.on_task_schedule_begin(task, thread_id)
+
+    def _confirm_cross_thread_order(self, task, thread_id: int) -> None:
+        info = self.builder.info(task)
+        if not info.annotated or not info.preds:
+            return
+        sched = self.machine.scheduler
+        for pred, _dep in info.preds:
+            pi = self.builder.info(pred)
+            if pi.exec_thread in (-1, thread_id):
+                continue
+            t, seq = pi.exec_thread, pi.completion_seq
+            # Wait for the predecessor's executor to issue any later request,
+            # "confirming" it observed the completion ordering.  An executor
+            # that ran the predecessor inside a barrier and then parked never
+            # does — circular wait, detected as a simulated deadlock.
+            sched.block_until(
+                lambda t=t, seq=seq:
+                self.builder.last_seq_by_thread.get(t, 0) > seq,
+                f"taskgrind: cross-thread ordering confirmation from t{t}")
+
+    # -- access recording ------------------------------------------------------------
+
+    def on_access(self, event: AccessEvent) -> None:
+        if self.suppressor.symbol_filtered(event.symbol.name):
+            self.filtered_accesses += 1
+            return
+        self.recorded_accesses += 1
+        self.builder.record_access(event.thread_id, event.addr, event.size,
+                                   event.is_write, event.loc)
+
+    # -- post-mortem analysis -----------------------------------------------------------
+
+    def finalize(self) -> List[RaceReport]:
+        graph = self.builder.graph
+        mode = self.options.analysis
+        if mode == "naive":
+            candidates = find_races_naive(graph)
+        elif mode == "parallel":
+            candidates = find_races_parallel(
+                graph, workers=self.options.analysis_workers)
+        else:
+            candidates = find_races_indexed(graph)
+        self.raw_candidates = len(candidates)
+        surviving = self.suppressor.filter_all(candidates)
+        reports = [build_report(self.machine, c) for c in surviving]
+        if self.options.dedupe:
+            reports = dedupe_reports(reports)
+        if self.options.suppression_file is not None:
+            from repro.core.suppfile import load_suppressions
+            supp = load_suppressions(self.options.suppression_file)
+            reports, self.file_suppressed = supp.filter(reports)
+        self.reports = reports
+        return reports
+
+    # -- accounting -----------------------------------------------------------------------
+
+    def memory_bytes(self, app_bytes: int = 0) -> int:
+        graph_bytes = self.builder.graph.memory_bytes(
+            bytes_per_node=self.cost.bytes_per_tree_node,
+            bytes_per_segment=self.cost.bytes_per_segment)
+        # allocation-site stack traces saved by the malloc wrapper
+        alloc_meta = len(self.machine.allocator.all_blocks) * 96
+        return self.VALGRIND_CORE_BYTES + graph_bytes + alloc_meta

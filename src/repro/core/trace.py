@@ -1,0 +1,264 @@
+"""Trace export + offline determinacy-race analysis.
+
+The paper's Section VII: *"The determinacy race post-processing analysis is
+an embarrassingly parallel algorithm, but it is currently run sequentially
+within the Valgrind framework after the instrumented program execution."*
+The natural fix is to externalize it: dump the segment graph (with the
+per-segment interval trees and the suppression metadata) at program exit and
+run Algorithm 1 offline — sequentially, thread-parallel, or on another
+machine entirely.
+
+This module implements that pipeline:
+
+* :func:`save_trace` — serialize a finished run (segment graph, access
+  intervals, TLS/stack metadata, the address-space regions and allocation
+  records the suppressions and reports need) to a JSON document;
+* :func:`load_trace` — reconstruct the graph plus a lightweight
+  :class:`OfflineMachineView` that quacks enough like a
+  :class:`~repro.machine.machine.Machine` for the suppression engine and
+  report builder;
+* :func:`analyze_trace` — run any analysis mode + suppressions offline.
+
+CLI: ``python -m repro.core.offline <trace.json> [--mode parallel]``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.analysis import (find_races_indexed, find_races_naive,
+                                 find_races_parallel)
+from repro.core.reports import RaceReport, build_report
+from repro.core.segments import Segment, SegmentGraph
+from repro.core.suppress import SuppressionConfig, SuppressionEngine
+from repro.machine.debuginfo import SourceLocation
+from repro.machine.memory import RegionKind
+from repro.machine.tls import TlsSnapshot
+
+TRACE_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# serialization
+# ---------------------------------------------------------------------------
+
+def _loc_to_list(loc: Optional[SourceLocation]):
+    if loc is None:
+        return None
+    return [loc.file, loc.line, loc.function]
+
+
+def _loc_from_list(data) -> Optional[SourceLocation]:
+    if data is None:
+        return None
+    return SourceLocation(data[0], data[1], data[2])
+
+
+def dump_graph(graph: SegmentGraph) -> dict:
+    """The segment graph as plain data."""
+    segments = []
+    for seg in graph.segments:
+        snap = seg.tls_snapshot
+        segments.append({
+            "id": seg.id,
+            "thread": seg.thread_id,
+            "kind": seg.kind,
+            "virtual": seg.virtual,
+            "label_loc": _loc_to_list(seg.label_loc),
+            "label": seg.label(),
+            "sp_at_start": seg.sp_at_start,
+            "stack_bounds": list(seg.stack_bounds),
+            "reads": seg.reads.pairs(),
+            "writes": seg.writes.pairs(),
+            "loc_samples": [[lo, hi, w, _loc_to_list(loc)]
+                            for lo, hi, w, loc in seg.loc_samples],
+            "tls": None if snap is None else {
+                "thread": snap.thread_id, "tcb": snap.tcb,
+                "generation": snap.generation,
+                "dtv": [list(entry) for entry in snap.dtv],
+            },
+        })
+    edges = [[sid, dst] for sid, succs in enumerate(graph._succ)
+             for dst in succs]
+    return {"segments": segments, "edges": edges}
+
+
+def dump_environment(machine) -> dict:
+    """Regions + allocation records the suppressions/reports consume."""
+    regions = [{
+        "name": r.name, "base": r.base, "size": r.size,
+        "kind": r.kind.value, "owner": r.owner_thread,
+    } for r in machine.space.regions]
+    blocks = [{
+        "addr": b.addr, "size": b.size, "req_size": b.req_size,
+        "seq": b.seq, "site": _loc_to_list(b.alloc_site),
+        "stack": [_loc_to_list(loc) for loc in b.alloc_stack],
+        "freed": b.freed, "retained": b.retained,
+    } for b in machine.allocator.all_blocks]
+    return {"regions": regions, "blocks": blocks}
+
+
+def save_trace(tool, machine, path: str) -> None:
+    """Serialize a finished Taskgrind run for offline analysis."""
+    doc = {
+        "version": TRACE_VERSION,
+        "graph": dump_graph(tool.builder.graph),
+        "environment": dump_environment(machine),
+        "suppression": {
+            "suppress_tls": tool.options.suppression.suppress_tls,
+            "suppress_stack": tool.options.suppression.suppress_stack,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+
+
+# ---------------------------------------------------------------------------
+# the offline machine view
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _OfflineRegion:
+    name: str
+    base: int
+    size: int
+    kind: RegionKind
+    owner_thread: Optional[int]
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+
+@dataclass
+class _OfflineBlock:
+    addr: int
+    size: int
+    req_size: int
+    seq: int
+    alloc_site: Optional[SourceLocation]
+    alloc_stack: Tuple[SourceLocation, ...]
+    freed: bool
+    retained: bool
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+
+class _OfflineSpace:
+    def __init__(self, regions: List[_OfflineRegion]) -> None:
+        self._regions = sorted(regions, key=lambda r: r.base)
+
+    def region_at(self, addr: int) -> Optional[_OfflineRegion]:
+        for r in self._regions:
+            if r.base <= addr < r.end:
+                return r
+        return None
+
+    def describe(self, addr: int) -> str:
+        r = self.region_at(addr)
+        if r is None:
+            return f"{addr:#x} (unmapped)"
+        who = f" of thread {r.owner_thread}" if r.owner_thread is not None \
+            else ""
+        return f"{addr:#x} ({r.kind.value} '{r.name}'{who} " \
+               f"+{addr - r.base:#x})"
+
+
+class _OfflineAllocator:
+    def __init__(self, blocks: List[_OfflineBlock]) -> None:
+        self.all_blocks = blocks
+
+    def block_at(self, addr: int, include_retained: bool = True):
+        for block in reversed(self.all_blocks):
+            if block.addr <= addr < block.end:
+                if block.freed and not (block.retained and include_retained):
+                    continue
+                return block
+        return None
+
+
+class OfflineMachineView:
+    """Quacks like a Machine for SuppressionEngine and build_report."""
+
+    def __init__(self, space: _OfflineSpace,
+                 allocator: _OfflineAllocator) -> None:
+        self.space = space
+        self.allocator = allocator
+
+
+# ---------------------------------------------------------------------------
+# deserialization + analysis
+# ---------------------------------------------------------------------------
+
+def load_graph(data: dict) -> SegmentGraph:
+    graph = SegmentGraph()
+    for sd in data["segments"]:
+        seg = graph.new_segment(
+            thread_id=sd["thread"], task=None, kind=sd["kind"],
+            virtual=sd["virtual"], sp_at_start=sd["sp_at_start"],
+            stack_bounds=tuple(sd["stack_bounds"]),
+            label_loc=_loc_from_list(sd["label_loc"]))
+        assert seg.id == sd["id"], "trace ids must be dense and ordered"
+        seg.open = False
+        for lo, hi in sd["reads"]:
+            seg.reads.insert(lo, hi)
+        for lo, hi in sd["writes"]:
+            seg.writes.insert(lo, hi)
+        seg.loc_samples = [(lo, hi, w, _loc_from_list(loc))
+                           for lo, hi, w, loc in sd["loc_samples"]]
+        if sd["tls"] is not None:
+            t = sd["tls"]
+            seg.tls_snapshot = TlsSnapshot(
+                thread_id=t["thread"], tcb=t["tcb"],
+                generation=t["generation"],
+                dtv=tuple(tuple(entry) for entry in t["dtv"]))
+    for src, dst in data["edges"]:
+        graph.add_edge(graph.segments[src], graph.segments[dst])
+    return graph
+
+
+def load_environment(data: dict) -> OfflineMachineView:
+    regions = [_OfflineRegion(name=r["name"], base=r["base"], size=r["size"],
+                              kind=RegionKind(r["kind"]),
+                              owner_thread=r["owner"])
+               for r in data["regions"]]
+    blocks = [_OfflineBlock(addr=b["addr"], size=b["size"],
+                            req_size=b["req_size"], seq=b["seq"],
+                            alloc_site=_loc_from_list(b["site"]),
+                            alloc_stack=tuple(_loc_from_list(s)
+                                              for s in b["stack"]),
+                            freed=b["freed"], retained=b["retained"])
+              for b in data["blocks"]]
+    return OfflineMachineView(_OfflineSpace(regions),
+                              _OfflineAllocator(blocks))
+
+
+def load_trace(path: str) -> Tuple[SegmentGraph, OfflineMachineView, dict]:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("version") != TRACE_VERSION:
+        raise ValueError(f"unsupported trace version {doc.get('version')}")
+    return load_graph(doc["graph"]), load_environment(doc["environment"]), \
+        doc.get("suppression", {})
+
+
+def analyze_trace(path: str, *, mode: str = "indexed",
+                  workers: int = 4) -> List[RaceReport]:
+    """The full offline pipeline: load, Algorithm 1, suppress, report."""
+    graph, view, supp_flags = load_trace(path)
+    if mode == "naive":
+        candidates = find_races_naive(graph)
+    elif mode == "parallel":
+        candidates = find_races_parallel(graph, workers=workers)
+    else:
+        candidates = find_races_indexed(graph)
+    config = SuppressionConfig(
+        suppress_tls=supp_flags.get("suppress_tls", True),
+        suppress_stack=supp_flags.get("suppress_stack", True))
+    engine = SuppressionEngine(view, config)
+    surviving = engine.filter_all(candidates)
+    return [build_report(view, c) for c in surviving]

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the Taskgrind reproduction.
+
+Every failure mode the simulation can hit — guest program faults, simulated
+deadlocks, tool crashes that the paper reports (ROMP ``segv``), unsupported
+constructs ("ncs" rows of Table I) — is a distinct exception type so the
+benchmark runner can classify outcomes exactly the way the paper's tables do.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class MachineError(ReproError):
+    """Faults raised by the simulated process substrate."""
+
+
+class SegmentationFault(MachineError):
+    """Guest access to an unmapped or protected address."""
+
+    def __init__(self, addr: int, size: int = 1, kind: str = "access") -> None:
+        super().__init__(f"segmentation fault: {kind} of {size} byte(s) at {addr:#x}")
+        self.addr = addr
+        self.size = size
+        self.kind = kind
+
+
+class DoubleFree(MachineError):
+    """``free`` of an address that is not a live allocation."""
+
+
+class OutOfMemory(MachineError):
+    """Heap arena exhausted (used to model ROMP blowing up on LULESH)."""
+
+
+class SimDeadlock(MachineError):
+    """No simulated thread is runnable and at least one is blocked.
+
+    Carries a human-readable dump of the blocked threads' wait reasons so the
+    Table II harness can report ``deadlock`` cells faithfully.
+    """
+
+    def __init__(self, states: dict) -> None:
+        lines = ", ".join(f"thread {t}: {why}" for t, why in sorted(states.items()))
+        super().__init__(f"simulated deadlock ({lines})")
+        self.states = dict(states)
+
+
+class GuestCrash(ReproError):
+    """The *instrumented* execution aborted (models ROMP's ``segv``)."""
+
+    def __init__(self, tool: str, reason: str) -> None:
+        super().__init__(f"{tool}: instrumented execution crashed: {reason}")
+        self.tool = tool
+        self.reason = reason
+
+
+class NoCompilerSupport(ReproError):
+    """The modeled compiler front-end rejects a construct.
+
+    Reproduces the ``ncs`` cells of Table I: TaskSanitizer requires Clang 8.x,
+    which lacks several OpenMP 4.5/5.0 tasking features.
+    """
+
+    def __init__(self, tool: str, construct: str) -> None:
+        super().__init__(f"{tool}: no compiler support for '{construct}'")
+        self.tool = tool
+        self.construct = construct
+
+
+class RuntimeModelError(ReproError):
+    """Misuse of the simulated parallel runtime (bug in a guest program)."""
+
+
+class ToolError(ReproError):
+    """Internal error of an analysis tool (distinct from guest faults)."""

@@ -1,0 +1,36 @@
+"""Simulated process substrate.
+
+This package is the reproduction's stand-in for a real x86-64 process under
+Valgrind: a flat 64-bit address space with code/global/heap/stack/TLS regions,
+a recycling heap allocator, per-thread stacks and ELF-TLS control blocks, a
+deterministic simulated-thread scheduler with deadlock detection, debug
+information (symbols + source locations + shadow call stacks), and the cost
+model that turns executed work into the simulated seconds / bytes reported by
+the Table II and Fig. 4 harnesses.
+
+Guest programs never touch these classes directly; they go through
+:class:`repro.machine.program.GuestContext`, whose loads and stores all funnel
+through the instrumentation hub in :mod:`repro.vex` — the same property real
+DBI guarantees.
+"""
+
+from repro.machine.memory import AddressSpace, Region, RegionKind
+from repro.machine.allocator import Allocator, AllocationBlock
+from repro.machine.stack import ThreadStack, StackFrame
+from repro.machine.tls import TlsRegistry, TlsSnapshot
+from repro.machine.threads import Scheduler, SimThread, ThreadState
+from repro.machine.debuginfo import DebugInfo, SourceLocation, Symbol
+from repro.machine.cost import CostModel, Clock, MemoryMeter
+from repro.machine.machine import Machine
+from repro.machine.program import GuestContext, Buffer, GuestProgram
+
+__all__ = [
+    "AddressSpace", "Region", "RegionKind",
+    "Allocator", "AllocationBlock",
+    "ThreadStack", "StackFrame",
+    "TlsRegistry", "TlsSnapshot",
+    "Scheduler", "SimThread", "ThreadState",
+    "DebugInfo", "SourceLocation", "Symbol",
+    "CostModel", "Clock", "MemoryMeter",
+    "Machine", "GuestContext", "Buffer", "GuestProgram",
+]

@@ -1,0 +1,221 @@
+"""Guest programming API: how benchmark programs touch simulated memory.
+
+A guest program is a Python callable receiving a :class:`GuestContext`.  All
+memory traffic goes through the context so it funnels through the
+instrumentation hub — the property real DBI guarantees and compile-time
+instrumentation does not.  The context also maintains debug information
+(shadow call stack, current source line) so reports can print
+``task.1.c:8``-style locations.
+
+Typical benchmark shape::
+
+    def body(ctx: GuestContext) -> None:
+        with ctx.function("main", file="task.c", line=1):
+            x = ctx.malloc(8, line=3)
+            ctx.line(8); x.write(0, 4)
+
+:class:`Buffer` is a thin handle over an address range; element accesses emit
+events and may carry per-access source lines.  Bulk ranges (LULESH fields) use
+:meth:`Buffer.write_range` which emits one dense interval event, matching the
+compaction of the paper's interval trees.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Set, Tuple
+
+from repro.errors import MachineError
+from repro.machine.debuginfo import SourceLocation, Symbol
+from repro.machine.machine import Machine
+
+
+@dataclass(frozen=True)
+class GuestProgram:
+    """A benchmark program: entry point + metadata the runner needs."""
+
+    name: str
+    entry: Callable[["GuestContext"], object]
+    #: OpenMP/Cilk construct tags used, e.g. {"task", "depend:inoutset"} —
+    #: checked against each tool's compiler feature matrix ("ncs" rows).
+    features: frozenset = frozenset()
+    description: str = ""
+    #: Main source file for reports.
+    source_file: str = "main.c"
+
+
+class Buffer:
+    """A handle on ``[addr, addr+size)`` of simulated memory."""
+
+    __slots__ = ("ctx", "addr", "size", "name", "elem")
+
+    def __init__(self, ctx: "GuestContext", addr: int, size: int,
+                 name: str = "", elem: int = 4) -> None:
+        self.ctx = ctx
+        self.addr = addr
+        self.size = size
+        self.name = name
+        self.elem = elem           # element width for index-based access
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+    def index_addr(self, index: int) -> int:
+        return self.addr + index * self.elem
+
+    # -- element access (emits events; optionally stores scalar values) --------
+
+    def write(self, index: int = 0, value: object = None, *,
+              line: Optional[int] = None, atomic: bool = False) -> None:
+        addr = self.index_addr(index)
+        self.ctx.write_mem(addr, self.elem, line=line, atomic=atomic)
+        if value is not None:
+            self.ctx.machine.space.store(addr, self.elem, value)
+
+    def read(self, index: int = 0, *, line: Optional[int] = None,
+             atomic: bool = False) -> object:
+        addr = self.index_addr(index)
+        self.ctx.read_mem(addr, self.elem, line=line, atomic=atomic)
+        return self.ctx.machine.space.load(addr, self.elem)
+
+    # -- bulk interval access ----------------------------------------------------
+
+    def write_range(self, lo_index: int, hi_index: int, *,
+                    line: Optional[int] = None) -> None:
+        """One dense write covering elements ``[lo_index, hi_index)``."""
+        if hi_index <= lo_index:
+            return
+        self.ctx.write_mem(self.index_addr(lo_index),
+                           (hi_index - lo_index) * self.elem, line=line)
+
+    def read_range(self, lo_index: int, hi_index: int, *,
+                   line: Optional[int] = None) -> None:
+        if hi_index <= lo_index:
+            return
+        self.ctx.read_mem(self.index_addr(lo_index),
+                          (hi_index - lo_index) * self.elem, line=line)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "buf"
+        return f"Buffer({label} @ {self.addr:#x}+{self.size})"
+
+
+class GuestContext:
+    """The guest program's window on the simulated process."""
+
+    def __init__(self, machine: Machine, *, source_file: str = "main.c",
+                 nthreads: int = 1) -> None:
+        self.machine = machine
+        self.source_file = source_file
+        self.nthreads = nthreads
+        #: Extension point: runtimes (OpenMP env, Cilk env) hang themselves here.
+        self.extensions: dict = {}
+
+    # -- thread-side state --------------------------------------------------------
+
+    def _tctx(self):
+        return self.machine.context()
+
+    @property
+    def current_symbol(self) -> Symbol:
+        return self._tctx().symbol
+
+    @property
+    def current_location(self) -> Optional[SourceLocation]:
+        return self._tctx().location
+
+    def line(self, n: int) -> None:
+        """Set the current source line of the innermost frame."""
+        tctx = self._tctx()
+        if not tctx.lines:
+            raise MachineError("line() outside any function")
+        tctx.lines[-1] = n
+
+    def call_stack(self) -> Tuple[SourceLocation, ...]:
+        return self._tctx().call_stack()
+
+    # -- functions ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def function(self, name: str, *, file: Optional[str] = None, line: int = 0,
+                 instrumented: bool = True,
+                 library: str = "a.out") -> Iterator[None]:
+        """Enter guest function ``name``: push a stack frame + debug frame."""
+        sym = self.machine.debug.intern(
+            name, file=file or self.source_file, line=line,
+            instrumented=instrumented, library=library)
+        tctx = self._tctx()
+        frame = tctx.stack.push_frame(sym)
+        tctx.symbols.append(sym)
+        tctx.lines.append(line)
+        self.machine.cost.charge_call(self.machine.scheduler.current())
+        try:
+            yield frame
+        finally:
+            tctx.lines.pop()
+            tctx.symbols.pop()
+            tctx.stack.pop_frame(frame)
+
+    # -- memory: variables ---------------------------------------------------------
+
+    def malloc(self, size: int, *, name: str = "", elem: int = 4,
+               line: Optional[int] = None) -> Buffer:
+        """Heap-allocate ``size`` bytes (records the allocation call stack)."""
+        tctx = self._tctx()
+        if line is not None:
+            self.line(line)
+        block = self.machine.allocator.malloc(
+            size, site=tctx.location, stack=tctx.call_stack(),
+            thread=tctx.thread_id)
+        return Buffer(self, block.addr, size, name=name, elem=elem)
+
+    def free(self, buf: Buffer) -> None:
+        self.machine.allocator.free(buf.addr)
+
+    def global_var(self, name: str, size: int = 4, *, elem: int = 4) -> Buffer:
+        """A global/static variable (one address program-wide)."""
+        addr = self.machine.global_var(name, size)
+        return Buffer(self, addr, size, name=name, elem=elem)
+
+    def stack_var(self, name: str, size: int = 4, *, elem: int = 4) -> Buffer:
+        """A local variable in the current frame (aliases across reuse!)."""
+        tctx = self._tctx()
+        addr = tctx.stack.alloca(size, name=name)
+        return Buffer(self, addr, size, name=name, elem=elem)
+
+    def tls_var(self, name: str, size: int = 4, *, elem: int = 4) -> Buffer:
+        """A ``_Thread_local`` variable resolved for the *current* thread."""
+        self.machine.tls.declare_static_var(name, size)
+        addr = self.machine.tls.resolve(name, self._tctx().thread_id)
+        return Buffer(self, addr, size, name=name, elem=elem)
+
+    # -- memory: raw access ------------------------------------------------------------
+
+    def read_mem(self, addr: int, size: int, *, line: Optional[int] = None,
+                 atomic: bool = False) -> None:
+        if line is not None:
+            self.line(line)
+        tctx = self._tctx()
+        self.machine.instrumentation.access(
+            addr, size, False, thread=self.machine.scheduler.current(),
+            symbol=tctx.symbol, loc=tctx.location, atomic=atomic)
+
+    def write_mem(self, addr: int, size: int, *, line: Optional[int] = None,
+                  atomic: bool = False) -> None:
+        if line is not None:
+            self.line(line)
+        tctx = self._tctx()
+        self.machine.instrumentation.access(
+            addr, size, True, thread=self.machine.scheduler.current(),
+            symbol=tctx.symbol, loc=tctx.location, atomic=atomic)
+
+    # -- misc -------------------------------------------------------------------------
+
+    def compute(self, flops: float) -> None:
+        """Charge pure-compute simulated time (workload arithmetic)."""
+        self.machine.cost.charge_compute(self.machine.scheduler.current(), flops)
+
+    def client_request(self, name: str, payload=None):
+        return self.machine.client_requests.request(name, payload)

@@ -1,0 +1,111 @@
+"""Per-thread stacks with downward-growing frames.
+
+The stack model exists to reproduce the paper's Section IV-D false positive:
+two tasks executed back-to-back on the same thread push frames at the *same
+address*, so their "local" variables alias.  Taskgrind suppresses the
+resulting conflicts by registering the stack frame address at segment start
+and discarding conflicts that fall inside a segment's own frame.
+
+Frames are bump-allocated downward from the thread's stack top; ``alloca``
+carves local variables out of the current frame.  Popping a frame returns the
+stack pointer exactly where it was, so a subsequent push of the same size
+reuses the same addresses — deterministically, which is what the TMB stack
+microbenchmarks rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import MachineError
+from repro.machine.memory import AddressSpace, Region
+
+
+@dataclass
+class StackFrame:
+    """One activation record: ``[sp, base)`` within the thread stack."""
+
+    symbol: object                 # debuginfo.Symbol of the function
+    base: int                      # high address (frame start)
+    sp: int                        # current low edge (moves down on alloca)
+    thread_id: int
+    locals: dict = field(default_factory=dict)   # name -> addr
+
+    @property
+    def size(self) -> int:
+        return self.base - self.sp
+
+    def covers(self, addr: int, size: int = 1) -> bool:
+        return self.sp <= addr and addr + size <= self.base
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = getattr(self.symbol, "name", self.symbol)
+        return f"Frame({name}, [{self.sp:#x}, {self.base:#x}))"
+
+
+class ThreadStack:
+    """A single simulated thread's stack (downward-growing)."""
+
+    def __init__(self, space: AddressSpace, region: Region, thread_id: int) -> None:
+        self.space = space
+        self.region = region
+        self.thread_id = thread_id
+        self._top = region.end          # stacks grow downward from the end
+        self.frames: List[StackFrame] = []
+        self.low_water = region.end     # deepest sp ever (for footprint)
+
+    # -- frame management -------------------------------------------------
+
+    def push_frame(self, symbol: object) -> StackFrame:
+        frame = StackFrame(symbol=symbol, base=self._top, sp=self._top,
+                           thread_id=self.thread_id)
+        self.frames.append(frame)
+        return frame
+
+    def pop_frame(self, frame: StackFrame) -> None:
+        if not self.frames or self.frames[-1] is not frame:
+            raise MachineError("unbalanced stack frame pop")
+        self.frames.pop()
+        # Return the stack pointer; clear stale scalar values so a later
+        # frame reusing these addresses starts from zeroed memory (the
+        # *addresses* still alias — that is the point).
+        self.space.clear_range(frame.sp, frame.base)
+        self._top = frame.base
+
+    def alloca(self, size: int, name: Optional[str] = None, align: int = 8) -> int:
+        """Reserve ``size`` bytes of locals in the current frame."""
+        if not self.frames:
+            raise MachineError("alloca with no active frame")
+        frame = self.frames[-1]
+        sp = (frame.sp - size) & ~(align - 1)
+        if sp < self.region.base:
+            raise MachineError(
+                f"simulated stack overflow on thread {self.thread_id}")
+        frame.sp = sp
+        self._top = sp
+        self.low_water = min(self.low_water, sp)
+        if name is not None:
+            frame.locals[name] = sp
+        return sp
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def current_frame(self) -> Optional[StackFrame]:
+        return self.frames[-1] if self.frames else None
+
+    def frame_covering(self, addr: int) -> Optional[StackFrame]:
+        """The innermost live frame containing ``addr``."""
+        for frame in reversed(self.frames):
+            if frame.covers(addr):
+                return frame
+        return None
+
+    @property
+    def used_bytes(self) -> int:
+        return self.region.end - self._top
+
+    @property
+    def peak_bytes(self) -> int:
+        return self.region.end - self.low_water

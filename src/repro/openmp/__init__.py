@@ -1,0 +1,43 @@
+"""Simulated OpenMP runtime: tasking, dependencies, worksharing, OMPT.
+
+This is the reproduction's ``libomp``: a work-stealing tasking runtime over
+the deterministic simulated threads of :mod:`repro.machine.threads`, with the
+synchronisation surface the paper's benchmarks exercise:
+
+* parallel regions (fork/join, implicit barrier), ``single``/``master``
+* explicit tasks with ``depend`` (``in``/``out``/``inout``/``inoutset``/
+  ``mutexinoutset``), ``firstprivate``, ``if``, ``final``, ``mergeable``,
+  ``detach``, priorities
+* ``taskwait``, ``taskgroup``, explicit barriers, ``critical``/locks
+* ``taskloop`` (with ``collapse`` and ``nogroup``), static worksharing loops
+* ``threadprivate`` variables (over the simulated ELF-TLS)
+
+Faithful-to-LLVM behaviours that the paper's evaluation depends on are
+modeled explicitly:
+
+* on a single-thread team every task is *included* (executed immediately at
+  the creation point) — the LLVM issue the paper cites, and the reason Archer
+  reports nothing on serialized runs;
+* task descriptors (including firstprivate storage) are allocated from the
+  runtime's private :class:`~repro.machine.allocator.FastArena`
+  (``__kmp_fast_allocate``), which recycles memory even when a tool has
+  replaced ``free`` — the mechanism behind the paper's remaining multi-thread
+  false positives;
+* runtime-internal bookkeeping runs in ``__kmp*`` symbols compiled *without*
+  instrumentation, so compile-time tools never see it and Taskgrind filters
+  it via its ignore-list.
+
+Tool integration happens exclusively through the OMPT-like callback interface
+in :mod:`repro.openmp.ompt`, mirroring how Archer and Taskgrind's OMPT shim
+attach to the real runtime.
+"""
+
+from repro.openmp.ompt import OmptObserver, OmptDispatcher, TaskFlags, SyncKind
+from repro.openmp.tasks import Task, DetachEvent
+from repro.openmp.runtime import OmpRuntime
+from repro.openmp.api import OmpEnv
+
+__all__ = [
+    "OmptObserver", "OmptDispatcher", "TaskFlags", "SyncKind",
+    "Task", "DetachEvent", "OmpRuntime", "OmpEnv",
+]

@@ -1,0 +1,205 @@
+"""User-facing OpenMP API: what benchmark programs actually call.
+
+:class:`OmpEnv` is a thin facade over :class:`repro.openmp.runtime.OmpRuntime`
+shaped so benchmark code reads like the pragmas it transcribes::
+
+    def program(env: OmpEnv) -> None:
+        ctx = env.ctx
+        x = ctx.malloc(8, line=3)
+
+        def region(tid: int) -> None:
+            def single_body() -> None:
+                env.task(lambda tv: x.write(0, line=9), name="t1")
+                env.task(lambda tv: x.write(0, line=12), name="t2")
+            env.single(single_body)
+
+        env.parallel(region)
+
+The benchmark runner builds one :class:`OmpEnv` per run (program × tool ×
+thread count × seed) via :func:`make_env`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterator, Optional, Sequence
+
+from repro.machine.machine import Machine
+from repro.machine.program import Buffer, GuestContext
+from repro.openmp.loops import chunk_iteration_space, collapse2
+from repro.openmp.runtime import OmpRuntime, ParallelRegion, Task, TaskView
+
+
+class OmpLock:
+    """``omp_lock_t`` over the runtime's named locks."""
+
+    _counter = 0
+
+    def __init__(self, env: "OmpEnv", name: Optional[str] = None) -> None:
+        if name is None:
+            name = f"omp_lock_{OmpLock._counter}"
+            OmpLock._counter += 1
+        self.env = env
+        self.name = name
+
+    def acquire(self) -> None:
+        self.env.rt.lock_acquire(self.name)
+
+    def release(self) -> None:
+        self.env.rt.lock_release(self.name)
+
+    def __enter__(self) -> "OmpLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class OmpEnv:
+    """One guest program's OpenMP environment."""
+
+    def __init__(self, ctx: GuestContext, *, nthreads: int = 4) -> None:
+        self.ctx = ctx
+        self.nthreads = nthreads
+        self.rt = OmpRuntime(ctx, max_threads=nthreads)
+
+    # -- regions -------------------------------------------------------------
+
+    def parallel(self, fn: Callable[[int], None],
+                 num_threads: Optional[int] = None) -> ParallelRegion:
+        """``#pragma omp parallel`` — run ``fn(thread_num)`` on a team."""
+        return self.rt.parallel(fn, num_threads)
+
+    def parallel_single(self, fn: Callable[[], None],
+                        num_threads: Optional[int] = None) -> None:
+        """The ubiquitous ``parallel`` + ``single`` prologue of task codes."""
+        def region(_tid: int) -> None:
+            self.rt.single(fn)
+        self.rt.parallel(region, num_threads)
+
+    def single(self, fn: Callable[[], None], *, nowait: bool = False) -> bool:
+        return self.rt.single(fn, nowait=nowait)
+
+    def master(self, fn: Callable[[], None]) -> bool:
+        return self.rt.master(fn)
+
+    # -- tasks ---------------------------------------------------------------------
+
+    def task(self, fn: Callable[[TaskView], None], *,
+             depend: Optional[Dict[str, Sequence]] = None,
+             firstprivate: Optional[Dict[str, object]] = None,
+             lazy_capture: Optional[Dict[str, Buffer]] = None,
+             if_: bool = True, final: bool = False, mergeable: bool = False,
+             untied: bool = False, detachable: bool = False,
+             priority: int = 0, name: Optional[str] = None,
+             annotate_deferrable: bool = False) -> Task:
+        """``#pragma omp task`` with the full clause surface."""
+        return self.rt.create_task(
+            fn, depend=depend, firstprivate=firstprivate,
+            lazy_capture=lazy_capture, if_=if_,
+            final=final, mergeable=mergeable, untied=untied,
+            detachable=detachable, priority=priority,
+            name=name, annotate_deferrable=annotate_deferrable)
+
+    def taskwait(self) -> None:
+        self.rt.taskwait()
+
+    def taskgroup(self, body: Callable[[], None]) -> None:
+        self.rt.taskgroup(body)
+
+    def barrier(self) -> None:
+        self.rt.barrier()
+
+    def taskloop(self, body: Callable[[TaskView, int, int], None],
+                 lo: int, hi: int, *, num_tasks: Optional[int] = None,
+                 grainsize: Optional[int] = None, nogroup: bool = False,
+                 firstprivate: Optional[Dict[str, object]] = None,
+                 name: Optional[str] = None) -> None:
+        """``#pragma omp taskloop`` over ``[lo, hi)``."""
+        chunks = chunk_iteration_space(lo, hi, num_tasks=num_tasks,
+                                       grainsize=grainsize)
+
+        def create_all() -> None:
+            for clo, chi in chunks:
+                # the chunk bounds are firstprivate in the real lowering —
+                # they ride in the task descriptor like any other capture
+                fp = dict(firstprivate or {})
+                fp[".lb"] = clo
+                fp[".ub"] = chi
+                self.task(lambda tv, a=clo, b=chi: (
+                    tv.private_value(".lb"), tv.private_value(".ub"),
+                    body(tv, a, b)),
+                    firstprivate=fp,
+                    name=name or f".omp_taskloop.{lo}_{hi}")
+
+        if nogroup:
+            create_all()
+        else:
+            self.taskgroup(create_all)
+
+    def taskloop_collapse2(self, body: Callable[[TaskView, int, int], None],
+                           lo1: int, hi1: int, lo2: int, hi2: int, *,
+                           num_tasks: Optional[int] = None,
+                           nogroup: bool = False) -> None:
+        """``#pragma omp taskloop collapse(2)`` (DRB096)."""
+        lo, hi, unmap = collapse2(lo1, hi1, lo2, hi2)
+
+        def chunk_body(tv: TaskView, clo: int, chi: int) -> None:
+            for linear in range(clo, chi):
+                i, j = unmap(linear)
+                body(tv, i, j)
+
+        self.taskloop(chunk_body, lo, hi, num_tasks=num_tasks,
+                      nogroup=nogroup, name=".omp_taskloop_collapse2")
+
+    # -- worksharing ---------------------------------------------------------------------
+
+    def for_static(self, lo: int, hi: int) -> range:
+        """``#pragma omp for schedule(static)`` — this thread's iterations.
+
+        The caller is responsible for the closing barrier semantics (call
+        :meth:`barrier` unless ``nowait``), matching how the benchmarks use
+        it.
+        """
+        return self.rt.static_range(lo, hi)
+
+    # -- mutual exclusion ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def critical(self, name: str = "default") -> Iterator[None]:
+        """``#pragma omp critical [(name)]``."""
+        self.rt.lock_acquire(f"critical.{name}")
+        try:
+            yield
+        finally:
+            self.rt.lock_release(f"critical.{name}")
+
+    def lock(self, name: Optional[str] = None) -> OmpLock:
+        return OmpLock(self, name)
+
+    # -- data environment ---------------------------------------------------------------------
+
+    def threadprivate(self, name: str, size: int = 8) -> Buffer:
+        """``#pragma omp threadprivate`` — per-thread copy over simulated TLS."""
+        return self.ctx.tls_var(f"threadprivate.{name}", size,
+                                elem=min(size, 8))
+
+    # -- queries -------------------------------------------------------------------------------
+
+    def thread_num(self) -> int:
+        """``omp_get_thread_num()``."""
+        return self.rt.thread_num()
+
+    def num_threads(self) -> int:
+        """``omp_get_num_threads()``."""
+        return self.rt.num_threads()
+
+
+def make_env(machine: Machine, *, nthreads: int = 4,
+             source_file: str = "main.c") -> OmpEnv:
+    """Build the GuestContext + OmpEnv pair for one run."""
+    ctx = GuestContext(machine, source_file=source_file, nthreads=nthreads)
+    env = OmpEnv(ctx, nthreads=nthreads)
+    ctx.extensions["omp"] = env
+    return env

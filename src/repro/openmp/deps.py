@@ -1,0 +1,112 @@
+"""OpenMP task-dependence matching.
+
+Dependences order *sibling* tasks (children of the same parent) that name
+overlapping storage locations.  The matching rules implemented here follow
+the OpenMP 5.x specification:
+
+* ``out``/``inout`` ("writers") are ordered after every earlier sibling that
+  referenced an overlapping location with any dependence type;
+* ``in`` ("readers") are ordered after earlier writers only — concurrent
+  readers run in parallel;
+* ``inoutset`` members form a *set*: mutually unordered, but ordered against
+  earlier and later non-``inoutset`` references (this is the dependence type
+  TaskSanitizer lacks and Taskgrind supports — Table I rows 131/133/165/168);
+* ``mutexinoutset`` adds mutual exclusion *without* ordering among the set's
+  members, plus ``inoutset``-like ordering against everyone else.
+
+Because dependences only bind siblings, two tasks created by *different*
+parents with matching ``depend`` clauses are **not** ordered — the
+DRB173 "non-sibling-taskdep" race that only Taskgrind catches in Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple, TYPE_CHECKING
+
+from repro.openmp.ompt import DepKind, Dependence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.openmp.tasks import Task
+
+
+@dataclass
+class _AddrState:
+    """Dependence history for one storage location within one sibling set."""
+
+    #: last "writer generation": tasks every later reference must follow
+    last_writers: List["Task"] = field(default_factory=list)
+    #: readers since the last writer generation
+    readers_since: List["Task"] = field(default_factory=list)
+    #: which kind produced the current writer generation (for set semantics)
+    writer_kind: DepKind = DepKind.OUT
+    #: what the current (inout)set generation itself had to follow — a task
+    #: *joining* the set must inherit exactly these predecessors
+    set_preds: List["Task"] = field(default_factory=list)
+
+
+class DependencyTracker:
+    """Per-parent-task dependence matcher."""
+
+    def __init__(self) -> None:
+        self._state: Dict[int, _AddrState] = {}
+
+    def register(self, task: "Task",
+                 deps: List[Dependence]) -> List[Tuple["Task", Dependence]]:
+        """Record ``task``'s dependences; returns (predecessor, dep) pairs.
+
+        The caller wires the returned edges into the scheduler (pending
+        counts) and announces them via OMPT ``task_dependence`` events.
+        """
+        preds: List[Tuple["Task", Dependence]] = []
+        seen: Set[int] = set()
+
+        def add_pred(p: "Task", dep: Dependence) -> None:
+            if p is task or p.tid in seen:
+                return
+            seen.add(p.tid)
+            preds.append((p, dep))
+
+        for dep in deps:
+            st = self._state.get(dep.addr)
+            if st is None:
+                st = self._state[dep.addr] = _AddrState()
+
+            if dep.kind == DepKind.IN:
+                for w in st.last_writers:
+                    add_pred(w, dep)
+                st.readers_since.append(task)
+                continue
+
+            if dep.kind in (DepKind.INOUTSET, DepKind.MUTEXINOUTSET):
+                if st.writer_kind == dep.kind and not st.readers_since \
+                        and st.last_writers:
+                    # joining the current set: mutually unordered with the
+                    # other members, but still ordered after everything the
+                    # set generation itself followed
+                    for p in st.set_preds:
+                        add_pred(p, dep)
+                    st.last_writers.append(task)
+                else:
+                    preds_now = list(st.last_writers) + list(st.readers_since)
+                    for p in preds_now:
+                        add_pred(p, dep)
+                    st.set_preds = preds_now
+                    st.last_writers = [task]
+                    st.readers_since = []
+                    st.writer_kind = dep.kind
+                if dep.kind == DepKind.MUTEXINOUTSET and \
+                        dep.addr not in task.mutexinoutset_addrs:
+                    task.mutexinoutset_addrs.append(dep.addr)
+                continue
+
+            # OUT / INOUT: follow everything seen so far at this address
+            for w in st.last_writers:
+                add_pred(w, dep)
+            for r in st.readers_since:
+                add_pred(r, dep)
+            st.last_writers = [task]
+            st.readers_since = []
+            st.writer_kind = dep.kind
+
+        return preds

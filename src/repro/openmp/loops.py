@@ -1,0 +1,58 @@
+"""Loop-related constructs: ``taskloop`` chunking and ``collapse``.
+
+``taskloop`` splits an iteration space into chunks and creates one explicit
+task per chunk; unless ``nogroup`` is given, the chunks run inside an
+implicit ``taskgroup``.  ``collapse(2)`` linearizes two nested loops into a
+single iteration space before chunking — DRB096 exercises exactly this.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+def chunk_iteration_space(lo: int, hi: int, *, num_tasks: Optional[int] = None,
+                          grainsize: Optional[int] = None
+                          ) -> List[Tuple[int, int]]:
+    """Split ``[lo, hi)`` into chunk bounds per the taskloop rules.
+
+    Exactly one of ``num_tasks``/``grainsize`` may be given; with neither, the
+    runtime default (one task per iteration, capped at 64 chunks) applies.
+    """
+    total = hi - lo
+    if total <= 0:
+        return []
+    if num_tasks is not None and grainsize is not None:
+        raise ValueError("num_tasks and grainsize are mutually exclusive")
+    if grainsize is not None:
+        size = max(1, grainsize)
+    elif num_tasks is not None:
+        size = max(1, (total + num_tasks - 1) // num_tasks)
+    else:
+        size = max(1, (total + 63) // 64)
+    chunks = []
+    start = lo
+    while start < hi:
+        end = min(start + size, hi)
+        chunks.append((start, end))
+        start = end
+    return chunks
+
+
+def collapse2(lo1: int, hi1: int, lo2: int, hi2: int
+              ) -> Tuple[int, int, "Collapse2Map"]:
+    """Linearize two nested loops; returns (0, n1*n2, mapper)."""
+    n2 = hi2 - lo2
+    return 0, (hi1 - lo1) * n2, Collapse2Map(lo1, lo2, n2)
+
+
+class Collapse2Map:
+    """Maps a linear index back to the (i, j) pair of a collapsed 2-loop."""
+
+    def __init__(self, lo1: int, lo2: int, n2: int) -> None:
+        self.lo1 = lo1
+        self.lo2 = lo2
+        self.n2 = n2
+
+    def __call__(self, linear: int) -> Tuple[int, int]:
+        return self.lo1 + linear // self.n2, self.lo2 + linear % self.n2

@@ -1,0 +1,127 @@
+"""OMPT-like tool callback interface.
+
+The real OMPT lets a tool register callbacks on runtime events; Taskgrind
+injects an OMPT tool that forwards everything to the Valgrind plugin via
+client requests, and Archer is itself an OMPT tool over ThreadSanitizer.
+
+The event surface here is the subset the paper's analyses need, with the same
+shape: parallel region begin/end, implicit/explicit task lifecycle with task
+flags, task dependences, sync regions (barrier / taskwait / taskgroup),
+mutexes, and task-detach completion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.openmp.tasks import Task
+    from repro.openmp.runtime import ParallelRegion
+
+
+class TaskFlags(enum.Flag):
+    """OMPT-style task flags (subset of ``ompt_task_flag_t``)."""
+
+    NONE = 0
+    INITIAL = enum.auto()
+    IMPLICIT = enum.auto()
+    EXPLICIT = enum.auto()
+    #: ``if(false)`` — task is undeferred *by program semantics*.
+    UNDEFERRED = enum.auto()
+    #: executed inline because the team is serial (LLVM single-thread mode).
+    INCLUDED = enum.auto()
+    FINAL = enum.auto()
+    MERGEABLE = enum.auto()
+    #: actually merged into the encountering task (no separate data env).
+    MERGED = enum.auto()
+    UNTIED = enum.auto()
+    DETACHABLE = enum.auto()
+
+
+class SyncKind(enum.Enum):
+    """``ompt_sync_region_t`` subset."""
+
+    BARRIER = "barrier"
+    BARRIER_IMPLICIT = "barrier_implicit"
+    TASKWAIT = "taskwait"
+    TASKGROUP = "taskgroup"
+
+
+class DepKind(enum.Enum):
+    """OpenMP dependence types (all of them, unlike some of the tools...)."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+    INOUTSET = "inoutset"
+    MUTEXINOUTSET = "mutexinoutset"
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """One ``depend(kind: addr)`` item on a task."""
+
+    kind: DepKind
+    addr: int
+    size: int = 4
+
+
+class OmptObserver:
+    """Base class for OMPT tools; override the events you care about.
+
+    Every callback runs on the simulated thread where the event occurred, so
+    ``runtime.current_thread_id()`` is meaningful inside.
+    """
+
+    # threads
+    def on_thread_begin(self, thread_id: int) -> None: ...
+    def on_thread_end(self, thread_id: int) -> None: ...
+
+    # parallel regions
+    def on_parallel_begin(self, region: "ParallelRegion",
+                          encountering_task: "Task") -> None: ...
+    def on_parallel_end(self, region: "ParallelRegion",
+                        encountering_task: "Task") -> None: ...
+    def on_implicit_task_begin(self, region: "ParallelRegion",
+                               task: "Task") -> None: ...
+    def on_implicit_task_end(self, region: "ParallelRegion",
+                             task: "Task") -> None: ...
+
+    # explicit tasks
+    def on_task_create(self, task: "Task", parent: "Task") -> None: ...
+    def on_task_dependences(self, task: "Task",
+                            deps: List[Dependence]) -> None: ...
+    def on_task_dependence_pair(self, pred: "Task", succ: "Task",
+                                dep: Dependence) -> None: ...
+    def on_task_schedule_begin(self, task: "Task", thread_id: int) -> None: ...
+    def on_task_schedule_end(self, task: "Task", thread_id: int,
+                             completed: bool) -> None: ...
+    def on_task_detach_fulfill(self, task: "Task", thread_id: int) -> None: ...
+
+    # synchronisation
+    def on_sync_region_begin(self, kind: SyncKind, task: "Task",
+                             thread_id: int) -> None: ...
+    def on_sync_region_end(self, kind: SyncKind, task: "Task",
+                           thread_id: int) -> None: ...
+
+    # mutual exclusion (critical / locks); Taskgrind ignores these (paper VI.b)
+    def on_mutex_acquired(self, name: str, thread_id: int) -> None: ...
+    def on_mutex_released(self, name: str, thread_id: int) -> None: ...
+
+
+class OmptDispatcher:
+    """Fans runtime events out to every registered observer."""
+
+    def __init__(self) -> None:
+        self.observers: List[OmptObserver] = []
+        self.event_count = 0
+
+    def register(self, observer: OmptObserver) -> None:
+        self.observers.append(observer)
+
+    def emit(self, method: str, *args) -> None:
+        self.event_count += 1
+        for obs in self.observers:
+            getattr(obs, method)(*args)

@@ -1,0 +1,23 @@
+"""Simulated Qthreads runtime: lightweight tasks + full/empty bits.
+
+The paper (Section III-A-c) lists Qthreads support as future work, noting
+that its full/empty-bit (FEB) primitives "require subtle extensions to
+Taskgrind semantics" and that basic tasking "should be instrumentable".
+This package provides that basic surface:
+
+* ``qthread_fork``-style task spawning over the shared worker-pool design;
+* FEB words: ``writeEF`` (wait-empty, write, set full), ``readFE``
+  (wait-full, read, set empty), ``readFF`` (wait-full, read, keep full) —
+  the producer/consumer synchronisation Qthreads builds everything on.
+
+The matching Taskgrind shim lives in :mod:`repro.core.qthreads_shim`: FEB
+transfers become happens-before edges from the fulfilling write's segment to
+the consuming read's next segment.
+"""
+
+from repro.qthreads.feb import FebTable, FebWord
+from repro.qthreads.runtime import (QthreadsEnv, QthreadsObserver, QTask,
+                                    make_qthreads_env)
+
+__all__ = ["FebTable", "FebWord", "QthreadsEnv", "QthreadsObserver",
+           "QTask", "make_qthreads_env"]

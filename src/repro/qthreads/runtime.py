@@ -1,0 +1,196 @@
+"""Qthreads-style runtime: fork + FEB synchronisation over the worker pool."""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import RuntimeModelError
+from repro.machine.machine import Machine
+from repro.machine.program import Buffer, GuestContext
+from repro.machine.threads import ThreadState
+from repro.qthreads.feb import FebTable
+
+
+class QthreadsObserver:
+    """Tool callbacks (what a Qthreads shim would hook)."""
+
+    def on_fork(self, parent: Optional["QTask"], child: "QTask",
+                thread_id: int) -> None: ...
+    def on_task_begin(self, task: "QTask", thread_id: int) -> None: ...
+    def on_task_end(self, task: "QTask", thread_id: int) -> None: ...
+    def on_feb_fill(self, addr: int, generation: int,
+                    thread_id: int) -> None: ...
+    def on_feb_consume(self, addr: int, generation: int, thread_id: int,
+                       drained: bool) -> None: ...
+
+
+@dataclass
+class QTask:
+    """One qthread (a lightweight task)."""
+
+    qid: int
+    fn: Callable
+    args: tuple
+    parent: Optional["QTask"]
+    name: str = ""
+    done: bool = False
+    result: object = None
+    exec_thread: int = -1
+    create_loc: object = None
+
+    def label(self) -> str:
+        loc = f" @ {self.create_loc}" if self.create_loc else ""
+        return f"{self.name}{loc}"
+
+    def __hash__(self) -> int:
+        return self.qid
+
+
+class QthreadsEnv:
+    """The runtime instance bound to one guest run."""
+
+    def __init__(self, ctx: GuestContext, *, nworkers: int = 4) -> None:
+        self.ctx = ctx
+        self.machine = ctx.machine
+        self.nworkers = nworkers
+        self.feb = FebTable()
+        self.observers: List[QthreadsObserver] = []
+        self._queue: collections.deque = collections.deque()
+        self._task_stack: Dict[int, List[QTask]] = {}
+        self._next_qid = 0
+        self._outstanding = 0
+        self._shutdown = False
+
+    def register(self, observer: QthreadsObserver) -> None:
+        self.observers.append(observer)
+
+    def _emit(self, method: str, *args) -> None:
+        for obs in self.observers:
+            getattr(obs, method)(*args)
+
+    def _tid(self) -> int:
+        return self.machine.scheduler.current_id()
+
+    def current_task(self) -> Optional[QTask]:
+        stack = self._task_stack.get(self._tid())
+        return stack[-1] if stack else None
+
+    # -- program entry -----------------------------------------------------------
+
+    def run(self, fn: Callable, *args) -> object:
+        """Run ``fn(*args)`` as the main qthread with the pool active."""
+        workers = [self.machine.new_thread(self._worker_loop,
+                                           name=f"qt.shep{w}")
+                   for w in range(1, self.nworkers)]
+        main_task = self._make_task(fn, args, name="qthread_main")
+        self._outstanding += 1
+        result = self._execute(main_task)
+        # wait for every forked qthread, then shut the shepherds down
+        self.machine.scheduler.block_until(
+            lambda: self._outstanding == 0, "qthreads drain")
+        self._shutdown = True
+        self.machine.scheduler.block_until(
+            lambda: all(t.state == ThreadState.DONE for t in workers),
+            "qthreads pool shutdown")
+        return result
+
+    def _worker_loop(self) -> None:
+        while not self._shutdown:
+            if self._queue:
+                self._execute(self._queue.popleft())
+            else:
+                self.machine.scheduler.block_until(
+                    lambda: self._shutdown or bool(self._queue),
+                    "qthreads idle shepherd")
+
+    # -- fork -----------------------------------------------------------------------
+
+    def _make_task(self, fn, args, name="") -> QTask:
+        task = QTask(qid=self._next_qid, fn=fn, args=tuple(args),
+                     parent=self.current_task(),
+                     name=name or f"qthread{self._next_qid}",
+                     create_loc=self.ctx.current_location
+                     if self._task_stack.get(self._tid()) else None)
+        self._next_qid += 1
+        return task
+
+    def fork(self, fn: Callable, *args, name: str = "") -> QTask:
+        """``qthread_fork`` — schedule a new qthread."""
+        self.machine.cost.charge_task(self.machine.scheduler.current())
+        task = self._make_task(fn, args, name=name)
+        self._outstanding += 1
+        self._emit("on_fork", task.parent, task, self._tid())
+        self._queue.append(task)
+        self.machine.scheduler.yield_point()
+        return task
+
+    def _execute(self, task: QTask) -> object:
+        tid = self._tid()
+        self.machine.cost.charge_schedule(self.machine.scheduler.current())
+        task.exec_thread = tid
+        self._task_stack.setdefault(tid, []).append(task)
+        self._emit("on_task_begin", task, tid)
+        with self.ctx.function(task.name, line=0):
+            task.result = task.fn(*task.args)
+        self._emit("on_task_end", task, tid)
+        self._task_stack[tid].pop()
+        task.done = True
+        self._outstanding -= 1
+        self.machine.scheduler.yield_point()
+        return task.result
+
+    # -- FEB operations ------------------------------------------------------------------
+
+    def _addr(self, target) -> int:
+        return target.addr if isinstance(target, Buffer) else int(target)
+
+    def writeEF(self, target, value: object) -> None:
+        """Wait until empty, write the value, mark full."""
+        addr = self._addr(target)
+        self.machine.cost.charge_sync(self.machine.scheduler.current())
+        self.machine.scheduler.block_until(
+            lambda: not self.feb.is_full(addr), f"writeEF {addr:#x}")
+        self.ctx.write_mem(addr, 8)
+        gen = self.feb.fill(addr, value)
+        self._emit("on_feb_fill", addr, gen, self._tid())
+
+    def writeF(self, target, value: object) -> None:
+        """Unconditional write + mark full (no waiting)."""
+        addr = self._addr(target)
+        self.ctx.write_mem(addr, 8)
+        gen = self.feb.fill(addr, value)
+        self._emit("on_feb_fill", addr, gen, self._tid())
+
+    def readFE(self, target) -> object:
+        """Wait until full, read, mark empty (consume)."""
+        addr = self._addr(target)
+        self.machine.cost.charge_sync(self.machine.scheduler.current())
+        self.machine.scheduler.block_until(
+            lambda: self.feb.is_full(addr), f"readFE {addr:#x}")
+        gen = self.feb.word(addr).generation
+        # acquire first: the read itself must land in the post-edge segment
+        self._emit("on_feb_consume", addr, gen, self._tid(), True)
+        self.ctx.read_mem(addr, 8)
+        return self.feb.drain(addr)
+
+    def readFF(self, target) -> object:
+        """Wait until full, read, leave full."""
+        addr = self._addr(target)
+        self.machine.cost.charge_sync(self.machine.scheduler.current())
+        self.machine.scheduler.block_until(
+            lambda: self.feb.is_full(addr), f"readFF {addr:#x}")
+        gen = self.feb.word(addr).generation
+        self._emit("on_feb_consume", addr, gen, self._tid(), False)
+        self.ctx.read_mem(addr, 8)
+        return self.feb.peek(addr)
+
+
+def make_qthreads_env(machine: Machine, *, nworkers: int = 4,
+                      source_file: str = "main.c") -> QthreadsEnv:
+    """Build the GuestContext + QthreadsEnv pair for one run."""
+    ctx = GuestContext(machine, source_file=source_file, nthreads=nworkers)
+    env = QthreadsEnv(ctx, nworkers=nworkers)
+    ctx.extensions["qthreads"] = env
+    return env

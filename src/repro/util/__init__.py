@@ -1,0 +1,22 @@
+"""Shared low-level utilities for the Taskgrind reproduction.
+
+Submodules
+----------
+intervals
+    Half-open integer interval algebra (:class:`~repro.util.intervals.Interval`,
+    :class:`~repro.util.intervals.IntervalSet`).
+itree
+    Self-balancing (AVL) interval tree used to record per-segment memory
+    accesses, mirroring the paper's Section III-B data structure.
+rng
+    Seeded, named random streams so every simulated schedule is reproducible.
+tables
+    Plain-text table rendering for the benchmark harnesses.
+log
+    Small logging shim used across the package.
+"""
+
+from repro.util.intervals import Interval, IntervalSet
+from repro.util.itree import IntervalTree
+
+__all__ = ["Interval", "IntervalSet", "IntervalTree"]

@@ -1,0 +1,25 @@
+"""Logging shim: one package-level logger with an opt-in verbose mode."""
+
+from __future__ import annotations
+
+import logging
+
+LOGGER_NAME = "repro"
+
+
+def get_logger(child: str | None = None) -> logging.Logger:
+    """The package logger, or a named child of it."""
+    name = LOGGER_NAME if child is None else f"{LOGGER_NAME}.{child}"
+    return logging.getLogger(name)
+
+
+def enable_verbose(level: int = logging.DEBUG) -> None:
+    """Attach a stderr handler for interactive debugging (idempotent)."""
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)

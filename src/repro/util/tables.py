@@ -1,0 +1,47 @@
+"""Plain-text table rendering for the benchmark harnesses.
+
+The harnesses (``repro.bench.table1`` etc.) print the same rows the paper's
+tables report; this module renders them as aligned ASCII so the output can be
+eyeballed against the paper and diffed between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:  # pragma: no cover - defensive
+                widths.append(len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(fmt(row))
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Iterable[tuple], title: str | None = None) -> str:
+    """Render key/value pairs as an aligned two-column block."""
+    items = [(str(k), str(v)) for k, v in pairs]
+    w = max((len(k) for k, _ in items), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend(f"  {k.ljust(w)} : {v}" for k, v in items)
+    return "\n".join(lines)

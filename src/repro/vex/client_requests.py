@@ -1,0 +1,50 @@
+"""Client requests: the guest-to-tool side channel.
+
+Valgrind client requests let the instrumented program (or code injected into
+it, like Taskgrind's built-in OMPT tool) hand structured information to the
+tool plugin.  Here a request is a ``(name, payload)`` pair; the router
+dispatches it to every registered tool that handles the name.
+
+Request names used by the shims in :mod:`repro.core`:
+
+=====================  ========================================================
+name                   payload
+=====================  ========================================================
+``segment_begin``      dict describing the new segment (task, thread, kind...)
+``segment_end``        dict with the completed segment id + TLS/stack snapshot
+``hb_edge``            ``(src_segment_id, dst_segment_id, why)``
+``parallel_begin``     parallel region descriptor
+``parallel_end``       region id
+``task_annotate``      user annotation, e.g. semantically-deferrable (Table II)
+=====================  ========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class ClientRequestRouter:
+    """Dispatches ``(name, payload)`` requests to subscribed tools."""
+
+    def __init__(self) -> None:
+        self._handlers: Dict[str, List] = {}
+        self.request_count = 0
+
+    def subscribe(self, name: str, handler) -> None:
+        self._handlers.setdefault(name, []).append(handler)
+
+    def unsubscribe_all(self, handler_owner) -> None:
+        for handlers in self._handlers.values():
+            handlers[:] = [h for h in handlers
+                           if getattr(h, "__self__", None) is not handler_owner]
+
+    def request(self, name: str, payload=None):
+        """Issue a client request; returns the last non-None handler result."""
+        self.request_count += 1
+        result = None
+        for handler in self._handlers.get(name, ()):
+            r = handler(payload)
+            if r is not None:
+                result = r
+        return result

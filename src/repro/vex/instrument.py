@@ -1,0 +1,65 @@
+"""The instrumentation hub: every guest access flows through here.
+
+This is the reproduction's stand-in for the VEX JIT loop: the
+:class:`~repro.machine.program.GuestContext` calls :meth:`Instrumentation.access`
+for each load/store, and the hub
+
+1. validates the mapping (a bad guest access is a simulated SIGSEGV),
+2. charges simulated time (base cost × the tool's per-access factor when the
+   tool observes the access, plus a one-time translation charge per symbol
+   for DBI tools),
+3. dispatches the event to every attached tool whose visibility covers it.
+
+Symbol filtering for Taskgrind's *ignore-list*/*instrument-list*
+(Section IV-A) is deliberately **not** done here: it is tool policy, applied
+inside :class:`repro.core.tool.TaskgrindTool`, exactly as in the real tool
+where the core hands the tool every IR block and the plugin decides what to
+instrument.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.machine.cost import CostModel
+from repro.machine.debuginfo import SourceLocation, Symbol
+from repro.machine.memory import AddressSpace
+from repro.vex.events import AccessEvent
+from repro.vex.tool import Tool
+
+
+class Instrumentation:
+    """Access funnel + tool dispatch."""
+
+    def __init__(self, space: AddressSpace, cost: CostModel) -> None:
+        self.space = space
+        self.cost = cost
+        self.tools: List[Tool] = []
+        self.enabled = True
+        self.access_count = 0
+
+    def add_tool(self, tool: Tool) -> None:
+        self.tools.append(tool)
+
+    # -- the hot path -------------------------------------------------------
+
+    def access(self, addr: int, size: int, is_write: bool, *,
+               thread, symbol: Symbol, loc: Optional[SourceLocation],
+               atomic: bool = False) -> None:
+        """Record one guest access of ``size`` bytes at ``addr``."""
+        self.space.check_mapped(addr, size, "write" if is_write else "read")
+        self.access_count += 1
+        if not self.enabled:
+            self.cost.charge_access(thread, size, observed=False)
+            return
+        event = AccessEvent(addr=addr, size=size, is_write=is_write,
+                            thread_id=getattr(thread, "id", -1),
+                            symbol=symbol, loc=loc, atomic=atomic)
+        observed = False
+        for tool in self.tools:
+            if tool.sees(event):
+                observed = True
+                if tool.is_dbi:
+                    self.cost.charge_translation(thread, symbol.name)
+                tool.on_access(event)
+        self.cost.charge_access(thread, size, observed=observed)

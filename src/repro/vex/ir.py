@@ -1,0 +1,168 @@
+"""A miniature VEX-style intermediate representation.
+
+The paper's Section II-B: Valgrind JIT-recompiles guest code blocks to the
+VEX IR; the tool plugin instruments the IR (most importantly around ``Load``
+and ``Store``) and the core executes the result.  This module defines the
+reproduction's IR — a small, typed, SSA-ish subset sufficient to express the
+guest ISA of :mod:`repro.vex.translate`:
+
+expressions
+    ``Const``, ``RdTmp``, ``Get`` (guest register read), ``Binop``, ``Load``
+statements
+    ``IMark`` (guest-instruction boundary), ``WrTmp``, ``Put`` (guest
+    register write), ``Store``, ``Dirty`` (a helper call — how tools inject
+    instrumentation), ``Exit`` (conditional side exit)
+
+A :class:`SuperBlock` is a straight-line statement list with a fall-through
+``next`` address, exactly VEX's IRSB shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Union
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const:
+    value: int
+
+    def __str__(self) -> str:
+        return f"0x{self.value:x}" if self.value >= 10 else str(self.value)
+
+
+@dataclass(frozen=True)
+class RdTmp:
+    tmp: int
+
+    def __str__(self) -> str:
+        return f"t{self.tmp}"
+
+
+@dataclass(frozen=True)
+class Get:
+    reg: int
+
+    def __str__(self) -> str:
+        return f"GET(r{self.reg})"
+
+
+@dataclass(frozen=True)
+class Binop:
+    op: str                       # 'add' | 'sub' | 'mul' | 'cmpne' | 'cmplt'
+    a: "Expr"
+    b: "Expr"
+
+    def __str__(self) -> str:
+        return f"{self.op}({self.a},{self.b})"
+
+
+@dataclass(frozen=True)
+class Load:
+    addr: "Expr"
+    size: int = 8
+
+    def __str__(self) -> str:
+        return f"LD{self.size}({self.addr})"
+
+
+Expr = Union[Const, RdTmp, Get, Binop, Load]
+
+
+# -- statements ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IMark:
+    """Guest instruction boundary: address + encoded length."""
+
+    addr: int
+    length: int
+
+    def __str__(self) -> str:
+        return f"------ IMark(0x{self.addr:x}, {self.length}) ------"
+
+
+@dataclass(frozen=True)
+class WrTmp:
+    tmp: int
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"t{self.tmp} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class Put:
+    reg: int
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"PUT(r{self.reg}) = {self.expr}"
+
+
+@dataclass(frozen=True)
+class Store:
+    addr: Expr
+    data: Expr
+    size: int = 8
+
+    def __str__(self) -> str:
+        return f"ST{self.size}({self.addr}) = {self.data}"
+
+
+@dataclass(frozen=True)
+class Dirty:
+    """A helper call injected by the tool (instrumentation hook)."""
+
+    name: str
+    callback: Callable
+    args: Tuple[Expr, ...] = ()
+
+    def __str__(self) -> str:
+        return f"DIRTY {self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class Exit:
+    """Conditional side exit: if guard != 0, jump to target."""
+
+    guard: Expr
+    target: int
+
+    def __str__(self) -> str:
+        return f"if ({self.guard}) goto 0x{self.target:x}"
+
+
+Stmt = Union[IMark, WrTmp, Put, Store, Dirty, Exit]
+
+
+@dataclass
+class SuperBlock:
+    """One translated guest block (VEX IRSB)."""
+
+    guest_addr: int
+    stmts: List[Stmt] = field(default_factory=list)
+    next_addr: Optional[int] = None       # fall-through; None = halt
+    n_tmps: int = 0
+
+    def new_tmp(self) -> int:
+        self.n_tmps += 1
+        return self.n_tmps - 1
+
+    def pretty(self) -> str:
+        body = "\n".join(f"   {s}" for s in self.stmts)
+        nxt = "halt" if self.next_addr is None else f"0x{self.next_addr:x}"
+        return f"IRSB @ 0x{self.guest_addr:x} {{\n{body}\n   goto {nxt}\n}}"
+
+
+BINOPS = {
+    "add": lambda a, b: (a + b) & (2 ** 64 - 1),
+    "sub": lambda a, b: (a - b) & (2 ** 64 - 1),
+    "mul": lambda a, b: (a * b) & (2 ** 64 - 1),
+    "cmpne": lambda a, b: int(a != b),
+    "cmpeq": lambda a, b: int(a == b),
+    "cmplt": lambda a, b: int(a < b),
+}

@@ -1,0 +1,47 @@
+"""Function replacement, Valgrind-style.
+
+Tools can *replace* named guest functions.  The reproduction uses it exactly
+where the paper does:
+
+* ``malloc`` — Taskgrind wraps it to record an allocation-site stack trace per
+  block (Section III-C);
+* ``free`` — Taskgrind replaces it with a no-op so the allocator never
+  recycles addresses (Section IV-B).
+
+The allocator (:class:`repro.machine.allocator.Allocator`) consults this
+registry on every call; library-internal allocators (the simulated
+``__kmp_fast_allocate`` pool) deliberately bypass it, reproducing the paper's
+future-work limitation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+
+class ReplacementRegistry:
+    """Named guest-function replacements installed by tools."""
+
+    def __init__(self) -> None:
+        self._replacements: Dict[str, Callable] = {}
+
+    def replace(self, name: str, handler: Optional[Callable] = None) -> None:
+        """Install a replacement for guest function ``name``.
+
+        ``handler`` may be ``None`` for pure no-op replacements (the
+        Taskgrind ``free`` case); its mere presence changes allocator
+        behaviour.
+        """
+        self._replacements[name] = handler or (lambda *a, **k: None)
+
+    def remove(self, name: str) -> None:
+        self._replacements.pop(name, None)
+
+    def is_replaced(self, name: str) -> bool:
+        return name in self._replacements
+
+    def call(self, name: str, *args, **kwargs):
+        return self._replacements[name](*args, **kwargs)
+
+    def clear(self) -> None:
+        self._replacements.clear()

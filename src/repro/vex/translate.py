@@ -1,0 +1,336 @@
+"""Guest ISA, translator, instrumenter, and dispatcher.
+
+The Valgrind execution model, end to end, in miniature:
+
+1. a *guest binary* — a program in a small RISC-like ISA, assembled by
+   :class:`Assembler` into basic blocks keyed by address;
+2. :func:`translate_block` — JIT the guest block to a VEX
+   :class:`~repro.vex.ir.SuperBlock` (one ``IMark`` per instruction, loads
+   and stores made explicit);
+3. :func:`instrument_block` — the *tool pass*: a ``Dirty`` helper call is
+   inserted before every ``Load``/``Store``, exactly where a Valgrind plugin
+   injects its hooks;
+4. :class:`GuestVM` — the dispatcher: translates blocks on first execution
+   (kept in a translation cache, charging the cost model's translation
+   price), then interprets the instrumented IR against the simulated
+   address space — so every memory access of the "binary" flows through the
+   machine's instrumentation hub even though no source was ever available.
+
+This is what lets a benchmark embed a *binary-only library function* whose
+accesses compile-time tools cannot see but DBI tools can — the paper's core
+motivation (Section I).
+
+Guest ISA (all operands are registers ``r0..r15`` unless noted)::
+
+    li   rd, imm          load immediate
+    mov  rd, rs
+    add  rd, ra, rb       (also sub, mul)
+    addi rd, ra, imm
+    ld   rd, [ra+off]     64-bit load
+    st   [ra+off], rs     64-bit store
+    bne  ra, rb, label    branch if not equal
+    blt  ra, rb, label
+    jmp  label
+    halt
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import MachineError
+from repro.vex.ir import (BINOPS, Binop, Const, Dirty, Exit, Expr, Get,
+                          IMark, Load, Put, RdTmp, Store, SuperBlock, WrTmp)
+
+N_REGS = 16
+INSTR_LEN = 4
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One assembled guest instruction."""
+
+    addr: int
+    op: str
+    args: Tuple = ()
+
+    def __str__(self) -> str:
+        return f"0x{self.addr:x}: {self.op} " + \
+            ", ".join(str(a) for a in self.args)
+
+
+class Assembler:
+    """Two-pass assembler for the guest ISA."""
+
+    def __init__(self, base: int = 0x40_0000) -> None:
+        self.base = base
+
+    def assemble(self, source: str) -> "GuestBinary":
+        labels: Dict[str, int] = {}
+        raw: List[Tuple[str, List[str]]] = []
+        addr = self.base
+        for line in source.splitlines():
+            line = line.split(";", 1)[0].strip()
+            if not line:
+                continue
+            if line.endswith(":"):
+                labels[line[:-1]] = addr
+                continue
+            parts = line.replace(",", " ").split()
+            raw.append((parts[0], parts[1:]))
+            addr += INSTR_LEN
+
+        def reg(tok: str) -> int:
+            if not tok.startswith("r"):
+                raise MachineError(f"expected register, got {tok!r}")
+            return int(tok[1:])
+
+        def imm_or_label(tok: str) -> int:
+            if tok in labels:
+                return labels[tok]
+            return int(tok, 0)
+
+        def memref(tok: str) -> Tuple[int, int]:
+            # "[ra+off]" or "[ra]"
+            inner = tok.strip("[]")
+            if "+" in inner:
+                r, off = inner.split("+")
+                return reg(r), int(off, 0)
+            if "-" in inner and not inner.startswith("r-"):
+                r, off = inner.split("-")
+                return reg(r), -int(off, 0)
+            return reg(inner), 0
+
+        instrs: List[Instr] = []
+        addr = self.base
+        for op, args in raw:
+            if op == "li":
+                parsed = (reg(args[0]), imm_or_label(args[1]))
+            elif op == "mov":
+                parsed = (reg(args[0]), reg(args[1]))
+            elif op in ("add", "sub", "mul"):
+                parsed = (reg(args[0]), reg(args[1]), reg(args[2]))
+            elif op == "addi":
+                parsed = (reg(args[0]), reg(args[1]), imm_or_label(args[2]))
+            elif op == "ld":
+                base_r, off = memref(args[1])
+                parsed = (reg(args[0]), base_r, off)
+            elif op == "st":
+                base_r, off = memref(args[0])
+                parsed = (base_r, off, reg(args[1]))
+            elif op in ("bne", "blt"):
+                parsed = (reg(args[0]), reg(args[1]), imm_or_label(args[2]))
+            elif op == "jmp":
+                parsed = (imm_or_label(args[0]),)
+            elif op == "halt":
+                parsed = ()
+            else:
+                raise MachineError(f"unknown mnemonic {op!r}")
+            instrs.append(Instr(addr, op, parsed))
+            addr += INSTR_LEN
+        return GuestBinary(self.base, instrs, labels)
+
+
+@dataclass
+class GuestBinary:
+    """An assembled guest program."""
+
+    base: int
+    instrs: List[Instr]
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def at(self, addr: int) -> Instr:
+        idx = (addr - self.base) // INSTR_LEN
+        if not 0 <= idx < len(self.instrs):
+            raise MachineError(f"guest PC out of range: {addr:#x}")
+        return self.instrs[idx]
+
+    def block_at(self, addr: int) -> List[Instr]:
+        """The basic block starting at ``addr`` (ends at any control flow)."""
+        block: List[Instr] = []
+        while True:
+            instr = self.at(addr)
+            block.append(instr)
+            if instr.op in ("bne", "blt", "jmp", "halt"):
+                return block
+            addr += INSTR_LEN
+
+
+# ---------------------------------------------------------------------------
+# translation: guest block -> IR superblock
+# ---------------------------------------------------------------------------
+
+def translate_block(block: List[Instr]) -> SuperBlock:
+    sb = SuperBlock(guest_addr=block[0].addr)
+    for instr in block:
+        sb.stmts.append(IMark(instr.addr, INSTR_LEN))
+        op, a = instr.op, instr.args
+        if op == "li":
+            sb.stmts.append(Put(a[0], Const(a[1])))
+        elif op == "mov":
+            sb.stmts.append(Put(a[0], Get(a[1])))
+        elif op in ("add", "sub", "mul"):
+            t = sb.new_tmp()
+            sb.stmts.append(WrTmp(t, Binop(op, Get(a[1]), Get(a[2]))))
+            sb.stmts.append(Put(a[0], RdTmp(t)))
+        elif op == "addi":
+            t = sb.new_tmp()
+            sb.stmts.append(WrTmp(t, Binop("add", Get(a[1]), Const(a[2]))))
+            sb.stmts.append(Put(a[0], RdTmp(t)))
+        elif op == "ld":
+            addr_t = sb.new_tmp()
+            sb.stmts.append(WrTmp(addr_t,
+                                  Binop("add", Get(a[1]), Const(a[2]))))
+            val_t = sb.new_tmp()
+            sb.stmts.append(WrTmp(val_t, Load(RdTmp(addr_t))))
+            sb.stmts.append(Put(a[0], RdTmp(val_t)))
+        elif op == "st":
+            addr_t = sb.new_tmp()
+            sb.stmts.append(WrTmp(addr_t,
+                                  Binop("add", Get(a[0]), Const(a[1]))))
+            sb.stmts.append(Store(RdTmp(addr_t), Get(a[2])))
+        elif op == "bne":
+            t = sb.new_tmp()
+            sb.stmts.append(WrTmp(t, Binop("cmpne", Get(a[0]), Get(a[1]))))
+            sb.stmts.append(Exit(RdTmp(t), a[2]))
+            sb.next_addr = instr.addr + INSTR_LEN
+        elif op == "blt":
+            t = sb.new_tmp()
+            sb.stmts.append(WrTmp(t, Binop("cmplt", Get(a[0]), Get(a[1]))))
+            sb.stmts.append(Exit(RdTmp(t), a[2]))
+            sb.next_addr = instr.addr + INSTR_LEN
+        elif op == "jmp":
+            sb.next_addr = a[0]
+        elif op == "halt":
+            sb.next_addr = None
+        else:  # pragma: no cover
+            raise MachineError(f"untranslatable {op!r}")
+    if block[-1].op not in ("bne", "blt", "jmp", "halt"):  # pragma: no cover
+        sb.next_addr = block[-1].addr + INSTR_LEN
+    return sb
+
+
+# ---------------------------------------------------------------------------
+# the tool pass: Dirty hooks around every Load/Store
+# ---------------------------------------------------------------------------
+
+def instrument_block(sb: SuperBlock,
+                     on_access: Callable[[int, int, bool], None]
+                     ) -> SuperBlock:
+    """Insert a Dirty call before every memory access (the plugin pass)."""
+    out = SuperBlock(guest_addr=sb.guest_addr, next_addr=sb.next_addr,
+                     n_tmps=sb.n_tmps)
+    for stmt in sb.stmts:
+        if isinstance(stmt, WrTmp) and isinstance(stmt.expr, Load):
+            out.stmts.append(Dirty("track_load", on_access,
+                                   (stmt.expr.addr, Const(stmt.expr.size),
+                                    Const(0))))
+        elif isinstance(stmt, Store):
+            out.stmts.append(Dirty("track_store", on_access,
+                                   (stmt.addr, Const(stmt.size), Const(1))))
+        out.stmts.append(stmt)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the dispatcher
+# ---------------------------------------------------------------------------
+
+class GuestVM:
+    """Translation-cached IR interpreter over the simulated machine.
+
+    Every Load/Store goes through ``ctx.read_mem``/``ctx.write_mem`` — i.e.
+    the machine's instrumentation hub — inside the *guest symbol* the binary
+    was registered under (``instrumented=False``: no source, no compile-time
+    hooks).  Registers live in a plain array, temporaries per block run.
+    """
+
+    def __init__(self, ctx, binary: GuestBinary, *,
+                 symbol: str = "binary_blob",
+                 library: str = "libvendor.so") -> None:
+        self.ctx = ctx
+        self.binary = binary
+        self.symbol = symbol
+        self.library = library
+        self.regs = [0] * N_REGS
+        self._cache: Dict[int, SuperBlock] = {}
+        self.translations = 0
+        self.blocks_executed = 0
+
+    # -- translation cache --------------------------------------------------
+
+    def _fetch(self, addr: int) -> SuperBlock:
+        sb = self._cache.get(addr)
+        if sb is None:
+            sb = translate_block(self.binary.block_at(addr))
+            sb = instrument_block(sb, self._track_access)
+            self._cache[addr] = sb
+            self.translations += 1
+            self.ctx.machine.cost.charge_translation(
+                self.ctx.machine.scheduler.current(),
+                f"{self.symbol}@{addr:#x}")
+        return sb
+
+    def _track_access(self, addr: int, size: int, is_write: int) -> None:
+        if is_write:
+            self.ctx.write_mem(addr, size)
+        else:
+            self.ctx.read_mem(addr, size)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def _eval(self, expr: Expr, tmps: List[int]) -> int:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, RdTmp):
+            return tmps[expr.tmp]
+        if isinstance(expr, Get):
+            return self.regs[expr.reg]
+        if isinstance(expr, Binop):
+            return BINOPS[expr.op](self._eval(expr.a, tmps),
+                                   self._eval(expr.b, tmps))
+        if isinstance(expr, Load):
+            addr = self._eval(expr.addr, tmps)
+            # the access event was already emitted by the Dirty hook; read
+            # the value store silently
+            return self.ctx.machine.space.load(addr, expr.size) or 0
+        raise MachineError(f"unknown expr {expr!r}")  # pragma: no cover
+
+    def run(self, entry: Optional[int] = None, *, max_blocks: int = 100_000
+            ) -> None:
+        """Execute from ``entry`` (default: binary base) until halt.
+
+        Runs inside the binary's (uninstrumented) symbol so every access the
+        Dirty hooks emit carries the right provenance.
+        """
+        pc: Optional[int] = entry if entry is not None else self.binary.base
+        with self.ctx.function(self.symbol, instrumented=False,
+                               library=self.library):
+            while pc is not None:
+                self.blocks_executed += 1
+                if self.blocks_executed > max_blocks:
+                    raise MachineError("guest VM block budget exhausted "
+                                       "(infinite loop?)")
+                sb = self._fetch(pc)
+                tmps = [0] * max(sb.n_tmps, 1)
+                next_pc = sb.next_addr
+                for stmt in sb.stmts:
+                    if isinstance(stmt, IMark):
+                        self.ctx.compute(1.0)
+                    elif isinstance(stmt, WrTmp):
+                        tmps[stmt.tmp] = self._eval(stmt.expr, tmps)
+                    elif isinstance(stmt, Put):
+                        self.regs[stmt.reg] = self._eval(stmt.expr, tmps)
+                    elif isinstance(stmt, Store):
+                        addr = self._eval(stmt.addr, tmps)
+                        value = self._eval(stmt.data, tmps)
+                        self.ctx.machine.space.store(addr, stmt.size, value)
+                    elif isinstance(stmt, Dirty):
+                        args = [self._eval(a, tmps) for a in stmt.args]
+                        stmt.callback(*args)
+                    elif isinstance(stmt, Exit):
+                        if self._eval(stmt.guard, tmps):
+                            next_pc = stmt.target
+                            break
+                pc = next_pc

@@ -1,0 +1,5 @@
+"""Workloads: the LULESH proxy app and synthetic task benchmarks."""
+
+from repro.workloads.lulesh import LuleshConfig, run_lulesh
+
+__all__ = ["LuleshConfig", "run_lulesh"]

@@ -1,0 +1,28 @@
+"""Dependent task-based LULESH proxy (paper Section V-B).
+
+The paper evaluates on an OpenMP dependent-task port of LULESH with options
+``-s`` (mesh size; O(s^3) time and memory), ``-tel``/``-tnl`` (tasks per
+elemental/nodal loop), ``-i`` (iterations) and ``-p`` (progress), plus a
+*racy* variant obtained by removing one task dependence.
+
+This proxy keeps exactly what the evaluation needs:
+
+* the O(s^3) field footprint and per-iteration work,
+* the dependent-taskloop structure (halo reads -> in-deps on neighbour
+  chunks, chunk writes -> out-deps),
+* the *deferrable* Taskgrind annotation on every task (the paper's
+  annotation, and the trigger of the modeled 4-thread Taskgrind lock-up),
+* the racy variant: the kinematics phase drops its halo in-dependences, so
+  chunk tasks read velocity halos concurrently with the neighbour chunk's
+  position-phase writes.
+
+The hydro math is a banded-stencil simplification computed with numpy (real
+values flow through the fields; ``origin_energy`` is checkable in tests),
+while memory traffic is recorded as dense interval accesses — the same
+compaction the paper's interval trees apply.
+"""
+
+from repro.workloads.lulesh.driver import LuleshConfig, run_lulesh
+from repro.workloads.lulesh.mesh import Mesh
+
+__all__ = ["LuleshConfig", "run_lulesh", "Mesh"]

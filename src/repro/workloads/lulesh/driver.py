@@ -1,0 +1,138 @@
+"""LULESH proxy driver: the dependent-taskloop structure + CLI options.
+
+Mirrors the paper's invocation ``-s $s -tel 4 -tnl 4 -p -i 4``:
+
+* per iteration, one parallel region whose ``single`` creates, for every
+  phase, one task per chunk (``tnl`` chunks for nodal loops, ``tel`` for
+  elemental ones) with ``depend`` clauses derived from the fields each
+  kernel reads (with halo) and writes;
+* every task carries the Taskgrind *deferrable* annotation (the paper
+  annotated the code so single-thread serialization does not hide the task
+  graph);
+* the force phase allocates and frees per-iteration scratch arrays the way
+  LULESH's hourglass-control code does — under Taskgrind's no-op ``free``
+  these are retained, which is the paper's 6x memory-overhead mechanism;
+* ``racy=True`` removes the kinematics phase's halo in-dependences (the
+  paper: "removing a task dependence to introduce data races
+  intentionally"), making the velocity halo reads race with the neighbour
+  chunk's writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.openmp.api import OmpEnv
+from repro.workloads.lulesh.mesh import ELEM_BYTES, Mesh
+from repro.workloads.lulesh.physics import ELEMENTAL_PHASES, NODAL_PHASES
+
+#: scratch doubles allocated per element per iteration by the force phase
+#: (LULESH's CalcHourglassControlForElems allocates 8-per-node gradients +
+#: per-element work arrays)
+SCRATCH_DOUBLES_PER_ELEM = 64
+
+
+@dataclass
+class LuleshConfig:
+    """The paper's CLI options."""
+
+    s: int = 16                 # mesh size (-s): O(s^3) work and memory
+    tel: int = 4                # tasks per elemental loop (-tel)
+    tnl: int = 4                # tasks per nodal loop (-tnl)
+    iterations: int = 4         # -i
+    progress: bool = False      # -p
+    racy: bool = False          # remove one dependence class
+    annotate: bool = True       # Taskgrind deferrable annotation
+
+
+def _overlapping_chunks(src_parts: int, dst_parts: int, c: int,
+                        halo: bool) -> List[int]:
+    """Indices of src-domain chunks a dst-domain chunk (+halo) touches."""
+    lo = (c * src_parts) // dst_parts
+    hi = ((c + 1) * src_parts - 1) // dst_parts
+    if halo:
+        lo, hi = lo - 1, hi + 1
+    return [i for i in range(lo, hi + 1) if 0 <= i < src_parts]
+
+
+def _phase_tasks(env: OmpEnv, mesh: Mesh, cfg: LuleshConfig,
+                 phases, parts: int, n: int, *, line0: int) -> None:
+    """Create the dependent tasks of one phase group."""
+    ctx = env.ctx
+    chunks = Mesh.chunks(n, parts)
+    for pidx, (pname, kernel, _domain, writes, halo_reads) in enumerate(phases):
+        reads = _phase_reads(pname)
+        for c, (lo, hi) in enumerate(chunks):
+            in_tokens: List[int] = []
+            for fname in reads:
+                field = mesh.fields[fname]
+                src_parts = cfg.tnl if field.n == mesh.numnode else cfg.tel
+                is_halo = fname in halo_reads
+                if cfg.racy and pname == "kinematics" and is_halo:
+                    # the intentionally-removed dependence: only the local
+                    # chunk is declared, the halo read is unprotected
+                    is_halo = False
+                for sc in _overlapping_chunks(src_parts, parts, c, is_halo):
+                    in_tokens.append(mesh.fields[fname].dep_token(sc))
+            out_tokens = [mesh.fields[w].dep_token(c) for w in writes]
+            ctx.line(line0 + pidx)
+
+            def body(tv, kernel=kernel, lo=lo, hi=hi, pname=pname):
+                if pname == "force":
+                    _force_scratch(env, mesh, lo, hi)
+                kernel(ctx, mesh, lo, hi)
+
+            env.task(body, depend={"in": in_tokens, "out": out_tokens},
+                     name=f"lulesh.{pname}",
+                     annotate_deferrable=cfg.annotate)
+
+
+def _phase_reads(pname: str) -> Tuple[str, ...]:
+    """Input fields per kernel (matches the kernels in physics.py)."""
+    return {
+        "force": ("p",),
+        "accelvel": ("fx", "nodal_mass", "xd"),
+        "position": ("xd", "x"),
+        "kinematics": ("xd",),
+        "q": ("delv",),
+        "material": ("delv", "q", "e"),
+        "volume": ("delv", "v"),
+    }[pname]
+
+
+def _force_scratch(env: OmpEnv, mesh: Mesh, lo: int, hi: int) -> None:
+    """Per-task scratch arrays, allocated and freed like LULESH's hourglass
+    gradients.  Taskgrind's no-op free retains every one of them.
+
+    The buffer element width is one cacheline: streaming writes through
+    scratch run at line granularity, keeping the force phase ~3-5x the other
+    kernels (as in LULESH) instead of drowning them.
+    """
+    ctx = env.ctx
+    nbytes = (hi - lo) * SCRATCH_DOUBLES_PER_ELEM * ELEM_BYTES
+    lines = max(1, nbytes // 64)
+    scratch = ctx.malloc(max(nbytes, 64), name="hg_scratch",
+                         elem=64, line=171)
+    scratch.write_range(0, lines, line=172)
+    scratch.read_range(0, lines, line=173)
+    ctx.free(scratch)
+
+
+def run_lulesh(env: OmpEnv, cfg: LuleshConfig) -> Mesh:
+    """Run the proxy; returns the mesh (for energy checks)."""
+    ctx = env.ctx
+    with ctx.function("lulesh_main", file="lulesh.cc", line=2):
+        mesh = Mesh(ctx, cfg.s)
+        for it in range(cfg.iterations):
+            def single_body() -> None:
+                _phase_tasks(env, mesh, cfg, NODAL_PHASES, cfg.tnl,
+                             mesh.numnode, line0=100)
+                _phase_tasks(env, mesh, cfg, ELEMENTAL_PHASES, cfg.tel,
+                             mesh.numelem, line0=130)
+                env.taskwait()
+            ctx.line(50 + it)
+            env.parallel_single(single_body, num_threads=env.nthreads)
+            if cfg.progress:
+                ctx.compute(10.0)        # the -p progress printf
+    return mesh

@@ -1,0 +1,108 @@
+"""Mesh fields: numpy-backed arrays registered in simulated memory.
+
+A :class:`Field` owns a heap allocation in the simulated address space (so
+race analysis sees real addresses, allocation sites and block metadata) and a
+numpy array holding the actual values (so the proxy physics computes real
+numbers).  Slice reads/writes emit one dense interval access event each —
+the access pattern the paper's interval trees compact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.machine.program import Buffer, GuestContext
+
+ELEM_BYTES = 8
+
+
+class Field:
+    """One mesh field: simulated allocation + numpy payload."""
+
+    def __init__(self, ctx: GuestContext, name: str, n: int,
+                 init: float = 0.0, line: int = 0) -> None:
+        self.ctx = ctx
+        self.name = name
+        self.n = n
+        self.buf: Buffer = ctx.malloc(n * ELEM_BYTES, name=name,
+                                      elem=ELEM_BYTES, line=line)
+        self.data = np.full(n, init, dtype=np.float64)
+
+    # -- dependence tokens --------------------------------------------------
+
+    def dep_token(self, chunk: int) -> int:
+        """Canonical depend-clause address for (field, chunk)."""
+        return self.buf.addr + chunk
+
+    # -- instrumented slice access -------------------------------------------
+
+    def read(self, lo: int, hi: int, *, line: Optional[int] = None
+             ) -> np.ndarray:
+        lo, hi = max(0, lo), min(self.n, hi)
+        if hi <= lo:
+            return self.data[0:0]
+        self.buf.read_range(lo, hi, line=line)
+        return self.data[lo:hi]
+
+    def write(self, lo: int, hi: int, values, *,
+              line: Optional[int] = None) -> None:
+        lo, hi = max(0, lo), min(self.n, hi)
+        if hi <= lo:
+            return
+        self.buf.write_range(lo, hi, line=line)
+        self.data[lo:hi] = values
+
+    def rmw(self, lo: int, hi: int, fn, *, line: Optional[int] = None) -> None:
+        """Read-modify-write of a slice (one read + one write event)."""
+        lo, hi = max(0, lo), min(self.n, hi)
+        if hi <= lo:
+            return
+        self.buf.read_range(lo, hi, line=line)
+        self.buf.write_range(lo, hi, line=line)
+        self.data[lo:hi] = fn(self.data[lo:hi])
+
+
+class Mesh:
+    """The problem state: O(s^3) elements, ~18 fields (nodal + elemental)."""
+
+    NODAL = ("x", "xd", "xdd", "fx", "fy", "fz", "nodal_mass")
+    ELEMENTAL = ("e", "p", "q", "v", "delv", "vdov", "arealg", "ss",
+                 "elem_mass", "vnew", "qq", "ql")
+
+    def __init__(self, ctx: GuestContext, s: int) -> None:
+        self.ctx = ctx
+        self.s = s
+        self.numelem = s ** 3
+        self.numnode = (s + 1) ** 3
+        self.fields: Dict[str, Field] = {}
+        line = 30
+        for name in self.NODAL:
+            init = 1.0 if name == "nodal_mass" else 0.0
+            self.fields[name] = Field(ctx, name, self.numnode, init=init,
+                                      line=line)
+            line += 1
+        for name in self.ELEMENTAL:
+            init = 1.0 if name in ("v", "elem_mass") else 0.0
+            self.fields[name] = Field(ctx, name, self.numelem, init=init,
+                                      line=line)
+            line += 1
+        # deposit the initial energy at the origin (the LULESH Sedov setup)
+        self.fields["e"].data[0] = 3.948746e7
+
+    def __getattr__(self, name: str) -> Field:
+        fields = object.__getattribute__(self, "__dict__").get("fields")
+        if fields and name in fields:
+            return fields[name]
+        raise AttributeError(name)
+
+    def origin_energy(self) -> float:
+        """Final energy of the origin element (LULESH's check figure)."""
+        return float(self.fields["e"].data[0])
+
+    @staticmethod
+    def chunks(n: int, parts: int) -> List[Tuple[int, int]]:
+        """Split ``[0, n)`` into ``parts`` contiguous chunks."""
+        size = (n + parts - 1) // parts
+        return [(i, min(i + size, n)) for i in range(0, n, size)]

@@ -1,0 +1,120 @@
+"""Simplified Lagrangian hydro kernels (banded-stencil form).
+
+Each kernel processes one chunk ``[lo, hi)`` of a field: it reads its inputs
+(with a one-element halo where the real code gathers over the element-node
+connectivity), computes with numpy, writes its output slice, and charges the
+cost model with a per-element flop count in the right ballpark for LULESH.
+
+The kernels are deliberately *determinate*: given the same input chunking
+they produce the same field values in any task order — unless the racy
+variant drops the halo dependences, in which case the values genuinely depend
+on the schedule (verified in ``tests/workloads/test_lulesh.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.lulesh.mesh import Mesh
+
+#: non-memory op charge per element per kernel (cost-model units; paired
+#: with ~12 access ops per element so memory traffic is ~55% of the mix,
+#: the ratio that reproduces the paper's tool slowdowns)
+FLOPS_PER_ELEM = 10.0
+DT = 1.0e-7
+Q_COEF = 2.0
+EOS_GAMMA = 1.4e-6
+
+
+def _charge(ctx, lo: int, hi: int) -> None:
+    ctx.compute((hi - lo) * FLOPS_PER_ELEM)
+
+
+def calc_force(ctx, mesh: Mesh, lo: int, hi: int) -> None:
+    """Nodal force from the pressure gradient (halo read of p)."""
+    n = mesh.fx.n
+    p = mesh.p
+    left = p.read(max(0, lo - 1), min(p.n, hi - 1), line=101)
+    right = p.read(min(lo + 1, p.n), min(p.n, hi + 1), line=102)
+    width = hi - lo
+    grad = np.zeros(width)
+    grad[:len(left)] -= left[:width]
+    grad[:len(right)] += right[:width]
+    mesh.fx.write(lo, hi, -grad, line=103)
+    _charge(ctx, lo, hi)
+
+
+def calc_accel_vel(ctx, mesh: Mesh, lo: int, hi: int) -> None:
+    """a = F/m; v += a dt."""
+    f = mesh.fx.read(lo, hi, line=111)
+    m = mesh.nodal_mass.read(lo, hi, line=112)
+    mesh.xdd.write(lo, hi, f / m, line=113)
+    a = mesh.xdd.read(lo, hi, line=114)
+    mesh.xd.rmw(lo, hi, lambda v: v + a * DT, line=115)
+    _charge(ctx, lo, hi)
+
+
+def calc_position(ctx, mesh: Mesh, lo: int, hi: int) -> None:
+    """x += v dt."""
+    v = mesh.xd.read(lo, hi, line=121)
+    mesh.x.rmw(lo, hi, lambda x: x + v * DT, line=122)
+    _charge(ctx, lo, hi)
+
+
+def calc_kinematics(ctx, mesh: Mesh, lo: int, hi: int, *,
+                    halo: bool = True) -> None:
+    """delv = div(v) over the element chunk (halo read of xd)."""
+    rlo = lo - 1 if halo else lo
+    rhi = hi + 1 if halo else hi
+    v = mesh.xd.read(max(0, rlo), min(mesh.xd.n, rhi), line=131)
+    width = hi - lo
+    dv = np.zeros(width)
+    if len(v) >= 2:
+        d = np.diff(v)
+        dv[:min(width, len(d))] = d[:width]
+    mesh.delv.write(lo, hi, dv, line=132)
+    _charge(ctx, lo, hi)
+
+
+def calc_q(ctx, mesh: Mesh, lo: int, hi: int) -> None:
+    """Artificial viscosity from the velocity divergence."""
+    dv = mesh.delv.read(lo, hi, line=141)
+    q = np.where(dv < 0.0, Q_COEF * dv * dv, 0.0)
+    mesh.q.write(lo, hi, q, line=142)
+    _charge(ctx, lo, hi)
+
+
+def apply_material(ctx, mesh: Mesh, lo: int, hi: int) -> None:
+    """EOS: update energy and pressure."""
+    dv = mesh.delv.read(lo, hi, line=151)
+    q = mesh.q.read(lo, hi, line=152)
+    e = mesh.e.read(lo, hi, line=153)
+    e_new = np.maximum(e - 0.5 * dv * (e * EOS_GAMMA + q), 0.0)
+    mesh.e.write(lo, hi, e_new, line=154)
+    mesh.p.write(lo, hi, EOS_GAMMA * e_new, line=155)
+    mesh.ss.write(lo, hi, np.sqrt(np.abs(EOS_GAMMA * e_new) + 1e-30),
+                  line=156)
+    _charge(ctx, lo, hi)
+
+
+def update_volume(ctx, mesh: Mesh, lo: int, hi: int) -> None:
+    """v *= (1 + delv), clipped to stay physical."""
+    dv = mesh.delv.read(lo, hi, line=161)
+    mesh.v.rmw(lo, hi, lambda v: np.clip(v * (1.0 + dv), 0.1, 10.0),
+               line=162)
+    _charge(ctx, lo, hi)
+
+
+#: (name, kernel, field domain, writes-token fields, halo-read fields)
+NODAL_PHASES = [
+    ("force", calc_force, "node", ("fx",), ("p",)),
+    ("accelvel", calc_accel_vel, "node", ("xdd", "xd"), ()),
+    ("position", calc_position, "node", ("x",), ()),
+]
+
+ELEMENTAL_PHASES = [
+    ("kinematics", calc_kinematics, "elem", ("delv",), ("xd",)),
+    ("q", calc_q, "elem", ("q",), ()),
+    ("material", apply_material, "elem", ("e", "p", "ss"), ()),
+    ("volume", update_volume, "elem", ("v",), ()),
+]

@@ -1,0 +1,136 @@
+"""Tests for the shadow interval map and vector clocks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.shadow import IntervalMap
+from repro.baselines.vector_clock import SyncVar, VectorClock
+
+
+class TestIntervalMap:
+    def test_empty(self):
+        m = IntervalMap()
+        assert len(m) == 0
+        assert m.get_point(5) is None
+        assert m.overlaps(0, 100) == []
+
+    def test_set_and_get(self):
+        m = IntervalMap()
+        m.update(10, 20, lambda _: "a")
+        assert m.get_point(10) == "a"
+        assert m.get_point(19) == "a"
+        assert m.get_point(20) is None
+
+    def test_partial_overwrite_splits(self):
+        m = IntervalMap()
+        m.update(0, 30, lambda _: "a")
+        m.update(10, 20, lambda _: "b")
+        assert m.get_point(5) == "a"
+        assert m.get_point(15) == "b"
+        assert m.get_point(25) == "a"
+        assert len(m) == 3
+
+    def test_update_sees_old_values(self):
+        m = IntervalMap()
+        m.update(0, 10, lambda _: 1)
+        m.update(5, 15, lambda v: (v or 0) + 1)
+        assert m.get_point(2) == 1
+        assert m.get_point(7) == 2
+        assert m.get_point(12) == 1
+
+    def test_gap_handling(self):
+        m = IntervalMap()
+        m.update(0, 5, lambda _: "x")
+        m.update(10, 15, lambda _: "x")
+        seen = []
+        m.update(0, 15, lambda v: seen.append(v) or "y")
+        assert None in seen                 # the gap [5,10) was offered
+        assert m.get_point(7) == "y"
+
+    def test_remove_via_none(self):
+        m = IntervalMap()
+        m.update(0, 20, lambda _: "a")
+        m.clear_range(5, 15)
+        assert m.get_point(2) == "a"
+        assert m.get_point(10) is None
+        assert m.get_point(17) == "a"
+
+    def test_overlaps_listing(self):
+        m = IntervalMap()
+        m.update(0, 5, lambda _: 1)
+        m.update(10, 15, lambda _: 2)
+        hits = m.overlaps(3, 12)
+        assert [(lo, hi) for lo, hi, _v in hits] == [(0, 5), (10, 15)]
+
+    def test_covered_bytes(self):
+        m = IntervalMap()
+        m.update(0, 8, lambda _: 1)
+        m.update(16, 24, lambda _: 1)
+        assert m.covered_bytes == 16
+
+    @given(st.lists(st.tuples(st.integers(0, 200), st.integers(1, 40),
+                              st.integers(0, 5)), max_size=40))
+    @settings(max_examples=150, deadline=None)
+    def test_property_matches_dict_oracle(self, ops):
+        m = IntervalMap()
+        oracle = {}
+        for lo, sz, val in ops:
+            hi = lo + sz
+            m.update(lo, hi, lambda _v, val=val: val)
+            for a in range(lo, hi):
+                oracle[a] = val
+        for a in range(0, 250):
+            assert m.get_point(a) == oracle.get(a), a
+        # disjointness + sortedness invariants
+        entries = list(m)
+        for (l1, h1, _), (l2, h2, _) in zip(entries, entries[1:]):
+            assert h1 <= l2
+
+
+class TestVectorClock:
+    def test_tick_and_get(self):
+        vc = VectorClock()
+        assert vc.get(3) == 0
+        assert vc.tick(3) == 1
+        assert vc.tick(3) == 2
+        assert vc.get(3) == 2
+
+    def test_join_is_pointwise_max(self):
+        a = VectorClock({0: 5, 1: 1})
+        b = VectorClock({1: 7, 2: 2})
+        a.join(b)
+        assert a.get(0) == 5 and a.get(1) == 7 and a.get(2) == 2
+
+    def test_dominates_epoch(self):
+        vc = VectorClock({0: 5})
+        assert vc.dominates_epoch((0, 5))
+        assert vc.dominates_epoch((0, 3))
+        assert not vc.dominates_epoch((0, 6))
+        assert not vc.dominates_epoch((1, 1))
+
+    def test_copy_independent(self):
+        a = VectorClock({0: 1})
+        b = a.copy()
+        b.tick(0)
+        assert a.get(0) == 1
+
+    def test_release_acquire_transfers_clock(self):
+        a, b = VectorClock(), VectorClock()
+        a.tick(0)
+        sv = SyncVar()
+        sv.release(a)
+        sv.acquire(b)
+        assert b.dominates_epoch((0, 1))
+
+    def test_release_acquire_chain(self):
+        """HB transitivity through two sync vars."""
+        t0, t1, t2 = VectorClock(), VectorClock(), VectorClock()
+        t0.tick(0)
+        m1, m2 = SyncVar(), SyncVar()
+        m1.release(t0)
+        m1.acquire(t1)
+        t1.tick(1)
+        m2.release(t1)
+        m2.acquire(t2)
+        assert t2.dominates_epoch((0, 1))
+        assert t2.dominates_epoch((1, 1))

@@ -1,0 +1,342 @@
+"""Integration tests for the modeled baseline tools (Archer, TaskSanitizer,
+ROMP) — each test pins one of the capability-matrix mechanisms that produce
+the paper's Table I patterns."""
+
+import pytest
+
+from repro.baselines.archer import ArcherTool
+from repro.baselines.romp import RompTool
+from repro.baselines.tasksanitizer import TaskSanitizerTool
+from repro.bench.programs import BenchProgram
+from repro.errors import GuestCrash, NoCompilerSupport
+from repro.machine.machine import Machine
+from repro.openmp.api import make_env
+
+
+def run_tool(tool, body, nthreads=4, seed=0):
+    machine = Machine(seed=seed)
+    machine.add_tool(tool)
+    env = make_env(machine, nthreads=nthreads)
+    env.rt.ompt.register(tool.make_ompt_shim())
+
+    def main():
+        with env.ctx.function("main", line=1):
+            body(env)
+    machine.run(main)
+    return tool.finalize(), machine
+
+
+def racy_pair(env):
+    """Two unordered tasks writing the same heap word."""
+    x = env.ctx.malloc(8)
+
+    def make():
+        env.task(lambda tv: x.write(0, line=8))
+        env.task(lambda tv: x.write(0, line=11))
+        env.taskwait()
+    env.parallel_single(make)
+
+
+def dep_ordered_pair(env):
+    x = env.ctx.malloc(8)
+
+    def make():
+        env.task(lambda tv: x.write(0), depend={"out": [x]})
+        env.task(lambda tv: x.write(0), depend={"inout": [x]})
+        env.taskwait()
+    env.parallel_single(make)
+
+
+class TestArcher:
+    def test_detects_cross_thread_race(self):
+        hits = 0
+        for seed in range(6):
+            reports, _ = run_tool(ArcherTool(), racy_pair, seed=seed)
+            hits += bool(reports)
+        assert hits >= 1      # schedule-sensitive, must fire somewhere
+
+    def test_honors_dependences(self):
+        for seed in range(4):
+            reports, _ = run_tool(ArcherTool(), dep_ordered_pair, seed=seed)
+            assert reports == []
+
+    def test_serialized_run_reports_nothing(self):
+        """The paper's single-thread LULESH observation."""
+        reports, _ = run_tool(ArcherTool(), racy_pair, nthreads=1)
+        assert reports == []
+
+    def test_misses_uninstrumented_accesses(self):
+        def body(env):
+            x = env.ctx.malloc(8)
+            ctx = env.ctx
+
+            def writer(tv):
+                with ctx.function("vendor_blob", instrumented=False,
+                                  library="libvendor.so"):
+                    x.write(0)
+
+            def make():
+                env.task(writer)
+                env.task(writer)
+                env.taskwait()
+            env.parallel_single(make)
+
+        for seed in range(6):
+            reports, _ = run_tool(ArcherTool(), body, seed=seed)
+            assert reports == []       # the DBI motivation: Archer is blind
+
+    def test_critical_establishes_hb(self):
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def region(tid):
+                with env.critical("c"):
+                    x.write(0)
+            env.parallel(region)
+
+        for seed in range(4):
+            reports, _ = run_tool(ArcherTool(), body, seed=seed)
+            assert reports == []
+
+    def test_taskwait_establishes_hb(self):
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def make():
+                env.task(lambda tv: x.write(0))
+                env.taskwait()
+                x.write(0)
+            env.parallel_single(make)
+
+        for seed in range(4):
+            reports, _ = run_tool(ArcherTool(), body, seed=seed)
+            assert reports == []
+
+    def test_barrier_establishes_hb(self):
+        def body(env):
+            x = env.ctx.global_var("g", 8, elem=8)
+
+            def region(tid):
+                if env.thread_num() == 0:
+                    x.write(0)
+                env.barrier()
+                if env.thread_num() == 1:
+                    x.write(0)
+            env.parallel(region)
+
+        for seed in range(4):
+            reports, _ = run_tool(ArcherTool(), body, seed=seed)
+            assert reports == []
+
+    def test_memory_scales_with_threads(self):
+        t1 = ArcherTool()
+        _, m1 = run_tool(t1, racy_pair, nthreads=1)
+        t4 = ArcherTool()
+        _, m4 = run_tool(t4, racy_pair, nthreads=4)
+        assert m4.memory_meter().tool_bytes > m1.memory_meter().tool_bytes
+
+    def test_gapped_mode_defaults_off(self):
+        assert ArcherTool().dep_hb == "full"
+
+    def test_gapped_mode_can_miss_dependence_hb(self):
+        """With the libomp-annotation-gap model on, some stolen dependence
+        edges lose their happens-before: a dep-ordered chain can FP."""
+        def long_chain(env):
+            x = env.ctx.malloc(8)
+            tok = env.ctx.malloc(8)
+
+            def make():
+                for _ in range(40):
+                    env.task(lambda tv: x.write(0),
+                             depend={"inout": [tok]})
+                env.taskwait()
+            env.parallel_single(make)
+
+        fp_seen = gap_seen = 0
+        for seed in range(6):
+            tool = ArcherTool(dep_hb="gapped")
+            reports, _ = run_tool(tool, long_chain, seed=seed)
+            gap_seen += tool.gapped_edges
+            fp_seen += bool(reports)
+        assert gap_seen > 0
+        assert fp_seen > 0
+        # and the ideal-OMPT default never FPs on the same program
+        for seed in range(4):
+            tool = ArcherTool()
+            reports, _ = run_tool(tool, long_chain, seed=seed)
+            assert reports == []
+
+
+class TestTaskSanitizer:
+    def test_compile_gate(self):
+        prog = BenchProgram(name="p", racy=False, entry=lambda env: None,
+                            min_clang=9)
+        with pytest.raises(NoCompilerSupport):
+            TaskSanitizerTool().compile_check(prog)
+        ok = BenchProgram(name="p2", racy=False, entry=lambda env: None,
+                          min_clang=8)
+        TaskSanitizerTool().compile_check(ok)      # no raise
+
+    def test_detects_logical_race_deterministically(self):
+        """Segment-based: detection does not depend on the schedule."""
+        for seed in range(4):
+            reports, _ = run_tool(TaskSanitizerTool(), racy_pair, seed=seed)
+            assert reports
+
+    def test_undeferred_not_honored(self):
+        """DRB122 mechanism."""
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def make():
+                env.task(lambda tv: x.write(0), if_=False)
+                x.read(0)
+            env.parallel_single(make)
+
+        reports, _ = run_tool(TaskSanitizerTool(), body)
+        assert reports
+
+    def test_inoutset_not_honored(self):
+        """Members of an inoutset are (wrongly) left unordered vs writers...
+        actually: inoutset dependences are dropped entirely, so an
+        out->inoutset chain looks parallel."""
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def make():
+                env.task(lambda tv: x.write(0), depend={"out": [x]})
+                env.task(lambda tv: x.write(0), depend={"inoutset": [x]})
+                env.taskwait()
+            env.parallel_single(make)
+
+        reports, _ = run_tool(TaskSanitizerTool(), body)
+        assert reports                       # FP: the chain was ordered
+
+    def test_global_dep_matching_orders_non_siblings(self):
+        """DRB173 FN mechanism."""
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def outer(tv):
+                env.task(lambda tv2: x.write(0), depend={"out": [x]})
+                env.taskwait()
+
+            def make():
+                env.task(lambda tv: x.write(0), depend={"out": [x]})
+                env.task(outer)
+                env.taskwait()
+            env.parallel_single(make)
+
+        reports, _ = run_tool(TaskSanitizerTool(), body)
+        assert reports == []                 # FN: falsely ordered
+
+    def test_allocation_epochs_defeat_recycling(self):
+        def body(env):
+            def task_body(tv):
+                x = env.ctx.malloc(4)
+                x.write(0)
+                env.ctx.free(x)
+
+            def make():
+                env.task(task_body)
+                env.task(task_body)
+                env.taskwait()
+            env.parallel_single(make, num_threads=1)
+
+        reports, _ = run_tool(TaskSanitizerTool(), body, nthreads=1)
+        assert reports == []
+
+    def test_no_stack_suppression(self):
+        """TMB 1003 mechanism: own-frame aliasing at one thread is an FP."""
+        def body(env):
+            def task_body(tv):
+                z = env.ctx.stack_var("z", 8, elem=8)
+                z.write(0)
+
+            def make():
+                env.task(task_body)
+                env.task(task_body)
+                env.taskwait()
+            env.parallel_single(make, num_threads=1)
+
+        reports, _ = run_tool(TaskSanitizerTool(), body, nthreads=1)
+        assert reports
+
+
+class TestRomp:
+    def test_segv_gate(self):
+        prog = BenchProgram(name="p", racy=False, entry=lambda env: None,
+                            features=frozenset({"romp-segv"}))
+        with pytest.raises(GuestCrash):
+            RompTool().compile_check(prog)
+
+    def test_detects_logical_race(self):
+        reports, _ = run_tool(RompTool(), racy_pair)
+        assert reports
+
+    def test_coarse_stack_filter_hides_single_thread_races(self):
+        """TMB 1001 @ 1 thread: ROMP FN, unlike Taskgrind."""
+        def body(env):
+            y = env.ctx.stack_var("y", 8, elem=8)
+
+            def make():
+                env.task(lambda tv: y.write(0))
+                env.task(lambda tv: y.write(0))
+                env.taskwait()
+            env.parallel_single(make)
+
+        reports, _ = run_tool(RompTool(), body, nthreads=1)
+        assert reports == []
+
+    def test_arena_descriptors_excluded(self):
+        def body(env):
+            k = env.ctx.stack_var("k", 8, elem=8)
+
+            def make():
+                for n in range(2):
+                    k.write(0, n)
+                    env.task(lambda tv: tv.private_value("k"),
+                             firstprivate={"k": k})
+                env.taskwait()
+            env.parallel_single(make)
+
+        reports, _ = run_tool(RompTool(), body)
+        assert reports == []
+
+    def test_history_blowup_crash(self):
+        tool = RompTool(memory_cap=1 << 20)     # tiny cap
+
+        def body(env):
+            a = env.ctx.malloc(8 * 8192, elem=8)
+
+            def make():
+                env.task(lambda tv: a.write_range(0, 8192))
+                env.taskwait()
+            env.parallel_single(make)
+
+        with pytest.raises(GuestCrash):
+            run_tool(tool, body)
+
+    def test_region_crash_hook(self):
+        tool = RompTool(crash_after_regions=1)
+
+        def body(env):
+            env.parallel(lambda tid: None)
+
+        with pytest.raises(GuestCrash):
+            run_tool(tool, body)
+
+    def test_memory_grows_with_access_volume(self):
+        def body(env, n):
+            a = env.ctx.malloc(8 * n, elem=8)
+
+            def make():
+                env.task(lambda tv: a.write_range(0, n))
+                env.taskwait()
+            env.parallel_single(make)
+
+        small = RompTool()
+        run_tool(small, lambda env: body(env, 64))
+        big = RompTool()
+        run_tool(big, lambda env: body(env, 4096))
+        assert big.history_records > 10 * small.history_records

@@ -1,0 +1,121 @@
+"""Tests for the FastTrack-style TSan core."""
+
+import pytest
+
+from repro.baselines.tsan import TsanCore
+
+
+class TestRaceDetection:
+    def test_ww_race_between_threads(self):
+        core = TsanCore()
+        core.on_write(0, 100, 108, None)
+        core.on_write(1, 100, 108, None)
+        assert len(core.races) == 1
+        assert core.races[0].kind == "ww"
+
+    def test_wr_race(self):
+        core = TsanCore()
+        core.on_write(0, 100, 108, None)
+        core.on_read(1, 100, 108, None)
+        assert core.races and core.races[0].kind == "wr"
+
+    def test_rw_race(self):
+        core = TsanCore()
+        core.on_read(0, 100, 108, None)
+        core.on_write(1, 100, 108, None)
+        assert core.races and core.races[0].kind == "rw"
+
+    def test_rr_no_race(self):
+        core = TsanCore()
+        core.on_read(0, 100, 108, None)
+        core.on_read(1, 100, 108, None)
+        assert core.races == []
+
+    def test_same_thread_program_order(self):
+        """Thread-centricity: one thread never races with itself."""
+        core = TsanCore()
+        core.on_write(0, 100, 108, None)
+        core.on_read(0, 100, 108, None)
+        core.on_write(0, 100, 108, None)
+        assert core.races == []
+
+    def test_release_acquire_suppresses(self):
+        core = TsanCore()
+        core.on_write(0, 100, 108, None)
+        core.release(0, "m")
+        core.acquire(1, "m")
+        core.on_write(1, 100, 108, None)
+        assert core.races == []
+
+    def test_release_without_acquire_insufficient(self):
+        core = TsanCore()
+        core.on_write(0, 100, 108, None)
+        core.release(0, "m")
+        core.on_write(1, 100, 108, None)     # never acquired
+        assert len(core.races) == 1
+
+    def test_partial_overlap_detected(self):
+        core = TsanCore()
+        core.on_write(0, 100, 116, None)
+        core.on_write(1, 108, 124, None)
+        assert len(core.races) >= 1
+
+    def test_disjoint_no_race(self):
+        core = TsanCore()
+        core.on_write(0, 100, 108, None)
+        core.on_write(1, 108, 116, None)
+        assert core.races == []
+
+    def test_multiple_readers_then_writer(self):
+        """The writer must race with *every* unordered reader."""
+        core = TsanCore()
+        core.on_read(0, 100, 108, None)
+        core.on_read(1, 100, 108, None)
+        core.on_write(2, 100, 108, None)
+        assert len(core.races) == 2
+
+    def test_write_clears_read_history(self):
+        core = TsanCore()
+        core.on_read(0, 100, 108, None)
+        core.release(0, "m")
+        core.acquire(1, "m")
+        core.on_write(1, 100, 108, None)     # ordered after the read
+        core.on_write(1, 100, 108, None)
+        assert core.races == []
+
+
+class TestFreeClearing:
+    def test_recycling_no_false_positive(self):
+        """TSan clears shadow on free: the Section IV-B pattern is clean."""
+        core = TsanCore()
+        core.on_write(0, 100, 108, None)
+        core.on_free_range(100, 108)
+        core.on_write(1, 100, 108, None)     # fresh allocation, same address
+        assert core.races == []
+
+    def test_partial_free(self):
+        core = TsanCore()
+        core.on_write(0, 100, 116, None)
+        core.on_free_range(100, 108)
+        core.on_write(1, 100, 108, None)     # freed part: clean
+        assert core.races == []
+        core.on_write(1, 108, 116, None)     # unfreed part: race
+        assert len(core.races) == 1
+
+
+class TestDeduplication:
+    def test_unique_by_location_pair(self):
+        from repro.machine.debuginfo import SourceLocation
+        core = TsanCore()
+        la = SourceLocation("a.c", 10)
+        lb = SourceLocation("a.c", 20)
+        for i in range(5):
+            core.on_write(0, 100 + 64 * i, 108 + 64 * i, la)
+            core.on_write(1, 100 + 64 * i, 108 + 64 * i, lb)
+        assert len(core.races) == 5
+        assert len(core.unique_races()) == 1
+
+    def test_memory_accounting(self):
+        core = TsanCore()
+        core.on_write(0, 0, 4096, None)
+        assert core.memory_bytes(shadow_per_app_byte=4) >= 4 * 4096

@@ -1,0 +1,51 @@
+"""Tests for the extended (beyond-Table-I) microbenchmark suite."""
+
+import pytest
+
+from repro.baselines.common import Verdict
+from repro.bench import extras
+from repro.bench.runner import run_benchmark
+
+
+class TestExtrasSuite:
+    def test_registry(self):
+        programs = extras.all_programs()
+        assert len(programs) == 15
+        assert len({p.name for p in programs}) == 15
+
+    def test_all_rows_match_expected(self):
+        rows, matches = extras.run_extras()
+        assert matches == len(rows)
+
+    @pytest.mark.parametrize("name", [p.name for p in extras.all_programs()])
+    def test_row(self, name):
+        program = extras.by_name(name)
+        result = run_benchmark(program, "taskgrind", nthreads=4, seed=2)
+        assert result.cell() == program.expected["taskgrind"], \
+            program.description
+
+
+class TestCrossToolContrasts:
+    def test_archer_silent_on_critical(self):
+        """x006: Archer models mutexes (TN) where Taskgrind reports (FP) —
+        the support matrix the paper states in Section VI.b."""
+        program = extras.by_name("x006-critical-is-not-ordering")
+        archer = run_benchmark(program, "archer", nthreads=4, seed=2)
+        assert archer.verdict == Verdict.TN
+        tg = run_benchmark(program, "taskgrind", nthreads=4, seed=2)
+        assert tg.verdict == Verdict.FP
+
+    def test_detach_contrast_with_tasksanitizer(self):
+        """x001: TaskSanitizer lacks detach support; the detach-carried
+        ordering is invisible, so it reports the dependent reader."""
+        program = extras.by_name("x001-detach-fulfilled-orders")
+        tsan = run_benchmark(program, "tasksanitizer", nthreads=4, seed=2)
+        assert tsan.verdict == Verdict.FP
+        tg = run_benchmark(program, "taskgrind", nthreads=4, seed=2)
+        assert tg.verdict == Verdict.TN
+
+    def test_nested_race_found_by_segment_tools(self):
+        program = extras.by_name("x009-nested-parallel-shared-race")
+        for tool in ("taskgrind", "romp"):
+            result = run_benchmark(program, tool, nthreads=2, seed=2)
+            assert result.verdict == Verdict.TP, tool

@@ -1,0 +1,69 @@
+"""Tests for the bench harness modules themselves (table1/table2/fig4/CSV)."""
+
+import pytest
+
+from repro.bench.fig4 import measure, run_fig4, to_csv
+from repro.bench.table1 import Table1Row, render, run_table1
+from repro.bench.table2 import Cell, run_cell
+
+
+class TestFig4Harness:
+    def test_measure_reference_point(self):
+        p = measure("none", 4, 4)
+        assert p.time_s > 0 and p.mem_mib > 0 and not p.crashed
+
+    def test_sweep_structure(self):
+        points = run_fig4(sizes=(4,))
+        assert {(p.tool, p.nthreads) for p in points} == {
+            ("none", 4), ("archer", 4), ("taskgrind", 1)}
+
+    def test_csv_format(self):
+        points = run_fig4(sizes=(4,))
+        csv = to_csv(points)
+        lines = csv.splitlines()
+        assert lines[0] == "tool,threads,s,time_s,mem_mib,crashed"
+        assert len(lines) == 4
+        for line in lines[1:]:
+            assert len(line.split(",")) == 6
+
+    def test_taskgrind_measured_single_threaded(self):
+        p = measure("taskgrind", 4, 1)
+        assert not p.crashed              # 1 thread: no lock-up
+
+
+class TestTable2Harness:
+    def test_cell_formatting(self):
+        c = Cell(time_s=1.234, mem_mib=63.7, reports="5")
+        assert c.fmt_time() == "1.23"
+        assert c.fmt_mem() == "64"
+        assert c.fmt_reports() == "5"
+
+    def test_deadlock_cell(self):
+        c = Cell(deadlock=True)
+        assert c.fmt_time() == c.fmt_mem() == c.fmt_reports() == "deadlock"
+
+    def test_run_cell_reference(self):
+        c = run_cell("none", racy=False, nthreads=1, s=4)
+        assert not c.deadlock and c.reports == "0"
+
+
+class TestTable1Harness:
+    def test_row_matching_logic(self):
+        row = Table1Row(program="p", block="drb", racy=True,
+                        measured={"archer": "TP"},
+                        expected={"archer": "FN/TP"})
+        assert row.matches("archer") is True
+        row.expected["archer"] = "FN"
+        assert row.matches("archer") is False
+        assert row.matches("romp") is None
+
+    def test_render_marks_mismatches(self):
+        rows = [Table1Row(program="p", block="drb", racy=False,
+                          measured={t: "TN" for t in
+                                    ("tasksanitizer", "archer", "romp",
+                                     "taskgrind")},
+                          expected={"tasksanitizer": "FP", "archer": "TN",
+                                    "romp": "TN", "taskgrind": "TN"})]
+        text = render(rows)
+        assert "TN (FP) *" in text
+        assert "TN (TN)" in text

@@ -1,0 +1,76 @@
+"""Row-by-row regression net for Table I.
+
+Every (program, tool, thread-count) cell that is deterministic in our
+simulation (everything except Archer's schedule-sensitive cells) is pinned
+to the paper's value, so a regression in any mechanism fails with the exact
+benchmark and tool named.
+"""
+
+import pytest
+
+from repro.bench import drb, tmb
+from repro.bench.runner import run_benchmark
+
+SEED = 2
+DETERMINISTIC_TOOLS = ("tasksanitizer", "romp", "taskgrind")
+
+DRB_CASES = [(p.name, tool) for p in drb.all_programs()
+             for tool in DETERMINISTIC_TOOLS]
+TMB_CASES = [(p.name, tool, nthreads)
+             for p in tmb.all_programs()
+             for tool in DETERMINISTIC_TOOLS
+             for nthreads in (1, 4)]
+
+
+@pytest.mark.parametrize("name,tool", DRB_CASES)
+def test_drb_cell(name, tool):
+    program = drb.by_name(name)
+    expected = program.expected[tool]
+    result = run_benchmark(program, tool, nthreads=4, seed=SEED)
+    assert result.cell() in expected.split("/"), \
+        f"{name} under {tool}: measured {result.cell()}, paper {expected}"
+
+
+@pytest.mark.parametrize("name,tool,nthreads", TMB_CASES)
+def test_tmb_cell(name, tool, nthreads):
+    program = tmb.by_name(name)
+    expected = program.expected["1t" if nthreads == 1 else "4t"][tool]
+    result = run_benchmark(program, tool, nthreads=nthreads, seed=SEED)
+    assert result.cell() in expected.split("/"), \
+        f"{name} under {tool} @ {nthreads}T: measured {result.cell()}, " \
+        f"paper {expected}"
+
+
+class TestArcherDeterministicSubset:
+    """The Archer cells that are *not* schedule-sensitive in our model."""
+
+    STABLE = {
+        # name -> expected (paper)
+        "072-taskdep1-orig": "TN",
+        "100-task-reference-orig": "FP",
+        "101-task-value-orig": "FP",
+        "106-taskwaitmissing-orig": "TP",
+        "107-taskgroup-orig": "TN",
+        "122-taskundeferred-orig": "TN",
+        "123-taskundeferred-orig": "TP",
+        "129-mergeable-taskwait-orig": "FN",
+        "135-taskdep-mutexinoutset-orig": "TN",
+        "136-taskdep-mutexinoutset-orig": "TP",
+    }
+
+    @pytest.mark.parametrize("name", sorted(STABLE))
+    def test_archer_cell(self, name):
+        program = drb.by_name(name)
+        result = run_benchmark(program, "archer", nthreads=4, seed=SEED)
+        assert result.cell() == self.STABLE[name]
+
+    @pytest.mark.parametrize("name,expected", [
+        ("1001-stack.1", "FN"), ("1004-stack.4", "FN"),
+        ("1000-memory-recycling.1", "TN"), ("1006-tls.1", "TN"),
+    ])
+    def test_archer_single_thread_tmb(self, name, expected):
+        """Single-thread Archer verdicts are deterministic (everything is
+        thread-ordered): the paper's FN column."""
+        program = tmb.by_name(name)
+        result = run_benchmark(program, "archer", nthreads=1, seed=SEED)
+        assert result.cell() == expected

@@ -1,0 +1,252 @@
+"""Tests for the Cilk runtime, its Taskgrind shim, and SP-bags."""
+
+import pytest
+
+from repro.baselines.spbags import SpBagsTool
+from repro.cilk.runtime import make_cilk_env
+from repro.core.cilk_shim import attach_cilk
+from repro.core.tool import TaskgrindTool
+from repro.errors import RuntimeModelError, ToolError
+from repro.machine.machine import Machine
+
+
+def run_cilk(program, *, nworkers=4, serial_elision=False, tool=None,
+             seed=0):
+    machine = Machine(seed=seed)
+    if isinstance(tool, TaskgrindTool):
+        machine.add_tool(tool)
+    elif isinstance(tool, SpBagsTool):
+        machine.add_tool(tool)
+    env = make_cilk_env(machine, nworkers=nworkers,
+                        serial_elision=serial_elision)
+    if isinstance(tool, TaskgrindTool):
+        attach_cilk(tool, env)
+    elif isinstance(tool, SpBagsTool):
+        tool.attach_cilk(env)
+    box = {}
+
+    def main():
+        with env.ctx.function("main", line=1):
+            box["result"] = program(env)
+    machine.run(main)
+    return box.get("result"), machine
+
+
+def fib_program(n):
+    def program(env):
+        def fib(frame, k):
+            if k < 2:
+                return k
+            a = env.spawn(frame, fib, k - 1)
+            b = fib(frame, k - 2)
+            env.sync(frame)
+            return a.result + b
+        return env.run(fib, n)
+    return program
+
+
+class TestCilkRuntime:
+    def test_fib_correct(self):
+        result, _ = run_cilk(fib_program(10))
+        assert result == 55
+
+    def test_fib_serial_elision(self):
+        result, _ = run_cilk(fib_program(10), serial_elision=True)
+        assert result == 55
+
+    def test_determinism_across_seeds(self):
+        for seed in range(3):
+            result, _ = run_cilk(fib_program(8), seed=seed)
+            assert result == 21
+
+    def test_work_spreads_across_workers(self):
+        threads = set()
+
+        def program(env):
+            def leaf(frame):
+                threads.add(env.machine.scheduler.current_id())
+                env.ctx.compute(500)
+
+            def root(frame):
+                for _ in range(16):
+                    env.spawn(frame, leaf)
+                env.sync(frame)
+            return env.run(root)
+
+        run_cilk(program)
+        assert len(threads) > 1
+
+    def test_result_before_sync_rejected(self):
+        def program(env):
+            def root(frame):
+                h = env.spawn(frame, lambda f: 42)
+                return h.result           # no sync!
+            return env.run(root)
+
+        # one worker: the child stays queued, so the premature read is caught
+        with pytest.raises(RuntimeModelError):
+            run_cilk(program, nworkers=1)
+
+    def test_implicit_sync_at_function_end(self):
+        order = []
+
+        def program(env):
+            def child(frame):
+                order.append("child")
+
+            def root(frame):
+                env.spawn(frame, child)
+                order.append("root-return")
+                # NO explicit sync: the implicit one must cover the child
+            env.run(root)
+            order.append("after-run")
+        run_cilk(program)
+        assert order.index("child") < order.index("after-run")
+
+
+class TestCilkTaskgrind:
+    def _racy(self, env):
+        x = env.ctx.malloc(8, line=3)
+
+        def child(frame):
+            x.write(0, line=6)
+
+        def root(frame):
+            env.spawn(frame, child)
+            x.write(0, line=9)           # concurrent with the child
+            env.sync(frame)
+        env.run(root)
+
+    def _fixed(self, env):
+        x = env.ctx.malloc(8, line=3)
+
+        def child(frame):
+            x.write(0, line=6)
+
+        def root(frame):
+            env.spawn(frame, child)
+            env.sync(frame)
+            x.write(0, line=9)           # after the sync: ordered
+        env.run(root)
+
+    def test_detects_spawn_continuation_race(self):
+        tool = TaskgrindTool()
+        run_cilk(self._racy, tool=tool)
+        assert tool.finalize()
+
+    def test_sync_orders(self):
+        tool = TaskgrindTool()
+        run_cilk(self._fixed, tool=tool)
+        assert tool.finalize() == []
+
+    def test_sibling_spawns_race(self):
+        def program(env):
+            x = env.ctx.malloc(8)
+
+            def child(frame):
+                x.write(0)
+
+            def root(frame):
+                env.spawn(frame, child)
+                env.spawn(frame, child)
+                env.sync(frame)
+            env.run(root)
+
+        tool = TaskgrindTool()
+        run_cilk(program, tool=tool)
+        assert tool.finalize()
+
+    def test_fib_clean(self):
+        tool = TaskgrindTool()
+        result, _ = run_cilk(fib_program(8), tool=tool)
+        assert result == 21
+        assert tool.finalize() == []
+
+    def test_detection_independent_of_schedule(self):
+        """Segment analysis: the race is logical, any seed finds it."""
+        for seed in range(3):
+            tool = TaskgrindTool()
+            run_cilk(self._racy, tool=tool, seed=seed)
+            assert tool.finalize(), seed
+
+
+class TestSpBags:
+    def test_requires_serial_elision(self):
+        tool = SpBagsTool()
+        with pytest.raises(ToolError):
+            run_cilk(fib_program(4), tool=tool, serial_elision=False)
+
+    def test_detects_spawn_continuation_race(self):
+        tool = SpBagsTool()
+        run_cilk(self._racy_program(), tool=tool, serial_elision=True)
+        assert tool.finalize()
+
+    def _racy_program(self):
+        def program(env):
+            x = env.ctx.malloc(8)
+
+            def child(frame):
+                x.write(0)
+
+            def root(frame):
+                env.spawn(frame, child)
+                x.write(0)
+                env.sync(frame)
+            env.run(root)
+        return program
+
+    def _fixed_program(self):
+        def program(env):
+            x = env.ctx.malloc(8)
+
+            def child(frame):
+                x.write(0)
+
+            def root(frame):
+                env.spawn(frame, child)
+                env.sync(frame)
+                x.write(0)
+            env.run(root)
+        return program
+
+    def test_sync_suppresses(self):
+        tool = SpBagsTool()
+        run_cilk(self._fixed_program(), tool=tool, serial_elision=True)
+        assert tool.finalize() == []
+
+    def test_fib_clean(self):
+        tool = SpBagsTool()
+        result, _ = run_cilk(fib_program(8), tool=tool, serial_elision=True)
+        assert result == 21
+        assert tool.finalize() == []
+
+    def test_read_write_race(self):
+        def program(env):
+            x = env.ctx.malloc(8)
+
+            def reader(frame):
+                x.read(0)
+
+            def root(frame):
+                env.spawn(frame, reader)
+                x.write(0)
+                env.sync(frame)
+            env.run(root)
+
+        tool = SpBagsTool()
+        run_cilk(program, tool=tool, serial_elision=True)
+        races = tool.finalize()
+        assert races and races[0].kind in ("rw", "wr")
+
+    def test_agrees_with_taskgrind_on_suite(self):
+        """A2 ablation precondition: same verdicts on the common cases."""
+        cases = [(self._racy_program(), True),
+                 (self._fixed_program(), False),
+                 (fib_program(6), False)]
+        for program, racy in cases:
+            sp = SpBagsTool()
+            run_cilk(program, tool=sp, serial_elision=True)
+            tg = TaskgrindTool()
+            run_cilk(program, tool=tg)
+            assert bool(sp.finalize()) == racy
+            assert bool(tg.finalize()) == racy

@@ -1,0 +1,445 @@
+"""Tests for segment-graph construction (happens-before semantics)."""
+
+import pytest
+
+from repro.core.segments import SegmentGraph, SegmentModelConfig
+
+
+class TestSegmentGraphPrimitives:
+    def test_empty_graph(self):
+        g = SegmentGraph()
+        assert g.segments == []
+        g.check_acyclic()
+
+    def test_edge_and_reachability(self):
+        g = SegmentGraph()
+        a = g.new_segment(thread_id=0, task=None, kind="serial")
+        b = g.new_segment(thread_id=0, task=None, kind="serial")
+        c = g.new_segment(thread_id=0, task=None, kind="serial")
+        g.add_edge(a, b)
+        g.add_edge(b, c)
+        assert g.happens_before(a, c)
+        assert not g.happens_before(c, a)
+        assert g.ordered(a, c) and g.ordered(c, a)
+
+    def test_independent_branches(self):
+        g = SegmentGraph()
+        root = g.new_segment(thread_id=0, task=None, kind="serial")
+        l = g.new_segment(thread_id=0, task=None, kind="task")
+        r = g.new_segment(thread_id=1, task=None, kind="task")
+        g.add_edge(root, l)
+        g.add_edge(root, r)
+        assert g.independent(l, r)
+        assert not g.independent(root, l)
+
+    def test_backward_id_edges_allowed(self):
+        """Edges may point to lower ids (joins absorb late finishers)."""
+        g = SegmentGraph()
+        a = g.new_segment(thread_id=0, task=None, kind="serial")
+        join = g.new_segment(thread_id=-1, task=None, kind="join",
+                             virtual=True)
+        late = g.new_segment(thread_id=1, task=None, kind="task")
+        post = g.new_segment(thread_id=0, task=None, kind="serial")
+        g.add_edge(a, late)
+        g.add_edge(late, join)          # backward in id
+        g.add_edge(join, post)
+        g.check_acyclic()
+        assert g.happens_before(late, post)
+
+    def test_self_edge_ignored(self):
+        g = SegmentGraph()
+        a = g.new_segment(thread_id=0, task=None, kind="serial")
+        g.add_edge(a, a)
+        assert g.edge_count == 0
+
+    def test_memory_bytes_counts_nodes(self):
+        g = SegmentGraph()
+        s = g.new_segment(thread_id=0, task=None, kind="serial")
+        s.record(0x1000, 64, True, None)
+        s.record(0x2000, 64, False, None)
+        assert g.memory_bytes(bytes_per_node=64, bytes_per_segment=100) == \
+            2 * 64 + 100
+
+    def test_reachability_cache_invalidation(self):
+        g = SegmentGraph()
+        a = g.new_segment(thread_id=0, task=None, kind="serial")
+        b = g.new_segment(thread_id=0, task=None, kind="serial")
+        assert not g.ordered(a, b)
+        g.add_edge(a, b)
+        assert g.ordered(a, b)
+
+
+class TestConstructionBasics:
+    def test_two_independent_tasks(self, run_with_builder):
+        def body(env):
+            def make():
+                env.task(lambda tv: None, name="tA")
+                env.task(lambda tv: None, name="tB")
+            env.parallel_single(make)
+
+        run = run_with_builder(body)
+        a = run.first_segment("tA")
+        b = run.first_segment("tB")
+        assert run.graph.independent(a, b)
+
+    def test_task_after_creator_prefix(self, run_with_builder):
+        """Creator's pre-creation accesses happen-before the child."""
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def make():
+                x.write(0)                      # before creation
+                env.task(lambda tv: None, name="tA")
+                x.write(0)                      # after creation (concurrent)
+            env.parallel_single(make)
+
+        run = run_with_builder(body)
+        child = run.first_segment("tA")
+        # find the creator's segments: those with write accesses
+        writers = [s for s in run.graph.segments
+                   if s.writes and s is not child]
+        assert len(writers) == 2
+        pre, post = sorted(writers, key=lambda s: s.id)
+        assert run.graph.happens_before(pre, child)
+        assert run.graph.independent(post, child)
+
+    def test_dependence_orders_tasks(self, run_with_builder):
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def make():
+                env.task(lambda tv: None, depend={"out": [x]}, name="tA")
+                env.task(lambda tv: None, depend={"in": [x]}, name="tB")
+            env.parallel_single(make)
+
+        run = run_with_builder(body)
+        assert run.graph.happens_before(run.first_segment("tA"),
+                                        run.first_segment("tB"))
+
+    def test_in_in_unordered(self, run_with_builder):
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def make():
+                env.task(lambda tv: None, depend={"out": [x]}, name="tW")
+                env.task(lambda tv: None, depend={"in": [x]}, name="tR1")
+                env.task(lambda tv: None, depend={"in": [x]}, name="tR2")
+            env.parallel_single(make)
+
+        run = run_with_builder(body)
+        r1, r2 = run.first_segment("tR1"), run.first_segment("tR2")
+        assert run.graph.independent(r1, r2)
+        assert run.graph.happens_before(run.first_segment("tW"), r1)
+
+    def test_taskwait_orders_children_before_continuation(
+            self, run_with_builder):
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def make():
+                env.task(lambda tv: None, name="tA")
+                env.taskwait()
+                x.write(0)                      # after taskwait
+            env.parallel_single(make)
+
+        run = run_with_builder(body)
+        child = run.first_segment("tA")
+        post = [s for s in run.graph.segments if s.writes][-1]
+        assert run.graph.happens_before(child, post)
+
+    def test_taskwait_does_not_cover_grandchildren(self, run_with_builder):
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def outer(tv):
+                env.task(lambda tv2: None, name="grand")
+
+            def make():
+                env.task(outer, name="outer")
+                env.taskwait()
+                x.write(0)
+            env.parallel_single(make)
+
+        run = run_with_builder(body)
+        grand = run.first_segment("grand")
+        post = [s for s in run.graph.segments if s.writes][-1]
+        # grandchild may still be running: no HB to the post-taskwait code
+        assert run.graph.independent(grand, post) or \
+            run.graph.happens_before(grand, post)  # unless barrier absorbed
+
+    def test_taskgroup_covers_descendants(self, run_with_builder):
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def outer(tv):
+                env.task(lambda tv2: None, name="grand")
+
+            def make():
+                env.taskgroup(lambda: env.task(outer, name="outer"))
+                x.write(0)
+            env.parallel_single(make)
+
+        run = run_with_builder(body)
+        grand = run.first_segment("grand")
+        post = [s for s in run.graph.segments if s.writes][-1]
+        assert run.graph.happens_before(grand, post)
+
+    def test_barrier_orders_everything(self, run_with_builder):
+        def body(env):
+            x = env.ctx.global_var("g", 32, elem=8)
+
+            def region(tid):
+                x.write(env.thread_num())       # pre-barrier
+                env.barrier()
+                x.read(env.thread_num())        # post-barrier
+            env.parallel(region, num_threads=3)
+
+        run = run_with_builder(body, nthreads=3)
+        g = run.graph
+        pre = [s for s in g.segments if s.writes]
+        post = [s for s in g.segments if s.reads and not s.writes]
+        assert len(pre) == 3 and len(post) == 3
+        for p in pre:
+            for q in post:
+                assert g.happens_before(p, q)
+
+    def test_parallel_regions_sequence(self, run_with_builder):
+        """Eq. (1): all segments of region 1 precede all of region 2."""
+        def body(env):
+            x = env.ctx.global_var("g", 32, elem=8)
+            env.parallel(lambda tid: x.write(tid), num_threads=2)
+            env.parallel(lambda tid: x.read(tid), num_threads=2)
+
+        run = run_with_builder(body, nthreads=2)
+        g = run.graph
+        r1 = [s for s in g.segments if s.writes]
+        r2 = [s for s in g.segments if s.reads and not s.writes]
+        assert len(r1) == 2 and len(r2) == 2
+        for a in r1:
+            for b in r2:
+                assert g.happens_before(a, b)
+
+
+class TestUndeferredModeling:
+    def test_if0_task_sequenced(self, run_with_builder):
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def make():
+                env.task(lambda tv: None, if_=False, name="tU")
+                x.write(0)
+            env.parallel_single(make)
+
+        run = run_with_builder(body)
+        child = run.first_segment("tU")
+        post = [s for s in run.graph.segments if s.writes][-1]
+        assert run.graph.happens_before(child, post)
+
+    def test_serialized_task_also_sequenced_without_annotation(
+            self, run_with_builder):
+        """LLVM flag fidelity: included tasks look undeferred to tools."""
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def make():
+                env.task(lambda tv: None, name="tI")
+                x.write(0)
+            env.parallel_single(make, num_threads=1)
+
+        run = run_with_builder(body, nthreads=1)
+        child = run.first_segment("tI")
+        post = [s for s in run.graph.segments if s.writes][-1]
+        assert run.graph.happens_before(child, post)
+
+    def test_annotation_rescues_serialized_task(self, run_with_builder):
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def make():
+                env.task(lambda tv: None, name="tI", annotate_deferrable=True)
+                x.write(0)
+            env.parallel_single(make, num_threads=1)
+
+        run = run_with_builder(body, nthreads=1)
+        # annotation arrives via client request in the full tool; at builder
+        # level we mark it directly through the OMPT-visible task object
+        # (the conftest observer has no client-request channel) — so here we
+        # just assert the *unannotated* default was sequenced and the
+        # annotated flag changes _effectively_sequenced.
+        child_task = run.first_segment("tI").task
+        assert run.builder._effectively_sequenced(child_task)
+        run.builder.on_task_annotate_deferrable(child_task)
+        assert not run.builder._effectively_sequenced(child_task)
+
+    def test_genuine_if0_not_rescued_by_annotation(self, run_with_builder):
+        def body(env):
+            def make():
+                env.task(lambda tv: None, if_=False, name="tU")
+            env.parallel_single(make)
+
+        run = run_with_builder(body)
+        task = run.first_segment("tU").task
+        run.builder.on_task_annotate_deferrable(task)
+        assert run.builder._effectively_sequenced(task)
+
+    def test_config_can_ignore_undeferred(self, run_with_builder):
+        cfg = SegmentModelConfig(honor_undeferred=False)
+
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def make():
+                env.task(lambda tv: None, if_=False, name="tU")
+                x.write(0)
+            env.parallel_single(make)
+
+        run = run_with_builder(body, config=cfg)
+        child = run.first_segment("tU")
+        post = [s for s in run.graph.segments if s.writes][-1]
+        assert run.graph.independent(child, post)
+
+
+class TestDetach:
+    def test_detach_completion_at_fulfill(self, run_with_builder):
+        def body(env):
+            x = env.ctx.malloc(8)
+            box = {}
+
+            def t1(tv):
+                box["ev"] = tv.detach_event
+
+            def make():
+                env.task(t1, detachable=True, name="tD")
+                env.task(lambda tv: box["ev"].fulfill(), name="tF")
+                env.taskwait()
+                x.write(0)
+            env.parallel_single(make)
+
+        run = run_with_builder(body)
+        post = [s for s in run.graph.segments if s.writes][-1]
+        body_seg = run.first_segment("tD")
+        assert run.graph.happens_before(body_seg, post)
+
+    def test_detach_ignored_when_unsupported(self, run_with_builder):
+        """TaskSanitizer model: detach treated as normal completion."""
+        cfg = SegmentModelConfig(honor_detach=False)
+
+        def body(env):
+            box = {}
+
+            def make():
+                env.task(lambda tv: box.setdefault("ev", tv.detach_event),
+                         detachable=True, name="tD")
+                env.task(lambda tv: box["ev"].fulfill(), name="tF")
+                env.taskwait()
+            env.parallel_single(make)
+
+        run = run_with_builder(body, config=cfg)   # must simply not crash
+        assert run.first_segment("tD") is not None
+
+
+class TestMergeable:
+    def test_merged_task_shares_parent_segment(self, run_with_builder):
+        """DRB129 mechanism: a merged task's accesses land in the parent."""
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def make():
+                env.task(lambda tv: x.write(0), mergeable=True, if_=False,
+                         name="tM")
+            env.parallel_single(make)
+
+        run = run_with_builder(body)
+        # no segment carries the task: the write went to the parent's
+        merged = run.task_segments("tM")
+        parent_writers = [s for s in run.graph.segments if s.writes]
+        assert parent_writers
+        assert all(s in parent_writers or not s.writes for s in merged)
+
+
+class TestMutexinoutset:
+    def test_members_ordered_by_execution_when_honored(
+            self, run_with_builder):
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def make():
+                env.task(lambda tv: x.write(0),
+                         depend={"mutexinoutset": [x]}, name="tM1")
+                env.task(lambda tv: x.write(0),
+                         depend={"mutexinoutset": [x]}, name="tM2")
+                env.taskwait()
+            env.parallel_single(make)
+
+        run = run_with_builder(body)
+        m1, m2 = run.first_segment("tM1"), run.first_segment("tM2")
+        assert run.graph.ordered(m1, m2)
+
+    def test_members_unordered_when_not_honored(self, run_with_builder):
+        cfg = SegmentModelConfig(honor_mutexinoutset=False)
+
+        def body(env):
+            x = env.ctx.malloc(8)
+
+            def make():
+                env.task(lambda tv: x.write(0),
+                         depend={"mutexinoutset": [x]}, name="tM1")
+                env.task(lambda tv: x.write(0),
+                         depend={"mutexinoutset": [x]}, name="tM2")
+                env.taskwait()
+            env.parallel_single(make)
+
+        run = run_with_builder(body, config=cfg)
+        m1, m2 = run.first_segment("tM1"), run.first_segment("tM2")
+        assert run.graph.independent(m1, m2)
+
+
+class TestAccessRecording:
+    def test_accesses_land_in_executing_segment(self, run_with_builder):
+        def body(env):
+            x = env.ctx.malloc(16)
+
+            def make():
+                env.task(lambda tv: x.write(0, line=7), name="tA")
+                env.task(lambda tv: x.read(1, line=9), name="tB")
+                env.taskwait()
+            env.parallel_single(make)
+
+        run = run_with_builder(body)
+        a, b = run.first_segment("tA"), run.first_segment("tB")
+        assert a.writes and not a.reads
+        assert b.reads and not b.writes
+        # tA wrote element 0, tB read element 1 of the same buffer
+        (w_lo, w_hi), = a.writes.pairs()
+        (r_lo, r_hi), = b.reads.pairs()
+        assert r_lo == w_lo + 4
+
+    def test_dense_sweep_compacts(self, run_with_builder):
+        def body(env):
+            x = env.ctx.malloc(8 * 256, elem=8)
+
+            def make():
+                def sweep(tv):
+                    for i in range(256):
+                        x.write(i)
+                env.task(sweep, name="tS")
+                env.taskwait()
+            env.parallel_single(make)
+
+        run = run_with_builder(body)
+        seg = run.first_segment("tS")
+        assert len(seg.writes) == 1          # one coalesced node (Fig. 3)
+        assert seg.writes.total_bytes == 8 * 256
+
+    def test_tls_snapshot_attached_on_close(self, run_with_builder):
+        def body(env):
+            def make():
+                env.task(lambda tv: None, name="tA")
+                env.taskwait()
+            env.parallel_single(make)
+
+        run = run_with_builder(body)
+        seg = run.first_segment("tA")
+        assert not seg.open
+        assert seg.tls_snapshot is not None
+        assert seg.tls_snapshot.thread_id == seg.thread_id

@@ -1,0 +1,161 @@
+"""Tests for suppression files and machine-readable report output."""
+
+import json
+
+import pytest
+
+from repro.core.reports import report_to_dict, reports_to_json
+from repro.core.suppfile import (Suppression, SuppressionFile,
+                                 load_suppressions, parse_suppressions)
+from repro.core.tool import TaskgrindOptions
+from repro.errors import ToolError
+
+
+def listing4(env):
+    ctx = env.ctx
+    x = ctx.malloc(8, line=3, name="x")
+
+    def single_body():
+        ctx.line(8)
+        env.task(lambda tv: x.write(0, line=9), name="t8")
+        ctx.line(11)
+        env.task(lambda tv: x.write(0, line=12), name="t11")
+
+    env.parallel_single(single_body)
+
+
+@pytest.fixture
+def one_report(run_taskgrind):
+    tool, machine = run_taskgrind(listing4)
+    assert len(tool.reports) == 1
+    return tool.reports[0]
+
+
+class TestParsing:
+    def test_basic_entry(self):
+        supp = parse_suppressions("""
+        {
+           my-supp
+           Taskgrind:Race
+           seg:main.c:*
+        }
+        """)
+        assert len(supp.entries) == 1
+        e = supp.entries[0]
+        assert e.name == "my-supp"
+        assert e.seg_patterns == ("main.c:*",)
+
+    def test_comments_and_blank_lines(self):
+        supp = parse_suppressions("""
+        # a comment
+        {
+           s1          # trailing comment
+           seg:a.c:1
+        }
+
+        {
+           s2
+           seg:b.c:*
+           alloc:b.c:3
+           fun:mai?
+        }
+        """)
+        assert [e.name for e in supp.entries] == ["s1", "s2"]
+        assert supp.entries[1].alloc_pattern == "b.c:3"
+        assert supp.entries[1].fun_patterns == ("mai?",)
+
+    def test_unterminated_rejected(self):
+        with pytest.raises(ToolError, match="unterminated"):
+            parse_suppressions("{\n name\n seg:x\n")
+
+    def test_missing_brace_rejected(self):
+        with pytest.raises(ToolError, match="expected"):
+            parse_suppressions("name-without-braces\n")
+
+    def test_too_many_seg_patterns(self):
+        with pytest.raises(ToolError, match="at most two"):
+            parse_suppressions("{\n s\n seg:a\n seg:b\n seg:c\n}")
+
+    def test_empty_entry_rejected(self):
+        with pytest.raises(ToolError, match="empty"):
+            parse_suppressions("{\n}\n")
+
+
+class TestMatching:
+    def test_single_pattern_covers_both_labels(self, one_report):
+        e = Suppression(name="s", seg_patterns=("main.c:*",))
+        assert e.matches(one_report)
+
+    def test_two_patterns_either_order(self, one_report):
+        fwd = Suppression(name="s", seg_patterns=("main.c:8", "main.c:11"))
+        rev = Suppression(name="s", seg_patterns=("main.c:11", "main.c:8"))
+        assert fwd.matches(one_report)
+        assert rev.matches(one_report)
+
+    def test_non_matching_pattern(self, one_report):
+        e = Suppression(name="s", seg_patterns=("other.c:*",))
+        assert not e.matches(one_report)
+
+    def test_alloc_pattern(self, one_report):
+        hit = Suppression(name="s", alloc_pattern="main.c:3")
+        miss = Suppression(name="s", alloc_pattern="main.c:99")
+        assert hit.matches(one_report)
+        assert not miss.matches(one_report)
+
+    def test_fun_pattern_over_alloc_stack(self, one_report):
+        hit = Suppression(name="s", fun_patterns=("main",))
+        miss = Suppression(name="s", fun_patterns=("lib_*",))
+        assert hit.matches(one_report)
+        assert not miss.matches(one_report)
+
+    def test_filter_counts_hits(self, one_report):
+        supp = SuppressionFile([Suppression(name="s",
+                                            seg_patterns=("main.c:*",))])
+        kept, muted = supp.filter([one_report])
+        assert kept == [] and muted == 1
+        assert supp.used_entries()[0].hits == 1
+
+
+class TestToolIntegration:
+    def test_suppression_file_option(self, run_taskgrind, tmp_path):
+        path = tmp_path / "taskgrind.supp"
+        path.write_text("{\n lst4\n seg:main.c:*\n}\n")
+        opts = TaskgrindOptions(suppression_file=str(path))
+        tool, _ = run_taskgrind(listing4, options=opts)
+        assert tool.reports == []
+        assert tool.file_suppressed == 1
+
+    def test_non_matching_file_keeps_reports(self, run_taskgrind, tmp_path):
+        path = tmp_path / "taskgrind.supp"
+        path.write_text("{\n other\n seg:other.c:*\n}\n")
+        opts = TaskgrindOptions(suppression_file=str(path))
+        tool, _ = run_taskgrind(listing4, options=opts)
+        assert len(tool.reports) == 1
+        assert tool.file_suppressed == 0
+
+    def test_load_from_disk(self, tmp_path):
+        path = tmp_path / "x.supp"
+        path.write_text("{\n a\n seg:y.c:*\n}\n")
+        supp = load_suppressions(str(path))
+        assert supp.entries[0].name == "a"
+
+
+class TestJsonOutput:
+    def test_dict_shape(self, one_report):
+        d = report_to_dict(one_report)
+        assert d["kind"] == "DeterminacyRace"
+        assert len(d["segments"]) == 2
+        assert d["conflict"]["bytes"] == 4
+        assert d["allocation"]["size"] == 8
+        assert d["allocation"]["site"] == "main.c:3"
+
+    def test_json_roundtrip(self, one_report):
+        doc = json.loads(reports_to_json([one_report]))
+        assert doc["tool"] == "taskgrind"
+        assert doc["error_count"] == 1
+        labels = {s["label"] for s in doc["errors"][0]["segments"]}
+        assert labels == {"main.c:8", "main.c:11"}
+
+    def test_empty_reports(self):
+        doc = json.loads(reports_to_json([]))
+        assert doc["error_count"] == 0 and doc["errors"] == []

@@ -1,0 +1,96 @@
+"""Tests for the cost model: clocks, tool factors, memory meters."""
+
+import pytest
+
+from repro.machine.cost import (Clock, CostModel, CostParams, MemoryMeter,
+                                PROCESS_IMAGE_BYTES, ToolCost, OPS_PER_SECOND)
+
+
+class FakeThread:
+    def __init__(self, tid):
+        self.id = tid
+        self.vtime = 0.0
+
+
+class TestClock:
+    def test_parallel_clock_takes_max(self):
+        clock = Clock(serialize=False)
+        a, b = FakeThread(0), FakeThread(1)
+        clock.charge(a, 100)
+        clock.charge(b, 300)
+        clock.charge(a, 50)
+        assert clock.makespan_ops == 300
+        assert a.vtime == 150
+
+    def test_serialized_clock_sums(self):
+        """The Valgrind big lock: everything lands on one global clock."""
+        clock = Clock(serialize=True)
+        a, b = FakeThread(0), FakeThread(1)
+        clock.charge(a, 100)
+        clock.charge(b, 300)
+        assert clock.makespan_ops == 400
+        assert b.vtime == 400
+
+    def test_charge_without_thread(self):
+        clock = Clock(serialize=False)
+        clock.charge(None, 500)
+        assert clock.makespan_ops == 500
+
+    def test_seconds_conversion(self):
+        clock = Clock()
+        clock.charge(None, OPS_PER_SECOND)
+        assert clock.seconds == pytest.approx(1.0)
+
+
+class TestCostModel:
+    def test_access_counters(self):
+        cm = CostModel()
+        t = FakeThread(0)
+        cm.charge_access(t, 64, observed=False)
+        assert cm.counters["accesses"] == 1
+        assert cm.counters["access_bytes"] == 64
+
+    def test_access_factor_only_when_observed(self):
+        cm = CostModel(tool_cost=ToolCost(access_factor=10.0))
+        a, b = FakeThread(0), FakeThread(1)
+        cm.charge_access(a, 64, observed=True)
+        cm.charge_access(b, 64, observed=False)
+        assert a.vtime == pytest.approx(10 * b.vtime)
+
+    def test_compute_factor(self):
+        cm = CostModel(tool_cost=ToolCost(compute_factor=30.0))
+        t = FakeThread(0)
+        cm.charge_compute(t, 100)
+        assert t.vtime == pytest.approx(3000)
+
+    def test_translation_charged_once_per_symbol(self):
+        cm = CostModel(tool_cost=ToolCost(translation_ops=1000.0))
+        t = FakeThread(0)
+        cm.charge_translation(t, "main")
+        cm.charge_translation(t, "main")
+        cm.charge_translation(t, "helper")
+        assert t.vtime == pytest.approx(2000)
+
+    def test_translation_noop_without_dbi_cost(self):
+        cm = CostModel()
+        t = FakeThread(0)
+        cm.charge_translation(t, "main")
+        assert t.vtime == 0
+
+    def test_access_ops_rounds_up_elements(self):
+        p = CostParams()
+        assert p.access_ops(1) == p.access_per_element
+        assert p.access_ops(8) == p.access_per_element
+        assert p.access_ops(9) == 2 * p.access_per_element
+
+
+class TestMemoryMeter:
+    def test_app_bytes_includes_image(self):
+        m = MemoryMeter(heap_high_water=1000, stack_bytes=100,
+                        globals_bytes=10, tls_bytes=1, thread_bytes=5)
+        assert m.app_bytes == PROCESS_IMAGE_BYTES + 1116
+
+    def test_total_and_mib(self):
+        m = MemoryMeter(tool_bytes=1 << 20)
+        assert m.total_bytes == m.app_bytes + (1 << 20)
+        assert m.total_mib == pytest.approx(m.total_bytes / (1 << 20))

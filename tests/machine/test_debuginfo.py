@@ -1,0 +1,72 @@
+"""Tests for debug information: symbols, locations, stack rendering."""
+
+import pytest
+
+from repro.machine.debuginfo import (DebugInfo, SourceLocation, Symbol,
+                                     format_stack)
+
+
+class TestSourceLocation:
+    def test_str(self):
+        assert str(SourceLocation("a.c", 12)) == "a.c:12"
+
+    def test_equality_and_hash(self):
+        a = SourceLocation("a.c", 1, "f")
+        b = SourceLocation("a.c", 1, "f")
+        assert a == b and hash(a) == hash(b)
+
+
+class TestSymbolInterning:
+    def test_first_declaration_wins(self):
+        d = DebugInfo()
+        s1 = d.intern("main", file="a.c", line=5)
+        s2 = d.intern("main", file="other.c", line=99)
+        assert s1 is s2
+        assert s2.file == "a.c"
+
+    def test_synthetic_code_addresses_distinct(self):
+        d = DebugInfo()
+        a = d.intern("f")
+        b = d.intern("g")
+        assert a.addr != b.addr
+
+    def test_lookup(self):
+        d = DebugInfo()
+        d.intern("f")
+        assert d.lookup("f") is not None
+        assert d.lookup("missing") is None
+        assert len(d.all_symbols()) == 1
+
+    def test_location_helper(self):
+        d = DebugInfo()
+        sym = d.intern("f", file="x.c", line=10)
+        assert str(sym.location()) == "x.c:10"
+        assert str(sym.location(42)) == "x.c:42"
+
+
+class TestPatternMatching:
+    @pytest.mark.parametrize("name,patterns,expected", [
+        ("__kmp_barrier", ("__kmp",), True),        # bare prefix
+        ("__kmpc_fork", ("__kmp",), True),
+        ("kmp_thing", ("__kmp",), False),
+        ("main", ("*",), True),                     # explicit glob
+        ("lulesh_main", ("lulesh_*",), True),
+        ("anything", (), False),                    # empty list
+        ("a.b", ("a?b",), True),
+        ("memcpy", ("__kmp", "_dl_"), False),       # the paper's gap
+    ])
+    def test_matches_any(self, name, patterns, expected):
+        assert DebugInfo.matches_any(name, patterns) is expected
+
+
+class TestStackRendering:
+    def test_innermost_first(self):
+        stack = (SourceLocation("a.c", 1, "main"),
+                 SourceLocation("a.c", 7, "helper"))
+        text = format_stack(stack)
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("at a.c:7")
+        assert lines[1].strip().startswith("by a.c:1")
+
+    def test_empty_stack(self):
+        assert "no stack" in format_stack(())

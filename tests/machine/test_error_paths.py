@@ -1,0 +1,107 @@
+"""Error-path coverage: misuse must fail loudly, not corrupt state."""
+
+import pytest
+
+from repro.errors import MachineError, RuntimeModelError
+from repro.machine.machine import Machine
+from repro.machine.threads import Scheduler
+from repro.openmp.api import make_env
+from repro.vex.translate import Assembler
+
+
+class TestSchedulerMisuse:
+    def test_current_outside_sim_thread(self):
+        sched = Scheduler()
+        with pytest.raises(MachineError, match="not running"):
+            sched.current()
+
+    def test_maybe_current_outside_is_none(self):
+        assert Scheduler().maybe_current() is None
+
+
+class TestRuntimeMisuse:
+    def test_unlock_by_non_owner(self):
+        machine = Machine()
+        env = make_env(machine, nthreads=2)
+
+        def main():
+            with env.ctx.function("main", line=1):
+                def region(tid):
+                    if env.thread_num() == 0:
+                        env.rt.lock_acquire("L")
+                        env.barrier()
+                        env.rt.lock_release("L")
+                    else:
+                        env.barrier()
+                        with pytest.raises(RuntimeModelError,
+                                           match="non-owner"):
+                            env.rt.lock_release("L")
+                env.parallel(region, num_threads=2)
+        # the nested pytest.raises runs on a sim thread; any escape would
+        # surface here
+        machine.run(main)
+
+    def test_invalid_team_size(self):
+        machine = Machine()
+        env = make_env(machine, nthreads=2)
+
+        def main():
+            with env.ctx.function("main", line=1):
+                with pytest.raises(RuntimeModelError, match="team size"):
+                    env.parallel(lambda tid: None, num_threads=0)
+        machine.run(main)
+
+    def test_bad_depend_kind(self):
+        machine = Machine()
+        env = make_env(machine, nthreads=2)
+
+        def main():
+            with env.ctx.function("main", line=1):
+                def make():
+                    with pytest.raises(ValueError):
+                        env.task(lambda tv: None,
+                                 depend={"sideways": [0x1000]})
+                env.parallel_single(make)
+        machine.run(main)
+
+    def test_private_on_included_task_rejected(self):
+        machine = Machine()
+        env = make_env(machine, nthreads=1)
+
+        def main():
+            with env.ctx.function("main", line=1):
+                def make():
+                    def body(tv):
+                        with pytest.raises(RuntimeModelError,
+                                           match="fast path"):
+                            tv.private("k")
+                    env.task(body, firstprivate={"k": 1})
+                env.parallel_single(make)
+        machine.run(main)
+
+
+class TestAssemblerCorners:
+    def test_negative_offset_memref(self):
+        binary = Assembler().assemble("ld r0, [r1-8]\nhalt")
+        instr = binary.at(binary.base)
+        assert instr.args == (0, 1, -8)
+
+    def test_bare_register_memref(self):
+        binary = Assembler().assemble("st [r3], r4\nhalt")
+        assert binary.at(binary.base).args == (3, 0, 4)
+
+    def test_non_register_operand_rejected(self):
+        with pytest.raises(MachineError, match="expected register"):
+            Assembler().assemble("mov x0, r1")
+
+    def test_hex_immediates(self):
+        binary = Assembler().assemble("li r0, 0x40\nhalt")
+        assert binary.at(binary.base).args == (0, 0x40)
+
+
+class TestMachineSingleShot:
+    def test_run_twice_rejected(self):
+        machine = Machine()
+        machine.run(lambda: None)
+        with pytest.raises(MachineError, match="single-shot"):
+            machine.run(lambda: None)

@@ -1,0 +1,157 @@
+"""Tests for thread stacks (frame aliasing) and ELF-TLS (TCB/DTV model)."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.memory import AddressSpace, Region, RegionKind
+from repro.machine.stack import ThreadStack
+from repro.machine.tls import TlsRegistry
+
+
+def make_stack(tid=0):
+    space = AddressSpace()
+    region = space.map_region(Region(f"stack.t{tid}", 0x7F00_0000_0000,
+                                     1 << 20, RegionKind.STACK,
+                                     owner_thread=tid))
+    return space, ThreadStack(space, region, tid)
+
+
+class TestThreadStack:
+    def test_frames_grow_downward(self):
+        _, st = make_stack()
+        f1 = st.push_frame("main")
+        a = st.alloca(16)
+        f2 = st.push_frame("callee")
+        b = st.alloca(16)
+        assert b < a
+
+    def test_sequential_frames_alias(self):
+        """Section IV-D: back-to-back frames at the same depth reuse addresses."""
+        _, st = make_stack()
+        outer = st.push_frame("parent")
+        f1 = st.push_frame("task0")
+        a = st.alloca(8, "x")
+        st.pop_frame(f1)
+        f2 = st.push_frame("task1")
+        b = st.alloca(8, "x")
+        st.pop_frame(f2)
+        assert a == b
+        st.pop_frame(outer)
+
+    def test_pop_clears_scalars(self):
+        space, st = make_stack()
+        f = st.push_frame("fn")
+        addr = st.alloca(8)
+        space.store(addr, 8, 123)
+        st.pop_frame(f)
+        st.push_frame("fn2")
+        addr2 = st.alloca(8)
+        assert addr2 == addr
+        assert space.load(addr2, 8) == 0     # zeroed, but same address
+
+    def test_unbalanced_pop_rejected(self):
+        _, st = make_stack()
+        f1 = st.push_frame("a")
+        st.push_frame("b")
+        with pytest.raises(MachineError):
+            st.pop_frame(f1)
+
+    def test_alloca_without_frame_rejected(self):
+        _, st = make_stack()
+        with pytest.raises(MachineError):
+            st.alloca(8)
+
+    def test_frame_covering(self):
+        _, st = make_stack()
+        f1 = st.push_frame("outer")
+        a = st.alloca(32)
+        f2 = st.push_frame("inner")
+        b = st.alloca(32)
+        assert st.frame_covering(a) is f1
+        assert st.frame_covering(b) is f2
+        assert st.frame_covering(0x1000) is None
+
+    def test_stack_overflow_detected(self):
+        space = AddressSpace()
+        region = space.map_region(Region("tiny", 0x1000, 64, RegionKind.STACK))
+        st = ThreadStack(space, region, 0)
+        st.push_frame("f")
+        with pytest.raises(MachineError, match="overflow"):
+            st.alloca(4096)
+
+    def test_peak_bytes(self):
+        _, st = make_stack()
+        f = st.push_frame("fn")
+        st.alloca(1024)
+        st.pop_frame(f)
+        assert st.peak_bytes >= 1024
+        assert st.used_bytes == 0
+
+
+class TestTls:
+    def make(self, nthreads=2):
+        space = AddressSpace()
+        tls = TlsRegistry(space)
+        for tid in range(nthreads):
+            tls.register_thread(tid)
+        return space, tls
+
+    def test_same_var_same_thread_same_address(self):
+        _, tls = self.make()
+        tls.declare_static_var("x", 8)
+        assert tls.resolve("x", 0) == tls.resolve("x", 0)
+
+    def test_same_var_different_threads_disjoint(self):
+        _, tls = self.make()
+        tls.declare_static_var("x", 8)
+        a0 = tls.resolve("x", 0)
+        a1 = tls.resolve("x", 1)
+        assert a0 != a1
+        # and they live in regions owned by the right thread
+        sp = tls.space
+        assert sp.region_at(a0).owner_thread == 0
+        assert sp.region_at(a1).owner_thread == 1
+
+    def test_two_vars_disjoint_offsets(self):
+        _, tls = self.make()
+        tls.declare_static_var("x", 8)
+        tls.declare_static_var("y", 8)
+        assert tls.resolve("x", 0) != tls.resolve("y", 0)
+
+    def test_snapshot_covers_static_block(self):
+        _, tls = self.make()
+        tls.declare_static_var("x", 8)
+        snap = tls.snapshot(0)
+        assert snap.covers(tls.resolve("x", 0), 8)
+        assert not snap.covers(0xDEAD, 8)
+
+    def test_snapshot_identity_same_thread(self):
+        _, tls = self.make()
+        s1 = tls.snapshot(0)
+        s2 = tls.snapshot(0)
+        assert s1 == s2
+        assert s1 != tls.snapshot(1)
+
+    def test_dynamic_module_bumps_generation(self):
+        _, tls = self.make()
+        g0 = tls.generation(0)
+        mod = tls.open_module(0, 256)
+        assert tls.generation(0) == g0 + 1
+        base = tls.module_base(0, mod)
+        assert tls.snapshot(0).covers(base, 256)
+        tls.close_module(0, mod)
+        assert tls.generation(0) == g0 + 2
+        assert not tls.snapshot(0).covers(base, 256)
+
+    def test_intra_segment_dtv_churn_invisible_in_snapshot(self):
+        """The paper's stated limitation: alloc+free inside a segment leaves
+        no trace in the end-of-segment snapshot."""
+        _, tls = self.make()
+        before = tls.snapshot(0)
+        mod = tls.open_module(0, 128)
+        base = tls.module_base(0, mod)
+        tls.close_module(0, mod)
+        after = tls.snapshot(0)
+        assert not after.covers(base, 128)
+        # only the generation betrays that something happened
+        assert after.generation == before.generation + 2

@@ -1,0 +1,194 @@
+"""Stress and robustness tests: scheduler scale, abort paths, error dumps."""
+
+import pytest
+
+from repro.errors import SimDeadlock
+from repro.machine.machine import Machine
+from repro.machine.threads import Scheduler, ThreadState
+from repro.openmp.api import make_env
+from repro.util.rng import RngHub
+
+
+class TestSchedulerStress:
+    def test_many_threads_many_yields(self):
+        sched = Scheduler(RngHub(0))
+        counter = {"n": 0}
+
+        def body():
+            for _ in range(20):
+                counter["n"] += 1
+                sched.yield_point()
+
+        for _ in range(24):
+            sched.spawn(body)
+        sched.run()
+        assert counter["n"] == 480
+
+    def test_chained_spawns(self):
+        """Each thread spawns the next, 50 deep."""
+        sched = Scheduler(RngHub(0))
+        seen = []
+
+        def make(depth):
+            def body():
+                seen.append(depth)
+                if depth < 50:
+                    sched.spawn(make(depth + 1))
+            return body
+
+        sched.spawn(make(0))
+        sched.run()
+        assert sorted(seen) == list(range(51))
+
+    def test_deadlock_dump_names_every_blocked_thread(self):
+        sched = Scheduler(RngHub(0))
+        for i in range(3):
+            sched.spawn(lambda i=i: sched.block_until(
+                lambda: False, f"reason-{i}"))
+        with pytest.raises(SimDeadlock) as ei:
+            sched.run()
+        for i in range(3):
+            assert f"reason-{i}" in str(ei.value)
+        assert len(ei.value.states) == 3
+
+    def test_exception_in_one_of_many(self):
+        sched = Scheduler(RngHub(0))
+
+        def spinner():
+            while True:
+                sched.yield_point()
+
+        def boom():
+            for _ in range(5):
+                sched.yield_point()
+            raise KeyError("needle")
+
+        for _ in range(8):
+            sched.spawn(spinner)
+        sched.spawn(boom)
+        with pytest.raises(KeyError, match="needle"):
+            sched.run()
+        assert all(t.state == ThreadState.DONE for t in sched.threads)
+
+    def test_peak_live_tracking(self):
+        sched = Scheduler(RngHub(0))
+
+        def child():
+            sched.yield_point()
+
+        def parent():
+            kids = [sched.spawn(child) for _ in range(5)]
+            sched.block_until(
+                lambda: all(k.state == ThreadState.DONE for k in kids),
+                "join")
+
+        sched.spawn(parent)
+        sched.run()
+        assert sched.peak_live == 6
+
+
+class TestRuntimeStress:
+    def test_large_task_fanout(self):
+        done = []
+
+        def body(env):
+            def make():
+                for i in range(200):
+                    env.task(lambda tv, i=i: done.append(i))
+                env.taskwait()
+            env.parallel_single(make)
+
+        machine = Machine(seed=0)
+        env = make_env(machine, nthreads=4)
+
+        def main():
+            with env.ctx.function("main", line=1):
+                body(env)
+        machine.run(main)
+        assert sorted(done) == list(range(200))
+
+    def test_deep_task_nesting(self):
+        depth_reached = []
+
+        def body(env):
+            def nested(tv, d):
+                if d < 30:
+                    env.task(lambda tv2: nested(tv2, d + 1))
+                    env.taskwait()
+                else:
+                    depth_reached.append(d)
+
+            env.parallel_single(
+                lambda: (env.task(lambda tv: nested(tv, 0)),
+                         env.taskwait()))
+
+        machine = Machine(seed=0)
+        env = make_env(machine, nthreads=4)
+
+        def main():
+            with env.ctx.function("main", line=1):
+                body(env)
+        machine.run(main)
+        assert depth_reached == [30]
+
+    def test_long_dependence_chain(self):
+        order = []
+
+        def body(env):
+            tok = env.ctx.malloc(8)
+
+            def make():
+                for i in range(60):
+                    env.task(lambda tv, i=i: order.append(i),
+                             depend={"inout": [tok]})
+                env.taskwait()
+            env.parallel_single(make)
+
+        machine = Machine(seed=3)
+        env = make_env(machine, nthreads=4)
+
+        def main():
+            with env.ctx.function("main", line=1):
+                body(env)
+        machine.run(main)
+        assert order == list(range(60))
+
+    def test_guest_exception_through_task(self):
+        def body(env):
+            def make():
+                env.task(lambda tv: (_ for _ in ()).throw(
+                    ValueError("task bug")))
+                env.taskwait()
+            env.parallel_single(make)
+
+        machine = Machine(seed=0)
+        env = make_env(machine, nthreads=4)
+
+        def main():
+            with env.ctx.function("main", line=1):
+                body(env)
+        with pytest.raises(ValueError, match="task bug"):
+            machine.run(main)
+        # every simulated thread wound down cleanly
+        assert all(t.state == ThreadState.DONE
+                   for t in machine.scheduler.threads)
+
+    def test_repeated_regions_many_barriers(self):
+        hits = []
+
+        def body(env):
+            for r in range(6):
+                def region(tid, r=r):
+                    hits.append((r, env.thread_num()))
+                    env.barrier()
+                    env.barrier()
+                env.parallel(region, num_threads=3)
+
+        machine = Machine(seed=0)
+        env = make_env(machine, nthreads=3)
+
+        def main():
+            with env.ctx.function("main", line=1):
+                body(env)
+        machine.run(main)
+        assert len(hits) == 18

@@ -1,0 +1,218 @@
+"""Tests for the deterministic token-passing scheduler."""
+
+import pytest
+
+from repro.errors import SimDeadlock
+from repro.machine.threads import Scheduler, ThreadState
+from repro.util.rng import RngHub
+
+
+def test_single_thread_runs_to_completion():
+    sched = Scheduler()
+    out = []
+    sched.spawn(lambda: out.append("ran"))
+    sched.run()
+    assert out == ["ran"]
+
+
+def test_thread_result_captured():
+    sched = Scheduler()
+    t = sched.spawn(lambda: 42)
+    sched.run()
+    assert t.result == 42
+    assert t.state == ThreadState.DONE
+
+
+def test_two_threads_interleave_at_yields():
+    sched = Scheduler()
+    trace = []
+
+    def worker(tag):
+        def body():
+            for i in range(3):
+                trace.append((tag, i))
+                sched.current().vtime += 1     # each slice costs 1 op
+                sched.yield_point()
+        return body
+
+    sched.spawn(worker("a"))
+    sched.spawn(worker("b"))
+    sched.run()
+    assert sorted(trace) == [(t, i) for t in "ab" for i in range(3)]
+    # min-vtime scheduling keeps the threads within one slice of each other,
+    # so neither thread finishes before the other has started
+    first_done = min(trace.index(("a", 2)), trace.index(("b", 2)))
+    assert {e[0] for e in trace[:first_done]} == {"a", "b"}
+
+
+def test_determinism_same_seed_same_trace():
+    def run(seed):
+        sched = Scheduler(RngHub(seed))
+        trace = []
+
+        def worker(tag):
+            def body():
+                for i in range(5):
+                    trace.append(tag)
+                    sched.yield_point()
+            return body
+
+        for tag in "abcd":
+            sched.spawn(worker(tag))
+        sched.run()
+        return trace
+
+    assert run(7) == run(7)
+    assert run(7) == run(7)
+
+
+def test_block_until_releases_when_predicate_true():
+    sched = Scheduler()
+    state = {"flag": False}
+    order = []
+
+    def waiter():
+        sched.block_until(lambda: state["flag"], "waiting for flag")
+        order.append("waiter")
+
+    def setter():
+        sched.yield_point()
+        state["flag"] = True
+        order.append("setter")
+
+    sched.spawn(waiter)
+    sched.spawn(setter)
+    sched.run()
+    assert order == ["setter", "waiter"]
+
+
+def test_block_until_already_true_is_noop():
+    sched = Scheduler()
+    out = []
+    def body():
+        sched.block_until(lambda: True, "never blocks")
+        out.append("done")
+    sched.spawn(body)
+    sched.run()
+    assert out == ["done"]
+
+
+def test_deadlock_detected():
+    sched = Scheduler()
+    sched.spawn(lambda: sched.block_until(lambda: False, "waiting for godot"))
+    with pytest.raises(SimDeadlock) as ei:
+        sched.run()
+    assert "godot" in str(ei.value)
+
+
+def test_deadlock_circular_wait_two_threads():
+    sched = Scheduler()
+    state = {"a": False, "b": False}
+
+    def t1():
+        sched.block_until(lambda: state["b"], "a waits b")
+        state["a"] = True
+
+    def t2():
+        sched.block_until(lambda: state["a"], "b waits a")
+        state["b"] = True
+
+    sched.spawn(t1)
+    sched.spawn(t2)
+    with pytest.raises(SimDeadlock) as ei:
+        sched.run()
+    assert len(ei.value.states) == 2
+
+
+def test_guest_exception_propagates():
+    sched = Scheduler()
+
+    def boom():
+        raise ValueError("guest bug")
+
+    sched.spawn(boom)
+    with pytest.raises(ValueError, match="guest bug"):
+        sched.run()
+
+
+def test_guest_exception_aborts_other_threads():
+    sched = Scheduler()
+    progress = []
+
+    def spinner():
+        while True:
+            progress.append(1)
+            sched.yield_point()
+
+    def boom():
+        sched.yield_point()
+        raise RuntimeError("die")
+
+    sched.spawn(spinner)
+    sched.spawn(boom)
+    with pytest.raises(RuntimeError, match="die"):
+        sched.run()
+    # spinner must have been unwound, not left hanging
+    assert all(t.state == ThreadState.DONE for t in sched.threads)
+
+
+def test_spawn_from_running_thread():
+    sched = Scheduler()
+    out = []
+
+    def parent():
+        child = sched.spawn(lambda: out.append("child"))
+        sched.block_until(lambda: child.state == ThreadState.DONE, "join child")
+        out.append("parent")
+
+    sched.spawn(parent)
+    sched.run()
+    assert out == ["child", "parent"]
+
+
+def test_min_vtime_policy_prefers_lagging_thread():
+    sched = Scheduler()
+    trace = []
+
+    def fast():
+        for _ in range(3):
+            trace.append("fast")
+            sched.current().vtime += 100
+            sched.yield_point()
+
+    def slow():
+        for _ in range(3):
+            trace.append("slow")
+            sched.current().vtime += 1
+            sched.yield_point()
+
+    sched.spawn(fast)
+    sched.spawn(slow)
+    sched.run()
+    # after the first round, 'slow' (cheap) should run ahead of 'fast'
+    assert trace.count("slow") == 3
+    assert trace.index("slow", 1) < trace.index("fast", 1)
+
+
+def test_run_is_single_shot():
+    sched = Scheduler()
+    sched.spawn(lambda: None)
+    sched.run()
+    from repro.errors import MachineError
+    with pytest.raises(MachineError):
+        sched.run()
+
+
+def test_many_threads_scale():
+    sched = Scheduler()
+    counter = {"n": 0}
+
+    def body():
+        counter["n"] += 1
+        sched.yield_point()
+        counter["n"] += 1
+
+    for _ in range(32):
+        sched.spawn(body)
+    sched.run()
+    assert counter["n"] == 64

@@ -1,0 +1,247 @@
+"""Coverage tests for the remaining OpenMP constructs and corner cases."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.openmp.api import make_env
+from repro.openmp.loops import Collapse2Map, chunk_iteration_space, collapse2
+from repro.openmp.ompt import TaskFlags
+
+
+def run_omp(body, nthreads=4, seed=0):
+    machine = Machine(seed=seed)
+    env = make_env(machine, nthreads=nthreads)
+
+    def main():
+        with env.ctx.function("main", line=1):
+            body(env)
+    machine.run(main)
+    return machine, env
+
+
+class TestChunking:
+    def test_grainsize(self):
+        chunks = chunk_iteration_space(0, 100, grainsize=30)
+        assert chunks == [(0, 30), (30, 60), (60, 90), (90, 100)]
+
+    def test_num_tasks(self):
+        chunks = chunk_iteration_space(0, 100, num_tasks=3)
+        assert len(chunks) == 3
+        assert chunks[0][0] == 0 and chunks[-1][1] == 100
+
+    def test_num_tasks_more_than_iterations(self):
+        chunks = chunk_iteration_space(0, 3, num_tasks=10)
+        assert len(chunks) == 3
+        assert all(hi - lo == 1 for lo, hi in chunks)
+
+    def test_default_caps_at_64(self):
+        assert len(chunk_iteration_space(0, 1000)) <= 64
+
+    def test_empty_space(self):
+        assert chunk_iteration_space(5, 5) == []
+        assert chunk_iteration_space(5, 3) == []
+
+    def test_mutually_exclusive_args(self):
+        with pytest.raises(ValueError):
+            chunk_iteration_space(0, 10, num_tasks=2, grainsize=3)
+
+    def test_collapse2_roundtrip(self):
+        lo, hi, unmap = collapse2(1, 4, 10, 13)
+        assert (lo, hi) == (0, 9)
+        pairs = [unmap(k) for k in range(lo, hi)]
+        assert pairs == [(i, j) for i in range(1, 4) for j in range(10, 13)]
+
+    def test_collapse2map_direct(self):
+        m = Collapse2Map(0, 0, 5)
+        assert m(0) == (0, 0)
+        assert m(7) == (1, 2)
+
+
+class TestDetachWithDependences:
+    def test_successor_waits_for_fulfill(self):
+        order = []
+
+        def body(env):
+            ctx = env.ctx
+            x = ctx.malloc(8)
+            box = {}
+
+            def producer(tv):
+                box["ev"] = tv.detach_event
+                order.append("producer-body")
+
+            def make():
+                env.task(producer, detachable=True, depend={"out": [x]})
+                env.task(lambda tv: (order.append("poke"),
+                                     box["ev"].fulfill()))
+                env.task(lambda tv: order.append("successor"),
+                         depend={"in": [x]})
+                env.taskwait()
+            env.parallel_single(make)
+
+        run_omp(body)
+        assert order.index("successor") > order.index("poke")
+        assert order.index("successor") > order.index("producer-body")
+
+    def test_fulfill_before_body_end(self):
+        order = []
+
+        def body(env):
+            def producer(tv):
+                tv.detach_event.fulfill()        # fulfilled while running
+                order.append("after-fulfill")
+
+            def make():
+                env.task(producer, detachable=True)
+                env.taskwait()
+                order.append("after-wait")
+            env.parallel_single(make)
+
+        run_omp(body)
+        assert order == ["after-fulfill", "after-wait"]
+
+
+class TestFlags:
+    def _flags_of(self, env_kwargs, task_kwargs, nthreads=4):
+        captured = {}
+
+        def body(env):
+            def make():
+                t = env.task(lambda tv: None, **task_kwargs)
+                captured["flags"] = t.flags
+            env.parallel_single(make)
+
+        run_omp(body, nthreads=nthreads)
+        return captured["flags"]
+
+    def test_untied_flag(self):
+        assert self._flags_of({}, {"untied": True}) & TaskFlags.UNTIED
+
+    def test_mergeable_not_merged_when_deferred(self):
+        flags = self._flags_of({}, {"mergeable": True})
+        assert flags & TaskFlags.MERGEABLE
+        assert not flags & TaskFlags.MERGED
+
+    def test_mergeable_merged_when_undeferred(self):
+        flags = self._flags_of({}, {"mergeable": True, "if_": False})
+        assert flags & TaskFlags.MERGED
+
+    def test_included_on_serial_team(self):
+        flags = self._flags_of({}, {}, nthreads=1)
+        assert flags & TaskFlags.INCLUDED
+
+    def test_final_sets_both(self):
+        flags = self._flags_of({}, {"final": True})
+        assert flags & TaskFlags.FINAL and flags & TaskFlags.INCLUDED
+
+
+class TestWorksharing:
+    def test_for_static_disjoint_partitions(self):
+        parts = {}
+
+        def body(env):
+            def region(tid):
+                parts[env.thread_num()] = list(env.for_static(0, 17))
+                env.barrier()
+            env.parallel(region, num_threads=4)
+
+        run_omp(body)
+        flat = sorted(i for p in parts.values() for i in p)
+        assert flat == list(range(17))
+
+    def test_single_nowait_skips_barrier(self):
+        """With nowait, a non-winner can pass before the winner finishes."""
+        trace = []
+
+        def body(env):
+            def region(tid):
+                won = env.single(lambda: trace.append("single-body"),
+                                 nowait=True)
+                trace.append(("past", env.thread_num(), won))
+            env.parallel(region, num_threads=3)
+
+        run_omp(body)
+        assert trace.count("single-body") == 1
+        assert sum(1 for e in trace if e != "single-body") == 3
+
+    def test_master_no_barrier(self):
+        ran = []
+
+        def body(env):
+            def region(tid):
+                env.master(lambda: ran.append("m"))
+            env.parallel(region, num_threads=4)
+
+        run_omp(body)
+        assert ran == ["m"]
+
+
+class TestTaskgroupNesting:
+    def test_nested_groups_wait_correct_sets(self):
+        order = []
+
+        def body(env):
+            def make():
+                def outer_group():
+                    env.task(lambda tv: order.append("outer-task"))
+
+                    def inner_group():
+                        env.task(lambda tv: order.append("inner-task"))
+                    env.taskgroup(inner_group)
+                    order.append("after-inner")
+                env.taskgroup(outer_group)
+                order.append("after-outer")
+            env.parallel_single(make)
+
+        run_omp(body)
+        assert order.index("inner-task") < order.index("after-inner")
+        assert order.index("outer-task") < order.index("after-outer")
+
+    def test_group_member_created_by_member(self):
+        order = []
+
+        def body(env):
+            def child(tv):
+                env.task(lambda tv2: order.append("grand"))
+                order.append("child")
+
+            def make():
+                env.taskgroup(lambda: env.task(child))
+                order.append("after")
+            env.parallel_single(make)
+
+        run_omp(body)
+        assert order.index("grand") < order.index("after")
+
+
+class TestPriorityAndMisc:
+    def test_priority_accepted(self):
+        def body(env):
+            def make():
+                t = env.task(lambda tv: None, priority=5)
+                assert t.priority == 5
+            env.parallel_single(make)
+        run_omp(body)
+
+    def test_threadprivate_value_persists_across_regions(self):
+        values = []
+
+        def body(env):
+            def r1(tid):
+                v = env.threadprivate("persist")
+                if env.thread_num() == 0:
+                    v.write(0, 77)
+                env.barrier()
+
+            def r2(tid):
+                if env.thread_num() == 0:
+                    values.append(env.threadprivate("persist").read(0))
+                env.barrier()
+            env.parallel(r1, num_threads=2)
+            env.parallel(r2, num_threads=2)
+
+        run_omp(body)
+        # NOTE: worker thread identity differs across regions in the
+        # simulated runtime (fresh sim threads per region), but member 0 is
+        # always the encountering thread, so its TLS persists.
+        assert values == [77]

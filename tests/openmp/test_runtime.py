@@ -1,0 +1,591 @@
+"""Tests for the simulated OpenMP runtime (fork/join, tasks, sync)."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.openmp.api import OmpEnv, make_env
+from repro.openmp.ompt import OmptObserver, SyncKind, TaskFlags
+
+
+def run_omp(body, nthreads=4, seed=0, observer=None):
+    m = Machine(seed=seed)
+    env = make_env(m, nthreads=nthreads)
+    if observer is not None:
+        env.rt.ompt.register(observer)
+    def main():
+        with env.ctx.function("main", line=1):
+            body(env)
+    m.run(main)
+    return m, env
+
+
+class Trace(OmptObserver):
+    def __init__(self):
+        self.events = []
+
+    def on_parallel_begin(self, region, task):
+        self.events.append(("parallel_begin", region.id))
+
+    def on_parallel_end(self, region, task):
+        self.events.append(("parallel_end", region.id))
+
+    def on_implicit_task_begin(self, region, task):
+        self.events.append(("implicit_begin", region.id))
+
+    def on_implicit_task_end(self, region, task):
+        self.events.append(("implicit_end", region.id))
+
+    def on_task_create(self, task, parent):
+        self.events.append(("create", task.tid))
+
+    def on_task_schedule_begin(self, task, tid):
+        self.events.append(("begin", task.tid, tid))
+
+    def on_task_schedule_end(self, task, tid, completed):
+        self.events.append(("end", task.tid, completed))
+
+    def on_task_dependence_pair(self, pred, succ, dep):
+        self.events.append(("dep", pred.tid, succ.tid))
+
+    def on_sync_region_begin(self, kind, task, tid):
+        self.events.append(("sync_begin", kind))
+
+    def on_sync_region_end(self, kind, task, tid):
+        self.events.append(("sync_end", kind))
+
+
+class TestParallel:
+    def test_team_runs_every_member(self):
+        seen = []
+
+        def body(env):
+            env.parallel(lambda tid: seen.append(tid), num_threads=4)
+
+        run_omp(body)
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_ompt_parallel_events(self):
+        tr = Trace()
+
+        def body(env):
+            env.parallel(lambda tid: None, num_threads=2)
+
+        run_omp(body, observer=tr)
+        kinds = [e[0] for e in tr.events]
+        assert kinds.count("parallel_begin") == 1
+        assert kinds.count("implicit_begin") == 2
+        assert kinds.count("implicit_end") == 2
+        assert kinds[-1] == "parallel_end"
+
+    def test_thread_num_and_num_threads(self):
+        out = {}
+
+        def body(env):
+            def region(tid):
+                out[env.thread_num()] = env.num_threads()
+            env.parallel(region, num_threads=3)
+
+        run_omp(body)
+        assert out == {0: 3, 1: 3, 2: 3}
+
+    def test_sequential_regions(self):
+        trace = []
+
+        def body(env):
+            env.parallel(lambda tid: trace.append(("r1", tid)), num_threads=2)
+            env.parallel(lambda tid: trace.append(("r2", tid)), num_threads=2)
+
+        run_omp(body)
+        # every r1 entry strictly before every r2 entry (fork/join semantics)
+        last_r1 = max(i for i, e in enumerate(trace) if e[0] == "r1")
+        first_r2 = min(i for i, e in enumerate(trace) if e[0] == "r2")
+        assert last_r1 < first_r2
+
+    def test_serial_region(self):
+        seen = []
+
+        def body(env):
+            env.parallel(lambda tid: seen.append(tid), num_threads=1)
+
+        run_omp(body, nthreads=1)
+        assert seen == [0]
+
+
+class TestSingleMaster:
+    def test_single_executes_once(self):
+        count = []
+
+        def body(env):
+            env.parallel(lambda tid: env.single(lambda: count.append(tid)),
+                         num_threads=4)
+
+        run_omp(body)
+        assert len(count) == 1
+
+    def test_two_singles_each_once(self):
+        counts = {"a": 0, "b": 0}
+
+        def body(env):
+            def region(tid):
+                env.single(lambda: counts.__setitem__("a", counts["a"] + 1))
+                env.single(lambda: counts.__setitem__("b", counts["b"] + 1))
+            env.parallel(region, num_threads=4)
+
+        run_omp(body)
+        assert counts == {"a": 1, "b": 1}
+
+    def test_master_runs_on_member_zero_only(self):
+        ran = []
+
+        def body(env):
+            def region(tid):
+                env.master(lambda: ran.append(env.thread_num()))
+            env.parallel(region, num_threads=4)
+
+        run_omp(body)
+        assert ran == [0]
+
+
+class TestTasks:
+    def test_tasks_execute_before_region_end(self):
+        done = []
+
+        def body(env):
+            env.parallel_single(lambda: [
+                env.task(lambda tv: done.append(i)) for i in range(8)
+            ], num_threads=4)
+
+        run_omp(body)
+        assert sorted(done) == list(range(8))
+
+    def test_tasks_distributed_across_threads(self):
+        execs = []
+
+        def body(env):
+            def make():
+                for i in range(16):
+                    env.task(lambda tv: execs.append(
+                        env.ctx.machine.scheduler.current_id()))
+            env.parallel_single(make, num_threads=4)
+
+        run_omp(body)
+        assert len(execs) == 16
+        assert len(set(execs)) > 1     # work stealing spread the tasks
+
+    def test_serial_team_tasks_are_included(self):
+        """LLVM single-thread behaviour: tasks run inline at creation."""
+        order = []
+
+        def body(env):
+            def make():
+                order.append("before")
+                t = env.task(lambda tv: order.append("task"))
+                order.append("after")
+                assert t.is_included
+            env.parallel_single(make, num_threads=1)
+
+        run_omp(body, nthreads=1)
+        assert order == ["before", "task", "after"]
+
+    def test_if_false_is_undeferred(self):
+        order = []
+
+        def body(env):
+            def make():
+                t = env.task(lambda tv: order.append("task"), if_=False)
+                order.append("after")
+                assert t.is_undeferred
+            env.parallel_single(make, num_threads=4)
+
+        run_omp(body)
+        assert order == ["task", "after"]
+
+    def test_final_makes_children_included(self):
+        order = []
+
+        def body(env):
+            def outer(tv):
+                env.task(lambda tv2: order.append("inner"))
+                order.append("outer_after_create")
+
+            env.parallel_single(
+                lambda: env.task(outer, final=True), num_threads=4)
+
+        run_omp(body)
+        assert order.index("inner") < order.index("outer_after_create")
+
+    def test_firstprivate_capture(self):
+        captured = []
+
+        def body(env):
+            ctx = env.ctx
+            i = ctx.stack_var("i", 8, elem=8)
+
+            def make():
+                for val in range(3):
+                    i.write(0, val)
+                    env.task(lambda tv: captured.append(tv.private_value("i")),
+                             firstprivate={"i": i})
+            env.parallel_single(make, num_threads=4)
+
+        run_omp(body)
+        assert sorted(captured) == [0, 1, 2]
+
+    def test_detach_defers_completion(self):
+        events = {}
+        order = []
+
+        def body(env):
+            def make():
+                def t1(tv):
+                    events["ev"] = tv.detach_event
+                    order.append("t1_body_done")
+                env.task(t1, detachable=True)
+                env.task(lambda tv: (order.append("t2"),
+                                     events["ev"].fulfill()))
+                env.taskwait()
+                order.append("after_taskwait")
+            env.parallel_single(make, num_threads=2)
+
+        run_omp(body)
+        assert order.index("after_taskwait") > order.index("t2")
+        assert order.index("after_taskwait") > order.index("t1_body_done")
+
+
+class TestDependencies:
+    def _two_dep_tasks(self, env, order, kind1, kind2):
+        ctx = env.ctx
+        x = ctx.malloc(8)
+
+        def make():
+            env.task(lambda tv: order.append("t1"), depend={kind1: [x]})
+            env.task(lambda tv: order.append("t2"), depend={kind2: [x]})
+        env.parallel_single(make, num_threads=4)
+
+    @pytest.mark.parametrize("k1,k2", [("out", "out"), ("out", "in"),
+                                       ("in", "out"), ("inout", "inout"),
+                                       ("out", "inoutset"),
+                                       ("inoutset", "out")])
+    def test_ordering_pairs(self, k1, k2):
+        order = []
+
+        def body(env):
+            self._two_dep_tasks(env, order, k1, k2)
+
+        run_omp(body, seed=3)
+        assert order == ["t1", "t2"]
+
+    def test_in_in_unordered_but_both_run(self):
+        order = []
+
+        def body(env):
+            self._two_dep_tasks(env, order, "in", "in")
+
+        run_omp(body)
+        assert sorted(order) == ["t1", "t2"]
+
+    def test_dependence_chain(self):
+        order = []
+
+        def body(env):
+            ctx = env.ctx
+            x = ctx.malloc(8)
+
+            def make():
+                for i in range(5):
+                    env.task(lambda tv, i=i: order.append(i),
+                             depend={"inout": [x]})
+            env.parallel_single(make, num_threads=4)
+
+        run_omp(body, seed=11)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_readers_between_writers(self):
+        order = []
+
+        def body(env):
+            ctx = env.ctx
+            x = ctx.malloc(8)
+
+            def make():
+                env.task(lambda tv: order.append("w1"), depend={"out": [x]})
+                env.task(lambda tv: order.append("r1"), depend={"in": [x]})
+                env.task(lambda tv: order.append("r2"), depend={"in": [x]})
+                env.task(lambda tv: order.append("w2"), depend={"out": [x]})
+            env.parallel_single(make, num_threads=4)
+
+        run_omp(body, seed=5)
+        assert order[0] == "w1" and order[-1] == "w2"
+
+    def test_dependence_pairs_announced(self):
+        tr = Trace()
+
+        def body(env):
+            ctx = env.ctx
+            x = ctx.malloc(8)
+
+            def make():
+                env.task(lambda tv: None, depend={"out": [x]})
+                env.task(lambda tv: None, depend={"in": [x]})
+            env.parallel_single(make, num_threads=2)
+
+        run_omp(body, observer=tr)
+        deps = [e for e in tr.events if e[0] == "dep"]
+        assert len(deps) == 1
+
+    def test_non_sibling_deps_do_not_order(self):
+        """DRB173 mechanism: depend clauses only bind siblings."""
+        tr = Trace()
+
+        def body(env):
+            ctx = env.ctx
+            x = ctx.malloc(8)
+
+            def outer1(tv):
+                env.task(lambda tv2: None, depend={"out": [x]})
+                env.taskwait()
+
+            def outer2(tv):
+                env.task(lambda tv2: None, depend={"out": [x]})
+                env.taskwait()
+
+            def make():
+                env.task(outer1)
+                env.task(outer2)
+            env.parallel_single(make, num_threads=4)
+
+        run_omp(body, observer=tr)
+        assert not [e for e in tr.events if e[0] == "dep"]
+
+    def test_mutexinoutset_mutual_exclusion(self):
+        active = {"n": 0, "max": 0}
+
+        def body(env):
+            ctx = env.ctx
+            x = ctx.malloc(8)
+
+            def crit(tv):
+                active["n"] += 1
+                active["max"] = max(active["max"], active["n"])
+                env.ctx.machine.scheduler.yield_point()
+                active["n"] -= 1
+
+            def make():
+                for _ in range(6):
+                    env.task(crit, depend={"mutexinoutset": [x]})
+            env.parallel_single(make, num_threads=4)
+
+        run_omp(body, seed=2)
+        assert active["max"] == 1    # never two members at once
+
+
+class TestSync:
+    def test_taskwait_waits_for_children(self):
+        order = []
+
+        def body(env):
+            def make():
+                for i in range(4):
+                    env.task(lambda tv, i=i: order.append(i))
+                env.taskwait()
+                order.append("done")
+            env.parallel_single(make, num_threads=4)
+
+        run_omp(body)
+        assert order[-1] == "done"
+        assert sorted(order[:-1]) == [0, 1, 2, 3]
+
+    def test_taskwait_does_not_wait_grandchildren(self):
+        order = []
+
+        def body(env):
+            def child(tv):
+                env.task(lambda tv2: order.append("grandchild"))
+                order.append("child_done")
+
+            def make():
+                env.task(child)
+                env.taskwait()
+                order.append("after_wait")
+            env.parallel_single(make, num_threads=4)
+
+        run_omp(body)
+        assert order.index("after_wait") > order.index("child_done")
+
+    def test_taskgroup_waits_for_descendants(self):
+        order = []
+
+        def body(env):
+            def child(tv):
+                env.task(lambda tv2: order.append("grandchild"))
+                order.append("child_done")
+
+            def make():
+                env.taskgroup(lambda: env.task(child))
+                order.append("after_group")
+            env.parallel_single(make, num_threads=4)
+
+        run_omp(body)
+        assert order.index("after_group") > order.index("grandchild")
+
+    def test_explicit_barrier(self):
+        trace = []
+
+        def body(env):
+            def region(tid):
+                trace.append(("pre", tid))
+                env.barrier()
+                trace.append(("post", tid))
+            env.parallel(region, num_threads=3)
+
+        run_omp(body)
+        last_pre = max(i for i, e in enumerate(trace) if e[0] == "pre")
+        first_post = min(i for i, e in enumerate(trace) if e[0] == "post")
+        assert last_pre < first_post
+
+    def test_critical_mutual_exclusion(self):
+        state = {"in": 0, "max": 0, "count": 0}
+
+        def body(env):
+            def region(tid):
+                with env.critical("c"):
+                    state["in"] += 1
+                    state["max"] = max(state["max"], state["in"])
+                    env.ctx.machine.scheduler.yield_point()
+                    state["in"] -= 1
+                    state["count"] += 1
+            env.parallel(region, num_threads=4)
+
+        run_omp(body)
+        assert state["max"] == 1 and state["count"] == 4
+
+    def test_lock(self):
+        order = []
+
+        def body(env):
+            lk = env.lock("L")
+
+            def region(tid):
+                with lk:
+                    order.append(tid)
+            env.parallel(region, num_threads=3)
+
+        run_omp(body)
+        assert sorted(order) == [0, 1, 2]
+
+
+class TestLoops:
+    def test_for_static_partitions(self):
+        seen = []
+
+        def body(env):
+            def region(tid):
+                for i in env.for_static(0, 10):
+                    seen.append(i)
+                env.barrier()
+            env.parallel(region, num_threads=3)
+
+        run_omp(body)
+        assert sorted(seen) == list(range(10))
+
+    def test_taskloop_covers_space(self):
+        seen = []
+
+        def body(env):
+            def chunk(tv, lo, hi):
+                seen.extend(range(lo, hi))
+            env.parallel_single(
+                lambda: env.taskloop(chunk, 0, 20, num_tasks=4),
+                num_threads=4)
+
+        run_omp(body)
+        assert sorted(seen) == list(range(20))
+
+    def test_taskloop_group_waits(self):
+        seen = []
+
+        def body(env):
+            def make():
+                env.taskloop(lambda tv, lo, hi: seen.extend(range(lo, hi)),
+                             0, 8, num_tasks=4)
+                seen.append("after")
+            env.parallel_single(make, num_threads=4)
+
+        run_omp(body)
+        assert seen[-1] == "after" and sorted(seen[:-1]) == list(range(8))
+
+    def test_taskloop_collapse2(self):
+        seen = []
+
+        def body(env):
+            env.parallel_single(
+                lambda: env.taskloop_collapse2(
+                    lambda tv, i, j: seen.append((i, j)), 0, 3, 0, 4,
+                    num_tasks=3),
+                num_threads=2)
+
+        run_omp(body)
+        assert sorted(seen) == [(i, j) for i in range(3) for j in range(4)]
+
+
+class TestThreadprivate:
+    def test_distinct_per_thread(self):
+        addrs = {}
+
+        def body(env):
+            def region(tid):
+                v = env.threadprivate("counter")
+                addrs[env.thread_num()] = v.addr
+                v.write(0)
+            env.parallel(region, num_threads=3)
+
+        run_omp(body)
+        assert len(set(addrs.values())) == 3
+
+    def test_same_thread_same_address(self):
+        addrs = []
+
+        def body(env):
+            v1 = env.threadprivate("c2")
+            v2 = env.threadprivate("c2")
+            addrs.append((v1.addr, v2.addr))
+
+        run_omp(body)
+        a, b = addrs[0]
+        assert a == b
+
+
+class TestDeterminism:
+    def test_same_seed_same_execution_order(self):
+        def run_once(seed):
+            execs = []
+
+            def body(env):
+                def make():
+                    for i in range(12):
+                        env.task(lambda tv, i=i: execs.append(i))
+                env.parallel_single(make, num_threads=4)
+
+            run_omp(body, seed=seed)
+            return execs
+
+        assert run_once(1) == run_once(1)
+        assert run_once(2) == run_once(2)
+
+    def test_different_seeds_differ_somewhere(self):
+        """Seeded stealing varies *which thread* executes each task."""
+        def run_once(seed):
+            execs = []
+
+            def body(env):
+                def make():
+                    for i in range(20):
+                        env.task(lambda tv, i=i: execs.append(
+                            (i, env.ctx.machine.scheduler.current_id())))
+                env.parallel_single(make, num_threads=4)
+
+            run_omp(body, seed=seed)
+            return tuple(execs)
+
+        results = {run_once(s) for s in range(6)}
+        assert len(results) > 1

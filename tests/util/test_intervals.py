@@ -1,0 +1,200 @@
+"""Unit tests for the interval algebra (repro.util.intervals)."""
+
+import pytest
+
+from repro.util.intervals import Interval, IntervalSet, coalesce
+
+
+class TestInterval:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Interval(5, 5)
+        with pytest.raises(ValueError):
+            Interval(6, 5)
+
+    def test_make_returns_none_for_empty(self):
+        assert Interval.make(5, 5) is None
+        assert Interval.make(3, 2) is None
+        assert Interval.make(1, 2) == Interval(1, 2)
+
+    def test_size(self):
+        assert Interval(10, 25).size == 15
+
+    def test_overlaps_half_open(self):
+        assert Interval(0, 10).overlaps(Interval(9, 20))
+        assert not Interval(0, 10).overlaps(Interval(10, 20))
+        assert Interval(5, 6).overlaps(Interval(0, 100))
+
+    def test_touches_includes_adjacency(self):
+        assert Interval(0, 10).touches(Interval(10, 20))
+        assert not Interval(0, 10).touches(Interval(11, 20))
+
+    def test_contains_point(self):
+        iv = Interval(4, 8)
+        assert iv.contains(4)
+        assert iv.contains(7)
+        assert not iv.contains(8)
+        assert not iv.contains(3)
+
+    def test_covers(self):
+        assert Interval(0, 10).covers(Interval(2, 8))
+        assert Interval(0, 10).covers(Interval(0, 10))
+        assert not Interval(0, 10).covers(Interval(2, 11))
+
+    def test_intersect(self):
+        assert Interval(0, 10).intersect(Interval(5, 15)) == Interval(5, 10)
+        assert Interval(0, 10).intersect(Interval(10, 15)) is None
+
+    def test_hull(self):
+        assert Interval(0, 4).hull(Interval(10, 12)) == Interval(0, 12)
+
+    def test_subtract_middle_splits(self):
+        assert Interval(0, 10).subtract(Interval(3, 7)) == (
+            Interval(0, 3), Interval(7, 10))
+
+    def test_subtract_disjoint_identity(self):
+        assert Interval(0, 10).subtract(Interval(20, 30)) == (Interval(0, 10),)
+
+    def test_subtract_full_cover_empty(self):
+        assert Interval(3, 7).subtract(Interval(0, 10)) == ()
+
+    def test_subtract_edges(self):
+        assert Interval(0, 10).subtract(Interval(0, 4)) == (Interval(4, 10),)
+        assert Interval(0, 10).subtract(Interval(6, 10)) == (Interval(0, 6),)
+
+    def test_shift(self):
+        assert Interval(1, 3).shift(10) == Interval(11, 13)
+
+
+class TestIntervalSet:
+    def test_empty(self):
+        s = IntervalSet()
+        assert not s
+        assert len(s) == 0
+        assert s.total_bytes == 0
+        assert s.span is None
+
+    def test_add_coalesces_adjacent(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(10, 20)
+        assert s.pairs() == [(0, 20)]
+
+    def test_add_coalesces_overlap(self):
+        s = IntervalSet()
+        s.add(0, 10)
+        s.add(5, 15)
+        assert s.pairs() == [(0, 15)]
+
+    def test_add_disjoint_keeps_sorted(self):
+        s = IntervalSet()
+        s.add(20, 30)
+        s.add(0, 5)
+        s.add(10, 12)
+        assert s.pairs() == [(0, 5), (10, 12), (20, 30)]
+
+    def test_add_bridging_merge(self):
+        s = IntervalSet.from_pairs([(0, 5), (10, 15), (20, 25)])
+        s.add(4, 21)
+        assert s.pairs() == [(0, 25)]
+
+    def test_add_empty_noop(self):
+        s = IntervalSet.from_pairs([(0, 5)])
+        s.add(7, 7)
+        assert s.pairs() == [(0, 5)]
+
+    def test_contains_point(self):
+        s = IntervalSet.from_pairs([(0, 5), (10, 15)])
+        assert s.contains_point(0)
+        assert s.contains_point(14)
+        assert not s.contains_point(5)
+        assert not s.contains_point(9)
+
+    def test_overlaps_range(self):
+        s = IntervalSet.from_pairs([(10, 20)])
+        assert s.overlaps_range(0, 11)
+        assert s.overlaps_range(19, 30)
+        assert not s.overlaps_range(0, 10)
+        assert not s.overlaps_range(20, 30)
+
+    def test_covers_range(self):
+        s = IntervalSet.from_pairs([(0, 10), (20, 30)])
+        assert s.covers_range(2, 8)
+        assert s.covers_range(0, 10)
+        assert not s.covers_range(5, 25)
+        assert not s.covers_range(15, 18)
+
+    def test_overlapping_listing(self):
+        s = IntervalSet.from_pairs([(0, 5), (10, 15), (20, 25)])
+        from repro.util.intervals import Interval as I
+        assert s.overlapping(3, 22) == [I(0, 5), I(10, 15), I(20, 25)]
+        assert s.overlapping(5, 10) == []
+
+    def test_remove_middle(self):
+        s = IntervalSet.from_pairs([(0, 10)])
+        s.remove(3, 7)
+        assert s.pairs() == [(0, 3), (7, 10)]
+
+    def test_remove_across_members(self):
+        s = IntervalSet.from_pairs([(0, 5), (10, 15), (20, 25)])
+        s.remove(3, 22)
+        assert s.pairs() == [(0, 3), (22, 25)]
+
+    def test_remove_everything(self):
+        s = IntervalSet.from_pairs([(0, 5), (10, 15)])
+        s.remove(0, 100)
+        assert s.pairs() == []
+
+    def test_remove_nothing(self):
+        s = IntervalSet.from_pairs([(0, 5)])
+        s.remove(6, 9)
+        assert s.pairs() == [(0, 5)]
+
+    def test_union(self):
+        a = IntervalSet.from_pairs([(0, 5), (10, 15)])
+        b = IntervalSet.from_pairs([(4, 11), (20, 22)])
+        assert a.union(b).pairs() == [(0, 15), (20, 22)]
+
+    def test_intersection(self):
+        a = IntervalSet.from_pairs([(0, 10), (20, 30)])
+        b = IntervalSet.from_pairs([(5, 25)])
+        assert a.intersection(b).pairs() == [(5, 10), (20, 25)]
+
+    def test_intersection_empty(self):
+        a = IntervalSet.from_pairs([(0, 5)])
+        b = IntervalSet.from_pairs([(5, 10)])
+        assert a.intersection(b).pairs() == []
+        assert not a.intersects(b)
+
+    def test_intersects_fast_path(self):
+        a = IntervalSet.from_pairs([(0, 5), (100, 105)])
+        b = IntervalSet.from_pairs([(104, 200)])
+        assert a.intersects(b)
+
+    def test_difference(self):
+        a = IntervalSet.from_pairs([(0, 10)])
+        b = IntervalSet.from_pairs([(2, 4), (6, 8)])
+        assert a.difference(b).pairs() == [(0, 2), (4, 6), (8, 10)]
+
+    def test_equality_is_canonical(self):
+        a = IntervalSet.from_pairs([(0, 5), (5, 10)])
+        b = IntervalSet.from_pairs([(0, 10)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_total_bytes(self):
+        s = IntervalSet.from_pairs([(0, 5), (10, 12)])
+        assert s.total_bytes == 7
+
+    def test_span(self):
+        s = IntervalSet.from_pairs([(5, 8), (100, 110)])
+        assert s.span.lo == 5 and s.span.hi == 110
+
+    def test_copy_is_independent(self):
+        a = IntervalSet.from_pairs([(0, 5)])
+        b = a.copy()
+        b.add(10, 20)
+        assert a.pairs() == [(0, 5)]
+
+    def test_coalesce_helper(self):
+        assert coalesce([(5, 8), (0, 5), (20, 21)]) == [(0, 8), (20, 21)]

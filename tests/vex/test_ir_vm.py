@@ -1,0 +1,204 @@
+"""Tests for the VEX IR, the guest ISA translator, and the instrumented VM."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.machine import Machine
+from repro.machine.program import GuestContext
+from repro.vex.ir import Dirty, IMark, Load, Store, SuperBlock, WrTmp
+from repro.vex.translate import (Assembler, GuestVM, instrument_block,
+                                 translate_block)
+
+
+def make_ctx():
+    machine = Machine(seed=0)
+    ctx = GuestContext(machine)
+    return machine, ctx
+
+
+SUM_LOOP = """
+    ; r1 = base, r2 = n, r3 = acc, r4 = i, r5 = addr, r6 = elem
+    li   r3, 0
+    li   r4, 0
+loop:
+    bne  r4, r2, body
+    jmp  done
+body:
+    li   r6, 8
+    mul  r5, r4, r6
+    add  r5, r5, r1
+    ld   r6, [r5]
+    add  r3, r3, r6
+    addi r4, r4, 1
+    jmp  loop
+done:
+    st   [r7], r3
+    halt
+"""
+
+
+class TestAssembler:
+    def test_assembles_and_labels(self):
+        binary = Assembler().assemble(SUM_LOOP)
+        assert "loop" in binary.labels and "done" in binary.labels
+        assert binary.at(binary.base).op == "li"
+
+    def test_block_extraction_stops_at_control_flow(self):
+        binary = Assembler().assemble(SUM_LOOP)
+        block = binary.block_at(binary.base)
+        assert [i.op for i in block] == ["li", "li", "bne"]
+
+    def test_bad_mnemonic(self):
+        with pytest.raises(MachineError, match="unknown mnemonic"):
+            Assembler().assemble("frobnicate r0, r1")
+
+    def test_pc_out_of_range(self):
+        binary = Assembler().assemble("halt")
+        with pytest.raises(MachineError, match="out of range"):
+            binary.at(binary.base + 400)
+
+
+class TestTranslation:
+    def test_imark_per_instruction(self):
+        binary = Assembler().assemble("li r0, 1\nli r1, 2\nhalt")
+        sb = translate_block(binary.block_at(binary.base))
+        assert sum(isinstance(s, IMark) for s in sb.stmts) == 3
+        assert sb.next_addr is None
+
+    def test_load_store_made_explicit(self):
+        binary = Assembler().assemble("ld r0, [r1+8]\nst [r2], r0\nhalt")
+        sb = translate_block(binary.block_at(binary.base))
+        loads = [s for s in sb.stmts
+                 if isinstance(s, WrTmp) and isinstance(s.expr, Load)]
+        stores = [s for s in sb.stmts if isinstance(s, Store)]
+        assert len(loads) == 1 and len(stores) == 1
+
+    def test_branch_produces_exit_and_fallthrough(self):
+        binary = Assembler().assemble("x:\nbne r0, r1, x\nhalt")
+        sb = translate_block(binary.block_at(binary.base))
+        assert sb.next_addr == binary.base + 4
+
+    def test_pretty_smoke(self):
+        binary = Assembler().assemble("li r0, 1\nhalt")
+        text = translate_block(binary.block_at(binary.base)).pretty()
+        assert "IRSB" in text and "IMark" in text
+
+
+class TestInstrumentation:
+    def test_dirty_before_every_access(self):
+        binary = Assembler().assemble("ld r0, [r1]\nst [r2], r0\nhalt")
+        sb = translate_block(binary.block_at(binary.base))
+        hooked = instrument_block(sb, lambda *a: None)
+        dirties = [s for s in hooked.stmts if isinstance(s, Dirty)]
+        assert len(dirties) == 2
+        names = {d.name for d in dirties}
+        assert names == {"track_load", "track_store"}
+        # hook precedes the access it covers
+        idx_store = next(i for i, s in enumerate(hooked.stmts)
+                         if isinstance(s, Store))
+        assert isinstance(hooked.stmts[idx_store - 1], Dirty)
+
+
+class TestGuestVM:
+    def run_sum(self, n=5):
+        machine, ctx = make_ctx()
+        results = {}
+
+        def main():
+            with ctx.function("main", line=1):
+                data = ctx.malloc(8 * n, elem=8, name="data")
+                out = ctx.malloc(8, elem=8, name="out")
+                for i in range(n):
+                    machine.space.store(data.index_addr(i), 8, i + 1)
+                binary = Assembler().assemble(SUM_LOOP)
+                vm = GuestVM(ctx, binary)
+                vm.regs[1] = data.addr
+                vm.regs[2] = n
+                vm.regs[7] = out.addr
+                vm.run()
+                results["sum"] = machine.space.load(out.addr, 8)
+                results["vm"] = vm
+        machine.run(main)
+        return machine, results
+
+    def test_computes_the_sum(self):
+        _, results = self.run_sum(5)
+        assert results["sum"] == 15
+
+    def test_translation_cache_reused(self):
+        _, results = self.run_sum(6)
+        vm = results["vm"]
+        assert vm.blocks_executed > vm.translations
+        assert vm.translations <= 5          # distinct blocks only
+
+    def test_accesses_flow_through_instrumentation(self):
+        machine, results = self.run_sum(4)
+        # 4 element loads + 1 result store, all recorded by the cost model
+        assert machine.cost.counters["accesses"] >= 5
+
+    def test_infinite_loop_guard(self):
+        machine, ctx = make_ctx()
+
+        def main():
+            with ctx.function("main", line=1):
+                binary = Assembler().assemble("x:\njmp x")
+                vm = GuestVM(ctx, binary)
+                vm.run(max_blocks=50)
+        with pytest.raises(MachineError, match="budget"):
+            machine.run(main)
+
+
+class TestBinaryBlobVisibility:
+    """The paper's Section I motivation, end to end."""
+
+    BLOB = """
+        st [r1], r2      ; write the shared word
+        halt
+    """
+
+    def _run_with(self, tool):
+        from repro.openmp.api import make_env
+        machine = Machine(seed=0)
+        machine.add_tool(tool)
+        env = make_env(machine, nthreads=4)
+        env.rt.ompt.register(tool.make_ompt_shim())
+        ctx = env.ctx
+
+        def main():
+            with ctx.function("main", line=1):
+                shared = ctx.malloc(8, line=3, name="shared")
+                binary = Assembler().assemble(self.BLOB)
+
+                def call_blob(tv):
+                    vm = GuestVM(ctx, binary)     # a closed-source library
+                    vm.regs[1] = shared.addr
+                    vm.regs[2] = 7
+                    vm.run()
+
+                def body():
+                    ctx.line(8)
+                    env.task(call_blob)
+                    ctx.line(10)
+                    env.task(call_blob)
+                    env.taskwait()
+                env.parallel_single(body)
+        machine.run(main)
+        return tool.finalize()
+
+    def test_taskgrind_sees_binary_only_race(self):
+        from repro.core.tool import TaskgrindTool
+        assert self._run_with(TaskgrindTool())
+
+    def test_archer_is_blind(self):
+        """Compile-time instrumentation cannot see inside the blob: the
+        false-negative class DBI eliminates."""
+        from repro.baselines.archer import ArcherTool
+        assert self._run_with(ArcherTool()) == []
+
+    def test_tasksanitizer_is_blind(self):
+        from repro.baselines.tasksanitizer import TaskSanitizerTool
+        assert self._run_with(TaskSanitizerTool()) == []
+
+    def test_romp_sees_it_too(self):
+        from repro.baselines.romp import RompTool
+        assert self._run_with(RompTool())

@@ -1,0 +1,165 @@
+"""Tests for the LULESH proxy: determinacy, racy schedule-dependence,
+scaling, and the Table II / Fig 4 preconditions."""
+
+import pytest
+
+from repro.machine.machine import Machine
+from repro.openmp.api import make_env
+from repro.workloads.lulesh import LuleshConfig, Mesh, run_lulesh
+
+
+def run(cfg, nthreads=4, seed=0):
+    machine = Machine(seed=seed)
+    env = make_env(machine, nthreads=nthreads, source_file="lulesh.cc")
+    mesh_box = {}
+
+    def main():
+        mesh_box["mesh"] = run_lulesh(env, cfg)
+    machine.run(main)
+    return machine, mesh_box["mesh"]
+
+
+class TestMesh:
+    def test_sizes(self):
+        machine = Machine()
+        env = make_env(machine, nthreads=1)
+
+        def main():
+            with env.ctx.function("main"):
+                mesh = Mesh(env.ctx, 4)
+                assert mesh.numelem == 64
+                assert mesh.numnode == 125
+                assert mesh.e.n == 64 and mesh.x.n == 125
+        machine.run(main)
+
+    def test_chunks_cover_domain(self):
+        chunks = Mesh.chunks(100, 4)
+        assert chunks[0][0] == 0 and chunks[-1][1] == 100
+        covered = sum(hi - lo for lo, hi in chunks)
+        assert covered == 100
+
+    def test_chunks_handle_remainders(self):
+        chunks = Mesh.chunks(10, 3)
+        assert sum(hi - lo for lo, hi in chunks) == 10
+
+
+class TestDeterminacy:
+    def test_correct_version_schedule_independent(self):
+        """Determinate: same field values for any schedule (seed)."""
+        results = []
+        for seed in range(3):
+            _, mesh = run(LuleshConfig(s=4, iterations=3), seed=seed)
+            results.append(mesh.origin_energy())
+        assert len(set(results)) == 1
+
+    def test_racy_version_runs_and_physics_flows(self):
+        _, mesh = run(LuleshConfig(s=4, iterations=3, racy=True))
+        assert mesh.origin_energy() > 0
+
+    def test_energy_evolves_from_sedov_source(self):
+        """The EOS runs: the origin energy moves off its initial value but
+        stays physical (positive, same order of magnitude)."""
+        _, mesh = run(LuleshConfig(s=4, iterations=4))
+        e0 = 3.948746e7
+        e = mesh.origin_energy()
+        assert e > 0 and e != e0
+        assert 0.5 * e0 < e < 2.0 * e0
+
+    def test_single_thread_matches_multi_thread(self):
+        _, m1 = run(LuleshConfig(s=4, iterations=2), nthreads=1)
+        _, m4 = run(LuleshConfig(s=4, iterations=2), nthreads=4)
+        assert m1.origin_energy() == m4.origin_energy()
+
+
+class TestScaling:
+    def test_time_grows_as_s_cubed(self):
+        t = {}
+        for s in (4, 8, 16, 32):
+            machine, _ = run(LuleshConfig(s=s), nthreads=1)
+            t[s] = machine.cost.seconds
+        # at tiny sizes fixed per-task overhead flattens the curve; once the
+        # field work dominates, doubling s multiplies time by ~8 (O(s^3))
+        assert t[8] / t[4] > 3
+        assert 5 < t[16] / t[8] < 11
+        assert 5 < t[32] / t[16] < 11
+
+    def test_memory_grows_with_s(self):
+        m = {}
+        for s in (8, 16):
+            machine, _ = run(LuleshConfig(s=s), nthreads=1)
+            m[s] = machine.memory_meter().heap_high_water
+        assert m[16] > 4 * m[8]
+
+    def test_parallel_speedup(self):
+        m1, _ = run(LuleshConfig(s=16), nthreads=1)
+        m4, _ = run(LuleshConfig(s=16), nthreads=4)
+        assert m4.cost.seconds < m1.cost.seconds
+
+
+class TestRaceStructure:
+    def _tg_reports(self, racy, nthreads=1, seed=0):
+        from repro.core.tool import TaskgrindTool
+        machine = Machine(seed=seed)
+        tool = TaskgrindTool()
+        machine.add_tool(tool)
+        env = make_env(machine, nthreads=nthreads, source_file="lulesh.cc")
+        env.rt.ompt.register(tool.make_ompt_shim())
+        machine.run(lambda: run_lulesh(env, LuleshConfig(s=8, racy=racy,
+                                                         iterations=2)))
+        return tool.finalize()
+
+    def test_correct_version_no_reports(self):
+        assert self._tg_reports(racy=False) == []
+
+    def test_racy_version_reports(self):
+        reports = self._tg_reports(racy=True)
+        assert reports
+        # the removed dependence is the kinematics halo: conflicts must be
+        # on the velocity field, between kinematics reads and writes
+        labels = {loc for r in reports
+                  for loc in (r.s1.label(), r.s2.label())}
+        assert any("lulesh" in lb for lb in labels)
+
+    def test_racy_conflicts_touch_velocity_field(self):
+        reports = self._tg_reports(racy=True)
+        machine = Machine()
+        # conflicting ranges must fall inside a heap field allocation
+        for r in reports:
+            assert r.block_addr is not None
+
+    def test_scratch_retained_under_taskgrind(self):
+        from repro.core.tool import TaskgrindTool
+        machine = Machine(seed=0)
+        tool = TaskgrindTool()
+        machine.add_tool(tool)
+        env = make_env(machine, nthreads=1, source_file="lulesh.cc")
+        env.rt.ompt.register(tool.make_ompt_shim())
+        machine.run(lambda: run_lulesh(env, LuleshConfig(s=8)))
+        # every per-iteration scratch allocation was retained (6x memory)
+        assert machine.allocator.retained_bytes > 0
+        assert machine.allocator.recycled_allocs == 0
+
+    def test_scratch_recycled_without_tool(self):
+        machine, _ = run(LuleshConfig(s=8), nthreads=1)
+        assert machine.allocator.recycled_allocs > 0
+        assert machine.allocator.retained_bytes == 0
+
+
+class TestAnnotation:
+    def test_tasks_annotated_by_default(self):
+        from repro.openmp.ompt import OmptObserver
+
+        seen = []
+
+        class Spy(OmptObserver):
+            def on_task_create(self, task, parent):
+                seen.append(task.annotated_deferrable)
+
+        machine = Machine()
+        env = make_env(machine, nthreads=1, source_file="lulesh.cc")
+        env.rt.ompt.register(Spy())
+        machine.run(lambda: run_lulesh(env, LuleshConfig(s=4, iterations=1)))
+        assert seen and all(seen)
+
+    def test_annotation_can_be_disabled(self):
+        machine, _ = run(LuleshConfig(s=4, iterations=1, annotate=False))

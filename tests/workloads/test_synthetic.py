@@ -1,0 +1,90 @@
+"""Tests for the synthetic workloads (fib / heat / n-queens) and their
+behaviour under Taskgrind."""
+
+import numpy as np
+import pytest
+
+from repro.core.tool import TaskgrindOptions, TaskgrindTool
+from repro.machine.machine import Machine
+from repro.openmp.api import make_env
+from repro.workloads.synthetic import (NQUEENS_SOLUTIONS, fib_reference,
+                                       heat_reference, omp_fib, omp_heat,
+                                       omp_nqueens)
+
+
+def run(workload, *, nthreads=4, seed=0, tool=None):
+    machine = Machine(seed=seed)
+    if tool is not None:
+        machine.add_tool(tool)
+    env = make_env(machine, nthreads=nthreads)
+    if tool is not None:
+        env.rt.ompt.register(tool.make_ompt_shim())
+    box = {}
+
+    def main():
+        with env.ctx.function("main", line=1):
+            box["result"] = workload(env)
+    machine.run(main)
+    return box["result"], machine
+
+
+class TestFib:
+    def test_matches_reference(self):
+        result, _ = run(lambda env: omp_fib(env, 12))
+        assert result == fib_reference(12) == 144
+
+    def test_deterministic_across_seeds(self):
+        for seed in range(3):
+            result, _ = run(lambda env: omp_fib(env, 10), seed=seed)
+            assert result == 55
+
+    def test_clean_under_taskgrind(self):
+        tool = TaskgrindTool(TaskgrindOptions(model_multithread_lockup=False))
+        result, _ = run(lambda env: omp_fib(env, 9), tool=tool)
+        assert result == 34
+        assert tool.finalize() == []
+
+
+class TestHeat:
+    def test_matches_reference(self):
+        result, _ = run(lambda env: omp_heat(env, n=64, steps=8))
+        np.testing.assert_allclose(result, heat_reference(64, 8))
+
+    def test_conserves_heat(self):
+        result, _ = run(lambda env: omp_heat(env, n=32, steps=6))
+        assert result.sum() == pytest.approx(100.0)
+
+    def test_clean_under_taskgrind(self):
+        tool = TaskgrindTool(TaskgrindOptions(model_multithread_lockup=False))
+        run(lambda env: omp_heat(env, n=32, steps=4), tool=tool)
+        assert tool.finalize() == []
+
+    def test_racy_variant_detected(self):
+        tool = TaskgrindTool(TaskgrindOptions(model_multithread_lockup=False))
+        run(lambda env: omp_heat(env, n=32, steps=4, racy=True), tool=tool)
+        assert tool.finalize()
+
+    def test_racy_detected_single_thread(self):
+        """The annotation keeps the logical graph visible when serialized."""
+        tool = TaskgrindTool()
+        run(lambda env: omp_heat(env, n=32, steps=4, racy=True),
+            nthreads=1, tool=tool)
+        assert tool.finalize()
+
+
+class TestNQueens:
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_counts(self, n):
+        result, _ = run(lambda env: omp_nqueens(env, n))
+        assert result == NQUEENS_SOLUTIONS[n]
+
+    def test_clean_under_taskgrind(self):
+        tool = TaskgrindTool(TaskgrindOptions(model_multithread_lockup=False))
+        result, _ = run(lambda env: omp_nqueens(env, 5), tool=tool)
+        assert result == 10
+        assert tool.finalize() == []
+
+    def test_racy_counter_detected(self):
+        tool = TaskgrindTool(TaskgrindOptions(model_multithread_lockup=False))
+        run(lambda env: omp_nqueens(env, 5, racy=True), tool=tool)
+        assert tool.finalize()
