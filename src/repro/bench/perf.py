@@ -1,0 +1,262 @@
+"""Perf bench: record/analyze phase timings for the fast-path layer.
+
+Times the two hot paths this repo optimizes — access recording and the
+Algorithm 1 analysis — on three workloads (fib, heat, LULESH-small), each
+measured **legacy vs fast**:
+
+* **record** — the access stream captured from a real instrumented run is
+  replayed into fresh segments twice: through the legacy per-access
+  ``IntervalTree.insert`` path and through the write-combining recorder +
+  bulk build.  Bulk ``read_range``/``write_range`` intervals are expanded
+  into 8-byte element accesses first (capped, reported) so the replay has
+  DBI-per-instruction granularity like the real tool.
+* **analyze** — the run's segment graph is analyzed twice: with the pre-PR
+  implementation (bitmask-DP happens-before + tree-walk intersections) and
+  with the fast path (O(1) order-maintenance index where exact + cached
+  flat interval sets with linear-merge intersections).
+
+Both phases assert bit-identical results (interval trees, candidate sets)
+between the two implementations before reporting any numbers, and the tool
+emits ``BENCH_perf.json`` so future PRs have a trajectory.
+
+Usage: ``python -m repro.bench.perf [--json BENCH_perf.json]
+[--max-events 250000] [--repeats 3] [--skip-lulesh]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+import repro.core.analysis as analysis
+from repro.core.analysis import (RaceCandidate, _candidate_pairs,
+                                 _conflict_ranges, _conflict_ranges_tree,
+                                 find_races_indexed)
+from repro.core.segments import Segment, SegmentGraph
+from repro.core.tool import TaskgrindOptions, TaskgrindTool
+from repro.machine.machine import Machine
+from repro.openmp.api import make_env
+from repro.workloads.lulesh import LuleshConfig, run_lulesh
+from repro.workloads.synthetic import omp_fib, omp_heat
+
+ELEMENT_BYTES = 8
+
+
+# ---------------------------------------------------------------------------
+# capture: run a workload under Taskgrind with the access-log hook on
+# ---------------------------------------------------------------------------
+
+def capture(workload: str, *, nthreads: int = 1, seed: int = 0
+            ) -> Tuple[SegmentGraph, List[Tuple[int, int, int, bool]]]:
+    """Run ``workload`` instrumented; return (graph, raw access stream)."""
+    machine = Machine(seed=seed)
+    tool = TaskgrindTool(TaskgrindOptions())
+    machine.add_tool(tool)
+    source = {"fib": "fib.c", "heat": "heat.c",
+              "lulesh": "lulesh.cc"}[workload]
+    env = make_env(machine, nthreads=nthreads, source_file=source)
+    env.rt.ompt.register(tool.make_ompt_shim())
+    tool.builder.access_log = []
+
+    if workload == "fib":
+        entry = lambda: omp_fib(env, 18)                     # noqa: E731
+    elif workload == "heat":
+        entry = lambda: omp_heat(env, n=512, steps=8,        # noqa: E731
+                                 chunks=8)
+    else:
+        entry = lambda: run_lulesh(                          # noqa: E731
+            env, LuleshConfig(s=16, tel=4, tnl=4, iterations=4,
+                              progress=True))
+    machine.run(entry)
+    return tool.builder.graph, tool.builder.access_log
+
+
+def expand_elements(stream: List[Tuple[int, int, int, bool]],
+                    max_events: int) -> Tuple[List[Tuple[int, int, int, bool]],
+                                              int]:
+    """Split bulk ranges into 8-byte element accesses, capped at
+    ``max_events``; returns (events, number of raw records dropped)."""
+    out: List[Tuple[int, int, int, bool]] = []
+    for k, (sid, addr, size, w) in enumerate(stream):
+        if size <= ELEMENT_BYTES:
+            out.append((sid, addr, size, w))
+        else:
+            end = addr + size
+            for a in range(addr, end, ELEMENT_BYTES):
+                out.append((sid, a, min(ELEMENT_BYTES, end - a), w))
+        if len(out) >= max_events:
+            return out[:max_events], len(stream) - (k + 1)
+    return out, 0
+
+
+# ---------------------------------------------------------------------------
+# record phase: replay the same stream through both recorder paths
+# ---------------------------------------------------------------------------
+
+def _replay(events: List[Tuple[int, int, int, bool]], *, immediate: bool
+            ) -> Tuple[float, Dict[int, Segment]]:
+    segs: Dict[int, Segment] = {}
+    t0 = time.perf_counter()
+    for sid, addr, size, w in events:
+        seg = segs.get(sid)
+        if seg is None:
+            seg = segs[sid] = Segment(sid, 0, None, "task")
+        if immediate:
+            seg.record_immediate(addr, size, w, None)
+        else:
+            seg.record(addr, size, w, None)
+    for seg in segs.values():
+        seg.flush_accesses()
+    return time.perf_counter() - t0, segs
+
+
+def bench_record(events: List[Tuple[int, int, int, bool]], repeats: int
+                 ) -> Dict[str, float]:
+    legacy = min(_replay(events, immediate=True)[0] for _ in range(repeats))
+    fast = min(_replay(events, immediate=False)[0] for _ in range(repeats))
+    # parity: both paths must produce byte-identical interval trees
+    _, a = _replay(events, immediate=True)
+    _, b = _replay(events, immediate=False)
+    assert a.keys() == b.keys()
+    for sid in a:
+        assert a[sid].reads.pairs() == b[sid].reads.pairs(), \
+            f"segment {sid}: read trees differ"
+        assert a[sid].writes.pairs() == b[sid].writes.pairs(), \
+            f"segment {sid}: write trees differ"
+    return {"legacy_s": legacy, "fast_s": fast,
+            "speedup": legacy / fast if fast else float("inf")}
+
+
+# ---------------------------------------------------------------------------
+# analyze phase: pre-PR pass vs fast pass on the same graph
+# ---------------------------------------------------------------------------
+
+def _canon(cands: List[RaceCandidate]) -> List[Tuple]:
+    return sorted((c.key(), tuple(c.ranges.pairs())) for c in cands)
+
+
+def _analyze_once(graph: SegmentGraph, *, legacy: bool) -> List[RaceCandidate]:
+    if legacy:
+        # replica of the pre-PR find_races_indexed: bitmask DP only,
+        # tree-walk conflict intersections
+        segs = [s for s in graph.segments if s.has_accesses]
+        out: List[RaceCandidate] = []
+        for i, j in sorted(_candidate_pairs(segs)):
+            s1, s2 = segs[i], segs[j]
+            if graph.ordered(s1, s2):
+                continue
+            ranges = _conflict_ranges_tree(s1, s2)
+            if ranges:
+                out.append(RaceCandidate(s1, s2, ranges))
+        return out
+    return find_races_indexed(graph)
+
+
+def bench_analyze(graph: SegmentGraph, repeats: int) -> Dict[str, float]:
+    for seg in graph.segments:
+        seg.flush_accesses()
+
+    def run(legacy: bool) -> Tuple[float, List[RaceCandidate]]:
+        graph.hb_mode = "bitmask" if legacy else "auto"
+        graph._reach = None                 # cold DP, like a fresh finalize
+        for seg in graph.segments:
+            seg._rset = seg._wset = None    # cold set caches too
+        t0 = time.perf_counter()
+        cands = _analyze_once(graph, legacy=legacy)
+        return time.perf_counter() - t0, cands
+
+    legacy = min(run(True)[0] for _ in range(repeats))
+    fast = min(run(False)[0] for _ in range(repeats))
+    _, a = run(True)
+    _, b = run(False)
+    assert _canon(a) == _canon(b), "fast analyze changed the candidate set"
+    graph.hb_mode = "auto"
+    return {"legacy_s": legacy, "fast_s": fast,
+            "speedup": legacy / fast if fast else float("inf"),
+            "candidates": len(a)}
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+def run_perf(*, workloads=("fib", "heat", "lulesh"), max_events: int = 250_000,
+             repeats: int = 3) -> Dict:
+    results: Dict[str, Dict] = {}
+    for wl in workloads:
+        graph, raw = capture(wl)
+        events, dropped = expand_elements(raw, max_events)
+        if dropped:
+            print(f"[{wl}] event cap hit: {dropped} raw records dropped "
+                  f"(raise --max-events for full coverage)", file=sys.stderr)
+        hb = graph.hb_index
+        rec = bench_record(events, repeats)
+        ana = bench_analyze(graph, repeats)
+        combined_legacy = rec["legacy_s"] + ana["legacy_s"]
+        combined_fast = rec["fast_s"] + ana["fast_s"]
+        results[wl] = {
+            "segments": len(graph.segments),
+            "edges": graph.edge_count,
+            "raw_records": len(raw),
+            "events": len(events),
+            "events_dropped": dropped,
+            "hb_exact": hb.exact if hb is not None else False,
+            "hb_inexact_reason": hb.inexact_reason if hb is not None else None,
+            "record": rec,
+            "analyze": ana,
+            "combined_speedup": (combined_legacy / combined_fast
+                                 if combined_fast else float("inf")),
+        }
+    return {
+        "bench": "perf",
+        "element_bytes": ELEMENT_BYTES,
+        "max_events": max_events,
+        "repeats": repeats,
+        "workloads": results,
+    }
+
+
+def render(results: Dict) -> str:
+    lines = ["workload   phase     legacy_s   fast_s     speedup",
+             "-" * 52]
+    for wl, r in results["workloads"].items():
+        for phase in ("record", "analyze"):
+            p = r[phase]
+            lines.append(f"{wl:<10} {phase:<9} {p['legacy_s']:<10.4f} "
+                         f"{p['fast_s']:<10.4f} {p['speedup']:.2f}x")
+        lines.append(f"{wl:<10} {'combined':<9} "
+                     f"{r['record']['legacy_s'] + r['analyze']['legacy_s']:<10.4f} "
+                     f"{r['record']['fast_s'] + r['analyze']['fast_s']:<10.4f} "
+                     f"{r['combined_speedup']:.2f}x"
+                     f"   (hb {'exact' if r['hb_exact'] else 'fallback'},"
+                     f" {r['events']} events, {r['segments']} segments)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--json", default="BENCH_perf.json",
+                    help="output path (default: BENCH_perf.json)")
+    ap.add_argument("--max-events", type=int, default=250_000)
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timing repeats per phase, min 1 (default: 3)")
+    ap.add_argument("--skip-lulesh", action="store_true",
+                    help="only run the quick synthetic workloads")
+    args = ap.parse_args(argv)
+    workloads = ("fib", "heat") if args.skip_lulesh else \
+        ("fib", "heat", "lulesh")
+    results = run_perf(workloads=workloads, max_events=args.max_events,
+                       repeats=max(1, args.repeats))
+    print(render(results))
+    with open(args.json, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    sys.exit(main())

@@ -25,8 +25,9 @@ independently.
 from __future__ import annotations
 
 import concurrent.futures
+import os
 from dataclasses import dataclass
-from typing import List, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.segments import Segment, SegmentGraph
 from repro.util.intervals import IntervalSet
@@ -46,10 +47,25 @@ class RaceCandidate:
 
 
 def _conflict_ranges(s1: Segment, s2: Segment) -> IntervalSet:
-    """``(s1.w ∩ (s2.r ∪ s2.w)) ∪ (s2.w ∩ s1.r)`` as a normalized set."""
+    """``(s1.w ∩ (s2.r ∪ s2.w)) ∪ (s2.w ∩ s1.r)`` as a normalized set.
+
+    Uses each segment's cached flat :class:`IntervalSet` view, so each of the
+    three intersections is one linear merge of sorted interval lists instead
+    of a tree-stabbing walk; the results are unioned in one pass.
+    """
+    w1, w2 = s1.writes_set(), s2.writes_set()
+    out = w1.intersection(w2)
+    for part in (w1.intersection(s2.reads_set()),
+                 w2.intersection(s1.reads_set())):
+        for lo, hi in part.pairs():
+            out.add(lo, hi)
+    return out
+
+
+def _conflict_ranges_tree(s1: Segment, s2: Segment) -> IntervalSet:
+    """Legacy tree-walk conflict computation (bench baseline / test oracle)."""
     out = s1.writes.intersection_tree(s2.writes)
-    for other in (s2.reads,):
-        out = out.union(s1.writes.intersection_tree(other))
+    out = out.union(s1.writes.intersection_tree(s2.reads))
     out = out.union(s2.writes.intersection_tree(s1.reads))
     return out
 
@@ -57,6 +73,7 @@ def _conflict_ranges(s1: Segment, s2: Segment) -> IntervalSet:
 def find_races_naive(graph: SegmentGraph) -> List[RaceCandidate]:
     """Faithful Algorithm 1: all-pairs with happens-before filtering."""
     out: List[RaceCandidate] = []
+    graph.prepare_queries()
     segs = [s for s in graph.segments if s.has_accesses]
     for i in range(len(segs)):
         s1 = segs[i]
@@ -104,29 +121,47 @@ def _candidate_pairs(segs: Sequence[Segment]) -> Set[Tuple[int, int]]:
 
 def find_races_indexed(graph: SegmentGraph) -> List[RaceCandidate]:
     """Address-indexed Algorithm 1 (same result set as the naive pass)."""
+    graph.prepare_queries()
     segs = [s for s in graph.segments if s.has_accesses]
     out: List[RaceCandidate] = []
-    for i, j in sorted(_candidate_pairs(segs)):
+    # iterate unsorted and sort only the (much smaller) surviving candidate
+    # list — segment ids increase with segs-list index, so sorting by key()
+    # yields the same deterministic order as sorting all pairs up front
+    for i, j in _candidate_pairs(segs):
         s1, s2 = segs[i], segs[j]
         if graph.ordered(s1, s2):
             continue
         ranges = _conflict_ranges(s1, s2)
         if ranges:
             out.append(RaceCandidate(s1, s2, ranges))
+    out.sort(key=lambda c: c.key())
     return out
 
 
+#: fixed chunk size for the parallel pass — independent of the worker count
+#: so the work partition (and therefore any fp-free result assembly) is
+#: deterministic on every machine
+_PARALLEL_CHUNK = 64
+
+
 def find_races_parallel(graph: SegmentGraph, *,
-                        workers: int = 4) -> List[RaceCandidate]:
+                        workers: Optional[int] = None) -> List[RaceCandidate]:
     """Parallelized candidate verification (paper Section VII future work).
 
     Candidate generation stays sequential (it is a single cheap sweep); the
     happens-before check + interval intersection of each candidate pair —
-    the dominant cost — is farmed out over a thread pool.
+    the dominant cost — is farmed out over a thread pool.  Produces the same
+    sorted candidate list as :func:`find_races_indexed` for any worker count.
     """
+    if workers is None:
+        workers = min(4, os.cpu_count() or 1)
+    graph.prepare_queries()               # materialize once, shared read-only
     segs = [s for s in graph.segments if s.has_accesses]
+    for s in segs:
+        s.flush_accesses()                # no lazy tree builds inside workers
+        s.reads_set()
+        s.writes_set()
     pairs = sorted(_candidate_pairs(segs))
-    graph._reachability()                 # materialize once, shared read-only
 
     def check(chunk: Sequence[Tuple[int, int]]) -> List[RaceCandidate]:
         found: List[RaceCandidate] = []
@@ -141,8 +176,8 @@ def find_races_parallel(graph: SegmentGraph, *,
 
     if not pairs:
         return []
-    chunk_size = max(1, len(pairs) // (workers * 4))
-    chunks = [pairs[k:k + chunk_size] for k in range(0, len(pairs), chunk_size)]
+    chunks = [pairs[k:k + _PARALLEL_CHUNK]
+              for k in range(0, len(pairs), _PARALLEL_CHUNK)]
     out: List[RaceCandidate] = []
     with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
         for res in pool.map(check, chunks):

@@ -46,13 +46,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.core.hbindex import HbIndex
 from repro.machine.debuginfo import SourceLocation
 from repro.machine.tls import TlsSnapshot
 from repro.openmp.ompt import DepKind, Dependence, TaskFlags
 from repro.openmp.tasks import Task
-from repro.util.itree import IntervalTree
+from repro.util.intervals import IntervalSet
+from repro.util.itree import IntervalTree, coalesce_sorted_pairs
 
 MAX_LOC_SAMPLES = 64
+
+#: Direct-mapped write-combining cache geometry: addresses map to one of
+#: ``_WC_SLOTS`` slots by 64-byte line, mirroring how a DBI tool would keep a
+#: tiny per-thread cache of recently-touched cells in front of the real
+#: access structure.
+_WC_SLOTS = 16
+_WC_MASK = _WC_SLOTS - 1
+_WC_SHIFT = 6
 
 
 @dataclass
@@ -72,11 +82,57 @@ class SegmentModelConfig:
     honor_deferrable_annotation: bool = True
 
 
+class _PendingAccesses:
+    """Write-combining buffer for one access direction of one segment.
+
+    The fast path of :meth:`Segment.record`: a direct-mapped cache of
+    recently-touched cells (hits extend the cell's hull in place — the common
+    case for the dense strided sweeps of Fig. 3) backed by an append-only
+    spill of evicted cells.  Nothing is sorted or tree-shaped until
+    :meth:`drain`, which sorts + coalesces once and hands the result to
+    :meth:`repro.util.itree.IntervalTree.build_from_sorted`.
+    """
+
+    __slots__ = ("cells", "spill", "count")
+
+    def __init__(self) -> None:
+        self.cells: List[Optional[List[int]]] = [None] * _WC_SLOTS
+        self.spill: List[Tuple[int, int]] = []
+        self.count = 0
+
+    def add(self, lo: int, hi: int) -> None:
+        self.count += 1
+        slot = (lo >> _WC_SHIFT) & _WC_MASK
+        cell = self.cells[slot]
+        if cell is not None:
+            if lo <= cell[1] and cell[0] <= hi:     # overlap or adjacency
+                if lo < cell[0]:
+                    cell[0] = lo
+                if hi > cell[1]:
+                    cell[1] = hi
+                return
+            self.spill.append((cell[0], cell[1]))
+        self.cells[slot] = [lo, hi]
+
+    def drain(self) -> List[Tuple[int, int]]:
+        """All buffered ranges, sorted and coalesced; resets the buffer."""
+        pairs = self.spill
+        for cell in self.cells:
+            if cell is not None:
+                pairs.append((cell[0], cell[1]))
+        self.cells = [None] * _WC_SLOTS
+        self.spill = []
+        self.count = 0
+        pairs.sort()
+        return coalesce_sorted_pairs(pairs)
+
+
 class Segment:
     """One node of the segment graph, with its access interval trees."""
 
     __slots__ = ("id", "thread_id", "task", "kind", "virtual", "open",
-                 "reads", "writes", "loc_samples", "sp_at_start",
+                 "_reads", "_writes", "_pend_r", "_pend_w", "_rset", "_wset",
+                 "loc_samples", "sp_at_start",
                  "stack_bounds", "tls_snapshot", "label_loc", "seq_opened",
                  "seq_closed")
 
@@ -91,8 +147,12 @@ class Segment:
         self.kind = kind                 # 'serial','implicit','task','join'
         self.virtual = virtual
         self.open = not virtual
-        self.reads = IntervalTree()
-        self.writes = IntervalTree()
+        self._reads = IntervalTree()
+        self._writes = IntervalTree()
+        self._pend_r: Optional[_PendingAccesses] = None
+        self._pend_w: Optional[_PendingAccesses] = None
+        self._rset: Optional[Tuple[Tuple[int, int], IntervalSet]] = None
+        self._wset: Optional[Tuple[Tuple[int, int], IntervalSet]] = None
         #: (lo, hi, is_write, loc) samples for report rendering
         self.loc_samples: List[Tuple[int, int, bool, Optional[SourceLocation]]] = []
         self.sp_at_start = sp_at_start
@@ -104,12 +164,100 @@ class Segment:
 
     # -- recording ---------------------------------------------------------
 
+    @staticmethod
+    def _flush_into(tree: IntervalTree,
+                    pend: _PendingAccesses) -> IntervalTree:
+        """Drain a pending buffer into a tree, picking the cheaper strategy:
+        bulk rebuild for large batches, plain inserts for a handful of pairs
+        (sparse segments would otherwise pay the rebuild machinery for 1-2
+        intervals)."""
+        pairs = pend.drain()
+        if not tree and len(pairs) > 8:
+            return IntervalTree.build_from_sorted(pairs)
+        if tree and len(pairs) * 4 >= len(tree):
+            return tree.bulk_merge(pairs)
+        for lo, hi in pairs:
+            tree.insert(lo, hi)
+        return tree
+
+    @property
+    def reads(self) -> IntervalTree:
+        """The read tree; flushes any write-combined pending accesses first."""
+        p = self._pend_r
+        if p is not None and p.count:
+            self._reads = self._flush_into(self._reads, p)
+        return self._reads
+
+    @property
+    def writes(self) -> IntervalTree:
+        """The write tree; flushes any write-combined pending accesses first."""
+        p = self._pend_w
+        if p is not None and p.count:
+            self._writes = self._flush_into(self._writes, p)
+        return self._writes
+
     def record(self, addr: int, size: int, is_write: bool,
-               loc: Optional[SourceLocation]) -> None:
+               loc: Optional[SourceLocation] = None) -> None:
+        """Fast path: write-combine into a pending buffer.
+
+        The interval trees are only built when the segment's trees are next
+        observed (normally when the segment closes) — one sorted bulk build
+        instead of one AVL insert per access.
+        """
+        if is_write:
+            p = self._pend_w
+            if p is None:
+                p = self._pend_w = _PendingAccesses()
+        else:
+            p = self._pend_r
+            if p is None:
+                p = self._pend_r = _PendingAccesses()
+        p.add(addr, addr + size)
+        if len(self.loc_samples) < MAX_LOC_SAMPLES:
+            self.loc_samples.append((addr, addr + size, is_write, loc))
+
+    def record_immediate(self, addr: int, size: int, is_write: bool,
+                         loc: Optional[SourceLocation] = None) -> None:
+        """Legacy path: one coalescing tree insert per access.
+
+        Kept as the oracle/baseline the fast path is benchmarked and
+        property-tested against.
+        """
         tree = self.writes if is_write else self.reads
         tree.insert(addr, addr + size)
         if len(self.loc_samples) < MAX_LOC_SAMPLES:
             self.loc_samples.append((addr, addr + size, is_write, loc))
+
+    def flush_accesses(self) -> None:
+        """Force pending write-combined accesses into the interval trees."""
+        self.reads
+        self.writes
+
+    def reads_set(self) -> IntervalSet:
+        """The read tree as a cached normalized :class:`IntervalSet`."""
+        tree = self.reads
+        key = (len(tree), tree.total_bytes)
+        cached = self._rset
+        if cached is None or cached[0] != key:
+            s = IntervalSet()
+            for lo, hi in tree.pairs():
+                s._los.append(lo)
+                s._his.append(hi)
+            cached = self._rset = (key, s)
+        return cached[1]
+
+    def writes_set(self) -> IntervalSet:
+        """The write tree as a cached normalized :class:`IntervalSet`."""
+        tree = self.writes
+        key = (len(tree), tree.total_bytes)
+        cached = self._wset
+        if cached is None or cached[0] != key:
+            s = IntervalSet()
+            for lo, hi in tree.pairs():
+                s._los.append(lo)
+                s._his.append(hi)
+            cached = self._wset = (key, s)
+        return cached[1]
 
     def sample_loc(self, lo: int, hi: int,
                    want_write: Optional[bool] = None) -> Optional[SourceLocation]:
@@ -122,7 +270,9 @@ class Segment:
 
     @property
     def has_accesses(self) -> bool:
-        return bool(self.reads) or bool(self.writes)
+        return (bool(self._reads) or bool(self._writes)
+                or (self._pend_r is not None and self._pend_r.count > 0)
+                or (self._pend_w is not None and self._pend_w.count > 0))
 
     def label(self) -> str:
         if self.label_loc is not None:
@@ -136,19 +286,35 @@ class Segment:
 
 
 class SegmentGraph:
-    """DAG of segments with bitset reachability."""
+    """DAG of segments with an O(1) label index + bitset reachability oracle.
+
+    ``hb_mode`` selects the query path:
+
+    * ``'auto'`` (default) — answer from the order-maintenance
+      :class:`~repro.core.hbindex.HbIndex` when it is exact for this run,
+      else from the bitmask DP;
+    * ``'bitmask'`` — always the DP (the pre-index behaviour);
+    * ``'checked'`` — answer from the index but assert agreement with the DP
+      on every query (the property-test mode).
+    """
 
     def __init__(self) -> None:
         self.segments: List[Segment] = []
         self._succ: List[List[int]] = []
         self.edge_count = 0
         self._reach: Optional[List[int]] = None    # descendant bitmask per node
+        self.hb_index: Optional[HbIndex] = None
+        self.hb_mode: str = "auto"                 # 'auto'|'bitmask'|'checked'
+        #: (E, H) label snapshot from prepare_queries — valid only while the
+        #: graph is unchanged
+        self._hb_labels: Optional[Tuple[List, List]] = None
 
     def new_segment(self, **kwargs) -> Segment:
         seg = Segment(len(self.segments), **kwargs)
         self.segments.append(seg)
         self._succ.append([])
         self._reach = None
+        self._hb_labels = None
         return seg
 
     def add_edge(self, src: Optional[Segment], dst: Optional[Segment]) -> None:
@@ -157,6 +323,9 @@ class SegmentGraph:
         self._succ[src.id].append(dst.id)
         self.edge_count += 1
         self._reach = None
+        self._hb_labels = None
+        if self.hb_index is not None:
+            self.hb_index.on_edge(src.id, dst.id)
 
     # -- reachability --------------------------------------------------------
 
@@ -196,12 +365,64 @@ class SegmentGraph:
             self._reach = self._compute_reach()
         return self._reach
 
+    def prepare_queries(self) -> None:
+        """Materialize whatever the configured query path will need.
+
+        Called once before a query-heavy pass (Algorithm 1) so the first
+        ``ordered`` call doesn't pay a full DP rebuild mid-loop — and so that
+        when the O(1) index can answer, the DP is not built at all.  When the
+        index is exact, its labels are snapshotted into flat arrays for the
+        cheapest possible per-query cost.
+        """
+        idx = self.hb_index
+        if (idx is None or not idx.exact
+                or self.hb_mode in ("bitmask", "checked")):
+            self._reachability()
+        elif self._hb_labels is None:
+            self._hb_labels = idx.label_arrays(len(self.segments))
+
     def ordered(self, a: Segment, b: Segment) -> bool:
         """True when a path exists between ``a`` and ``b`` (either direction)."""
+        labs = self._hb_labels
+        if labs is not None and self.hb_mode == "auto":
+            e, h = labs
+            ea, eb = e[a.id], e[b.id]
+            if ea is not None and eb is not None:
+                # both E and H are strict total orders: a path exists iff
+                # the two label comparisons agree in direction
+                return (ea < eb) == (h[a.id] < h[b.id])
+        idx = self.hb_index
+        if idx is not None and self.hb_mode != "bitmask":
+            hint = idx.ordered_hint(a.id, b.id)
+            if hint is not None:
+                if self.hb_mode == "checked":
+                    reach = self._reachability()
+                    dp = bool(reach[a.id] >> b.id & 1) or \
+                        bool(reach[b.id] >> a.id & 1)
+                    assert hint == dp, (
+                        f"hb index disagrees with bitmask oracle on "
+                        f"({a.id}, {b.id}): index={hint} dp={dp}")
+                return hint
         reach = self._reachability()
         return bool(reach[a.id] >> b.id & 1) or bool(reach[b.id] >> a.id & 1)
 
     def happens_before(self, a: Segment, b: Segment) -> bool:
+        labs = self._hb_labels
+        if labs is not None and self.hb_mode == "auto":
+            e, h = labs
+            ea, eb = e[a.id], e[b.id]
+            if ea is not None and eb is not None:
+                return ea < eb and h[a.id] < h[b.id]
+        idx = self.hb_index
+        if idx is not None and self.hb_mode != "bitmask":
+            hint = idx.happens_before_hint(a.id, b.id)
+            if hint is not None:
+                if self.hb_mode == "checked":
+                    dp = bool(self._reachability()[a.id] >> b.id & 1)
+                    assert hint == dp, (
+                        f"hb index disagrees with bitmask oracle on "
+                        f"({a.id} -> {b.id}): index={hint} dp={dp}")
+                return hint
         return bool(self._reachability()[a.id] >> b.id & 1)
 
     def independent(self, a: Segment, b: Segment) -> bool:
@@ -218,9 +439,12 @@ class SegmentGraph:
                      bytes_per_segment: int = 160) -> int:
         """Simulated footprint of the graph + its interval trees."""
         nodes = sum(len(s.reads) + len(s.writes) for s in self.segments)
+        index_bytes = (self.hb_index.memory_bytes()
+                       if self.hb_index is not None else 0)
         return (nodes * bytes_per_node
                 + len(self.segments) * bytes_per_segment
-                + self.edge_count * 16)
+                + self.edge_count * 16
+                + index_bytes)
 
 
 @dataclass
@@ -254,11 +478,23 @@ class SegmentBuilder:
     builder's methods.
     """
 
-    def __init__(self, machine, config: Optional[SegmentModelConfig] = None
-                 ) -> None:
+    def __init__(self, machine, config: Optional[SegmentModelConfig] = None,
+                 *, fast_record: bool = True) -> None:
         self.machine = machine
         self.config = config or SegmentModelConfig()
         self.graph = SegmentGraph()
+        #: O(1) fork-join happens-before labels, maintained as events arrive.
+        #: Event shapes the labeling can't express mark it inexact and the
+        #: graph falls back to the bitmask DP.
+        self.hb = HbIndex()
+        self.graph.hb_index = self.hb
+        #: route accesses through the write-combining fast path (False =
+        #: legacy per-access tree inserts; the perf bench flips this)
+        self.fast_record = fast_record
+        #: when set to a list, every access is appended as
+        #: ``(segment_id, addr, size, is_write)`` — the perf bench's capture
+        #: hook for replaying identical streams through both record paths
+        self.access_log: Optional[List[Tuple[int, int, int, bool]]] = None
         self._entries: Dict[int, List[_TaskEntry]] = {}
         self._info: Dict[int, _TaskInfo] = {}
         self._group_stack: Dict[int, List[List[Task]]] = {}   # task tid -> stacks
@@ -317,6 +553,7 @@ class SegmentBuilder:
         if seg.open:
             seg.open = False
             seg.seq_closed = self._bump(thread_id)
+            seg.flush_accesses()       # bulk-build the interval trees now
             try:
                 seg.tls_snapshot = self.machine.tls.snapshot(thread_id)
             except KeyError:  # pragma: no cover - threads always registered
@@ -327,8 +564,14 @@ class SegmentBuilder:
         st = self._stack(thread_id)
         if not st:
             seg = self._open(thread_id, None, "serial")
+            self.hb.place_root(seg.id)
             st.append(_TaskEntry(task=None, segment=seg))
         return st[-1]
+
+    def _hb_ensure_placed(self, seg: Segment) -> None:
+        """Root-place a segment that ended up with no incoming edges."""
+        if self.hb.exact and not self.hb.placed(seg.id):
+            self.hb.place_root(seg.id)
 
     def current_segment(self, thread_id: int) -> Segment:
         return self.current_entry(thread_id).segment
@@ -384,7 +627,12 @@ class SegmentBuilder:
     def on_implicit_task_begin(self, region, task: Task,
                                thread_id: int) -> None:
         seg = self._open(thread_id, task, "implicit")
-        self.graph.add_edge(self._region_fork.get(region.id), seg)
+        fork = self._region_fork.get(region.id)
+        if fork is not None:
+            self.hb.fork_child(fork.id, seg.id)   # team members are parallel
+        else:
+            self.hb.place_root(seg.id)
+        self.graph.add_edge(fork, seg)
         self._stack(thread_id).append(_TaskEntry(task=task, segment=seg))
         self.info(task).creation_segment = self._region_fork.get(region.id)
 
@@ -401,6 +649,9 @@ class SegmentBuilder:
         creation = self._close(entry.segment, thread_id)
         cont = self._open(thread_id, entry.task,
                           entry.segment.kind if entry.task else "serial")
+        # the continuation and the (future) task child are both parallel
+        # branches forked off the creation segment
+        self.hb.fork_child(creation.id, cont.id)
         self.graph.add_edge(creation, cont)
         entry.segment = cont
         ti = self.info(task)
@@ -427,6 +678,9 @@ class SegmentBuilder:
         if (dep.kind == DepKind.MUTEXINOUTSET
                 and not self.config.honor_mutexinoutset):
             return
+        # dependence edges cut across the fork-join nesting: not expressible
+        # in the two-order labeling (DePa handles pure fork-join only)
+        self.hb.mark_inexact("task dependence")
         self.info(succ).preds.append((pred, dep))
 
     def on_task_schedule_begin(self, task: Task, thread_id: int) -> None:
@@ -442,6 +696,11 @@ class SegmentBuilder:
             return
         seg = self._open(thread_id, task, "task",
                          label_loc=self._task_label(task))
+        if ti.creation_segment is not None:
+            self.hb.fork_child(ti.creation_segment.id, seg.id)
+        if self.config.honor_mutexinoutset and task.mutexinoutset_addrs:
+            # observed-order serialization edges are not fork-join shaped
+            self.hb.mark_inexact("mutexinoutset ordering")
         self.graph.add_edge(ti.creation_segment, seg)
         for pred, _dep in ti.preds:
             self.graph.add_edge(self.info(pred).final_segment, seg)
@@ -500,6 +759,8 @@ class SegmentBuilder:
     def on_task_detach_fulfill(self, task: Task, thread_id: int) -> None:
         if not self.config.honor_detach:
             return
+        # completion nodes join strands from unrelated nesting levels
+        self.hb.mark_inexact("detach fulfill")
         ti = self.info(task)
         node = self.graph.new_segment(thread_id=thread_id, task=task,
                                       kind="join", virtual=True)
@@ -572,6 +833,7 @@ class SegmentBuilder:
             if self.config.honor_taskwait:
                 for child in self.info(task).children:
                     self.graph.add_edge(self.info(child).final_segment, seg)
+            self._hb_ensure_placed(seg)
             entry.segment = seg
         elif kind == SyncKind.TASKGROUP:
             members = self._group_stack[task.tid].pop()
@@ -595,6 +857,7 @@ class SegmentBuilder:
                     for fin in self._region_unjoined.get(region.id, []):
                         self.graph.add_edge(fin, seg)
                     self._region_unjoined[region.id] = []
+                self._hb_ensure_placed(seg)
                 entry.segment = seg
                 return
             key = (region.id, thread_id)
@@ -608,6 +871,10 @@ class SegmentBuilder:
                 self._region_unjoined[region.id] = []
                 self._barrier_absorbed.add((region.id, k))
             seg = self._open(thread_id, entry.task, entry.segment.kind)
+            # every member's post-barrier segment is a parallel branch off
+            # the join node — plain sequential placement would order them
+            if self.hb.placed(join.id):
+                self.hb.fork_child(join.id, seg.id)
             self.graph.add_edge(join, seg)
             prior = self._taskwait_prior.pop((task.tid, thread_id), None)
             self.graph.add_edge(prior, seg)
@@ -616,5 +883,12 @@ class SegmentBuilder:
     # -- accesses -----------------------------------------------------------------
 
     def record_access(self, thread_id: int, addr: int, size: int,
-                      is_write: bool, loc: Optional[SourceLocation]) -> None:
-        self.current_segment(thread_id).record(addr, size, is_write, loc)
+                      is_write: bool,
+                      loc: Optional[SourceLocation] = None) -> None:
+        seg = self.current_segment(thread_id)
+        if self.access_log is not None:
+            self.access_log.append((seg.id, addr, size, is_write))
+        if self.fast_record:
+            seg.record(addr, size, is_write, loc)
+        else:
+            seg.record_immediate(addr, size, is_write, loc)

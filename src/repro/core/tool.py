@@ -60,6 +60,12 @@ class TaskgrindOptions:
     model_multithread_lockup: bool = True
     #: path to a Valgrind-style suppression file (see repro.core.suppfile)
     suppression_file: Optional[str] = None
+    #: route accesses through the write-combining recorder + raw dispatch
+    #: (False restores the legacy per-access tree inserts + event objects)
+    fast_record: bool = True
+    #: happens-before query path: 'auto' (O(1) index with bitmask fallback),
+    #: 'bitmask' (legacy DP only) or 'checked' (index cross-checked vs DP)
+    hb_mode: str = "auto"
 
 
 class TaskgrindTool(Tool):
@@ -68,11 +74,14 @@ class TaskgrindTool(Tool):
     name = "taskgrind"
     is_dbi = True
     # ~100x single-thread slowdown and the Valgrind big lock (serialized
-    # client); translation charged once per symbol (JIT to VEX IR).
+    # client); translation charged once per symbol (JIT to VEX IR).  The
+    # write-combining fast path charges a cheaper per-access factor (most
+    # accesses hit the direct-mapped recorder cache instead of the trees).
     cost = ToolCost(access_factor=117.0, compute_factor=20.0,
                     translation_ops=200_000.0,
                     serialize=True, bytes_per_tree_node=64,
-                    bytes_per_segment=192)
+                    bytes_per_segment=192,
+                    fast_access_factor=95.0)
 
     #: Valgrind core resident baseline: translation cache, VEX, tool statics.
     VALGRIND_CORE_BYTES = 44 << 20
@@ -80,6 +89,7 @@ class TaskgrindTool(Tool):
     def __init__(self, options: Optional[TaskgrindOptions] = None) -> None:
         super().__init__()
         self.options = options or TaskgrindOptions()
+        self.fast_path = self.options.fast_record
         self.builder: Optional[SegmentBuilder] = None
         self.suppressor: Optional[SuppressionEngine] = None
         self.reports: List[RaceReport] = []
@@ -87,12 +97,15 @@ class TaskgrindTool(Tool):
         self.filtered_accesses = 0
         self.recorded_accesses = 0
         self.file_suppressed = 0
+        self._symbol_filtered: dict = {}       # symbol name -> filtered?
 
     # -- lifecycle -----------------------------------------------------------
 
     def attach(self, machine) -> None:
         super().attach(machine)
-        self.builder = SegmentBuilder(machine, self.options.segment_model)
+        self.builder = SegmentBuilder(machine, self.options.segment_model,
+                                      fast_record=self.options.fast_record)
+        self.builder.graph.hb_mode = self.options.hb_mode
         self.suppressor = SuppressionEngine(machine,
                                             self.options.suppression)
         if self.options.suppression.suppress_recycling:
@@ -165,6 +178,20 @@ class TaskgrindTool(Tool):
         self.recorded_accesses += 1
         self.builder.record_access(event.thread_id, event.addr, event.size,
                                    event.is_write, event.loc)
+
+    def on_access_raw(self, thread_id: int, addr: int, size: int,
+                      is_write: bool, symbol, loc) -> None:
+        # memoized ignore/instrument-list decision (one lookup per symbol
+        # name instead of re-running the pattern match per access)
+        filtered = self._symbol_filtered.get(symbol.name)
+        if filtered is None:
+            filtered = self._symbol_filtered[symbol.name] = \
+                self.suppressor.symbol_filtered(symbol.name)
+        if filtered:
+            self.filtered_accesses += 1
+            return
+        self.recorded_accesses += 1
+        self.builder.record_access(thread_id, addr, size, is_write, loc)
 
     # -- post-mortem analysis -----------------------------------------------------------
 

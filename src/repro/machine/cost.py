@@ -80,6 +80,11 @@ class ToolCost:
     bytes_per_shadow_range: int = 0
     bytes_per_tree_node: int = 64
     bytes_per_segment: int = 0
+    #: when set, observed accesses dispatched through the tool's *raw* fast
+    #: path (write-combining recorder, no event object) charge this factor
+    #: instead of ``access_factor`` — the cheaper instrumented-access cost of
+    #: the batched recorder
+    fast_access_factor: Optional[float] = None
 
 
 class Clock:
@@ -156,12 +161,16 @@ class CostModel:
 
     # -- time ------------------------------------------------------------
 
-    def charge_access(self, thread, size: int, observed: bool) -> None:
+    def charge_access(self, thread, size: int, observed: bool,
+                      fast: bool = False) -> None:
         self.counters["accesses"] += 1
         self.counters["access_bytes"] += size
         ops = self.params.access_ops(size)
         if observed:
-            ops *= self.tool_cost.access_factor
+            factor = self.tool_cost.access_factor
+            if fast and self.tool_cost.fast_access_factor is not None:
+                factor = self.tool_cost.fast_access_factor
+            ops *= factor
         self.clock.charge(thread, ops)
 
     def charge_translation(self, thread, symbol_name: str) -> None:

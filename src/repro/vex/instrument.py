@@ -37,9 +37,11 @@ class Instrumentation:
         self.tools: List[Tool] = []
         self.enabled = True
         self.access_count = 0
+        self._all_fast = False      # every attached tool accepts raw dispatch
 
     def add_tool(self, tool: Tool) -> None:
         self.tools.append(tool)
+        self._all_fast = all(t.fast_path for t in self.tools)
 
     # -- the hot path -------------------------------------------------------
 
@@ -51,6 +53,20 @@ class Instrumentation:
         self.access_count += 1
         if not self.enabled:
             self.cost.charge_access(thread, size, observed=False)
+            return
+        if self._all_fast and not atomic:
+            # raw dispatch: no AccessEvent allocation, cheaper access charge
+            observed = False
+            thread_id = getattr(thread, "id", -1)
+            for tool in self.tools:
+                if tool.sees_symbol(symbol):
+                    observed = True
+                    if tool.is_dbi:
+                        self.cost.charge_translation(thread, symbol.name)
+                    tool.on_access_raw(thread_id, addr, size, is_write,
+                                       symbol, loc)
+            self.cost.charge_access(thread, size, observed=observed,
+                                    fast=True)
             return
         event = AccessEvent(addr=addr, size=size, is_write=is_write,
                             thread_id=getattr(thread, "id", -1),

@@ -34,6 +34,9 @@ class Tool:
     name: str = "nulgrind"
     #: True for dynamic *binary* instrumentation: sees every access.
     is_dbi: bool = False
+    #: True when the tool accepts raw access dispatch (:meth:`on_access_raw`)
+    #: — lets the hub skip :class:`AccessEvent` allocation on the hot path.
+    fast_path: bool = False
     #: Simulated time/memory behaviour (see :class:`repro.machine.cost.ToolCost`).
     cost = ToolCost()
 
@@ -68,10 +71,23 @@ class Tool:
         """Whether this tool observes ``event`` (DBI vs compile-time scope)."""
         return self.is_dbi or event.symbol.instrumented
 
+    def sees_symbol(self, symbol) -> bool:
+        """:meth:`sees` without an event object (the raw fast path)."""
+        return self.is_dbi or symbol.instrumented
+
     # -- event callbacks --------------------------------------------------------
 
     def on_access(self, event: AccessEvent) -> None:
         """Called for every access the tool *sees* (per :meth:`sees`)."""
+
+    def on_access_raw(self, thread_id: int, addr: int, size: int,
+                      is_write: bool, symbol, loc) -> None:
+        """Raw fast-path observation (only when ``fast_path`` is True).
+
+        Semantically identical to :meth:`on_access` but the hub passes the
+        fields directly instead of allocating an :class:`AccessEvent` per
+        access — the dominant Python-side cost of the hot loop.
+        """
 
     def on_alloc(self, event: AllocEvent) -> None:
         """Heap allocation (fires for all tools; wrapping is separate)."""

@@ -1,0 +1,238 @@
+"""Property tests for the perf fast paths (write-combining recorder, O(1)
+happens-before index, parallel analysis).
+
+Three contracts, each checked against the pre-existing implementation as
+oracle:
+
+* the write-combining recorder (``Segment.record`` + bulk flush) leaves
+  byte-identical interval trees to the legacy immediate-insert path, for any
+  access stream;
+* the order-maintenance happens-before index agrees with the bitmask
+  reachability DP on **every** segment pair of randomly shaped programs —
+  exercised in ``checked`` mode, where every O(1) answer is asserted against
+  the DP inline, plus an explicit all-pairs sweep here;
+* the three analysis passes (naive / indexed / parallel at several worker
+  counts) produce identical candidate sets, and the fast-record tool run
+  reports the same races as a legacy-configured run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import (find_races_indexed, find_races_naive,
+                                 find_races_parallel)
+from repro.core.segments import Segment
+from repro.core.tool import TaskgrindOptions, TaskgrindTool
+from repro.machine.machine import Machine
+from repro.openmp.api import make_env
+
+
+# ---------------------------------------------------------------------------
+# recorder parity
+# ---------------------------------------------------------------------------
+
+# streams biased toward the recorder's interesting regimes: slot collisions
+# (same (lo >> 6) & 15 cache line), hull extensions, adjacent coalescing
+access = st.tuples(st.integers(0, 2048),          # addr
+                   st.integers(1, 16),            # size
+                   st.booleans())                 # is_write
+streams = st.lists(access, max_size=300)
+
+
+class TestRecorderParity:
+    @given(streams)
+    @settings(max_examples=80, deadline=None)
+    def test_byte_identical_trees(self, stream):
+        fast = Segment(0, 0, None, "task")
+        legacy = Segment(1, 0, None, "task")
+        for addr, size, w in stream:
+            fast.record(addr, size, w, None)
+            legacy.record_immediate(addr, size, w, None)
+        fast.flush_accesses()
+        assert fast.reads.pairs() == legacy.reads.pairs()
+        assert fast.writes.pairs() == legacy.writes.pairs()
+        assert fast.reads.total_bytes == legacy.reads.total_bytes
+        assert fast.writes.total_bytes == legacy.writes.total_bytes
+
+    @given(streams, streams)
+    @settings(max_examples=40, deadline=None)
+    def test_interleaved_flushes(self, s1, s2):
+        """Reading ``.reads``/``.writes`` mid-stream (which flushes pending
+        cells) must not change the final trees."""
+        fast = Segment(0, 0, None, "task")
+        legacy = Segment(1, 0, None, "task")
+        for addr, size, w in s1:
+            fast.record(addr, size, w, None)
+            legacy.record_immediate(addr, size, w, None)
+        fast.flush_accesses()                     # mid-stream flush
+        for addr, size, w in s2:
+            fast.record(addr, size, w, None)
+            legacy.record_immediate(addr, size, w, None)
+        fast.flush_accesses()
+        assert fast.reads.pairs() == legacy.reads.pairs()
+        assert fast.writes.pairs() == legacy.writes.pairs()
+
+
+# ---------------------------------------------------------------------------
+# random program driver (shared by the HB-index and analysis parity tests)
+# ---------------------------------------------------------------------------
+
+def _random_body(rng: random.Random, *, with_deps: bool):
+    """A random nest of parallel regions / task batches / taskwaits /
+    taskgroups, with random accesses into a shared arena."""
+    n_regions = rng.randint(1, 2)
+    plan = []
+    for _ in range(n_regions):
+        n_batches = rng.randint(1, 3)
+        batches = []
+        for _ in range(n_batches):
+            tasks = []
+            for _ in range(rng.randint(1, 3)):
+                deps = ()
+                if with_deps and rng.random() < 0.4:
+                    deps = tuple(sorted({rng.randrange(3)
+                                         for _ in range(rng.randint(1, 2))}))
+                tasks.append((rng.randrange(8),          # slot written
+                              rng.randrange(8),          # slot read
+                              deps))
+            sep = rng.choice(["taskwait", "taskgroup", "none"])
+            batches.append((tasks, sep))
+        plan.append(batches)
+
+    def body(env):
+        arena = env.ctx.global_var("fp_arena", 8 * 8, elem=8)
+        tokens = env.ctx.global_var("fp_deps", 8 * 3, elem=8)
+
+        for batches in plan:
+            def single_body(batches=batches):
+                for tasks, sep in batches:
+                    def launch():
+                        for wslot, rslot, deps in tasks:
+                            def tb(tv, w=wslot, r=rslot):
+                                arena.read(r)
+                                arena.write(w)
+                            kw = {}
+                            if deps:
+                                kw["depend"] = {"inout": [
+                                    (tokens.index_addr(d), 8)
+                                    for d in deps]}
+                            env.task(tb, **kw)
+                    if sep == "taskgroup":
+                        env.taskgroup(launch)
+                    else:
+                        launch()
+                        if sep == "taskwait":
+                            env.taskwait()
+                env.taskwait()
+            env.parallel_single(single_body)
+    return body
+
+
+def _run(body, *, nthreads: int, seed: int, options=None
+         ) -> TaskgrindTool:
+    machine = Machine(seed=seed)
+    tool = TaskgrindTool(options or TaskgrindOptions(
+        model_multithread_lockup=False))
+    machine.add_tool(tool)
+    env = make_env(machine, nthreads=nthreads)
+    env.rt.ompt.register(tool.make_ompt_shim())
+
+    def main():
+        with env.ctx.function("main", line=1):
+            body(env)
+    machine.run(main)
+    return tool
+
+
+# ---------------------------------------------------------------------------
+# HB index vs bitmask oracle
+# ---------------------------------------------------------------------------
+
+class TestHbIndexAgainstOracle:
+    @given(st.integers(0, 10 ** 6), st.sampled_from([1, 2, 4]))
+    @settings(max_examples=25, deadline=None)
+    def test_all_pairs_agree(self, prog_seed, nthreads):
+        body = _random_body(random.Random(prog_seed), with_deps=False)
+        tool = _run(body, nthreads=nthreads, seed=prog_seed % 97,
+                    options=TaskgrindOptions(model_multithread_lockup=False,
+                                             hb_mode="checked"))
+        graph = tool.builder.graph
+        idx = graph.hb_index
+        assert idx is not None
+        # dependence-free fork-join programs must stay on the exact index
+        assert idx.exact, idx.inexact_reason
+        reach = graph._reachability()
+        segs = graph.segments
+        for a in segs:
+            for b in segs:
+                if a is b:
+                    continue
+                hint = idx.happens_before_hint(a.id, b.id)
+                assert hint is not None
+                assert hint == bool(reach[a.id] >> b.id & 1), \
+                    f"({a.id} -> {b.id})"
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=15, deadline=None)
+    def test_dependences_degrade_safely(self, prog_seed):
+        """With task dependences the index may go inexact — every query must
+        then fall back to the DP, and checked mode must still pass."""
+        body = _random_body(random.Random(prog_seed), with_deps=True)
+        tool = _run(body, nthreads=2, seed=prog_seed % 97,
+                    options=TaskgrindOptions(model_multithread_lockup=False,
+                                             hb_mode="checked"))
+        graph = tool.builder.graph
+        idx = graph.hb_index
+        reach = graph._reachability()
+        for a in graph.segments:
+            for b in graph.segments:
+                if a is b:
+                    continue
+                hint = idx.happens_before_hint(a.id, b.id)
+                if hint is not None:
+                    assert hint == bool(reach[a.id] >> b.id & 1)
+
+
+# ---------------------------------------------------------------------------
+# analysis pass parity
+# ---------------------------------------------------------------------------
+
+def _canon(cands) -> List[Tuple]:
+    return sorted((c.key(), tuple(c.ranges.pairs())) for c in cands)
+
+
+class TestAnalysisParity:
+    @given(st.integers(0, 10 ** 6), st.sampled_from([1, 2, 4]))
+    @settings(max_examples=20, deadline=None)
+    def test_passes_agree(self, prog_seed, nthreads):
+        body = _random_body(random.Random(prog_seed), with_deps=True)
+        tool = _run(body, nthreads=nthreads, seed=prog_seed % 97)
+        graph = tool.builder.graph
+        naive = _canon(find_races_naive(graph))
+        indexed = _canon(find_races_indexed(graph))
+        assert naive == indexed
+        for workers in (1, 2, 4):
+            par = find_races_parallel(graph, workers=workers)
+            assert _canon(par) == indexed
+            # the parallel pass also promises a deterministic sorted order
+            assert [c.key() for c in par] == sorted(c.key() for c in par)
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=12, deadline=None)
+    def test_fast_tool_matches_legacy_tool(self, prog_seed):
+        """End-to-end: fast-record + auto hb vs legacy record + bitmask hb
+        must produce identical reports."""
+        body = _random_body(random.Random(prog_seed), with_deps=True)
+        fast = _run(body, nthreads=2, seed=prog_seed % 97)
+        legacy = _run(body, nthreads=2, seed=prog_seed % 97,
+                      options=TaskgrindOptions(
+                          model_multithread_lockup=False,
+                          fast_record=False, hb_mode="bitmask"))
+        fr = fast.finalize()
+        lr = legacy.finalize()
+        assert fast.raw_candidates == legacy.raw_candidates
+        assert [r.key() for r in fr] == [r.key() for r in lr]

@@ -1,0 +1,127 @@
+"""Unit + property tests for the order-maintenance list (repro.util.omlist).
+
+Oracle: a plain Python list holding the nodes in order.  Every OrderList
+operation is mirrored on the oracle; after each step the labels must be
+strictly increasing along the links and every pairwise ``precedes`` answer
+must match the oracle's index comparison.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.util.omlist import OrderList
+
+
+class TestBasics:
+    def test_insert_first_last(self):
+        ol = OrderList()
+        a = ol.insert_first()
+        b = ol.insert_last()
+        c = ol.insert_first()
+        assert [n for n in ol] == [c, a, b]
+        assert OrderList.precedes(c, a) and OrderList.precedes(a, b)
+        ol.check_invariants()
+
+    def test_insert_after_stacks(self):
+        """Repeated insert_after(ref) reverses insertion order — the
+        'stacking' discipline fork children rely on."""
+        ol = OrderList()
+        ref = ol.insert_first()
+        kids = [ol.insert_after(ref) for _ in range(5)]
+        assert [n for n in ol] == [ref] + kids[::-1]
+        ol.check_invariants()
+
+    def test_insert_before_stacks(self):
+        ol = OrderList()
+        ref = ol.insert_first()
+        kids = [ol.insert_before(ref) for _ in range(5)]
+        assert [n for n in ol] == kids + [ref]
+        ol.check_invariants()
+
+    def test_move_after_keeps_identity(self):
+        ol = OrderList()
+        a = ol.insert_first()
+        b = ol.insert_last()
+        c = ol.insert_last()
+        ol.move_after(a, c)
+        assert [n for n in ol] == [b, c, a]
+        assert OrderList.precedes(c, a)
+        ol.check_invariants()
+
+    def test_move_after_noop_cases(self):
+        ol = OrderList()
+        a = ol.insert_first()
+        b = ol.insert_last()
+        ol.move_after(b, a)           # already immediately after
+        ol.move_after(a, a)           # self
+        assert [n for n in ol] == [a, b]
+        ol.check_invariants()
+
+    def test_relabel_on_gap_exhaustion(self):
+        """Hammering one gap must trigger relabels, never break order."""
+        ol = OrderList()
+        first = ol.insert_first()
+        ol.insert_last()
+        nodes = [first]
+        for _ in range(200):
+            nodes.append(ol.insert_after(nodes[-1]))
+        assert ol.relabel_count > 0
+        ol.check_invariants()
+        assert [n for n in ol][:len(nodes)] == nodes
+
+    def test_remove(self):
+        ol = OrderList()
+        a = ol.insert_first()
+        b = ol.insert_last()
+        c = ol.insert_last()
+        ol.remove(b)
+        assert [n for n in ol] == [a, c]
+        ol.check_invariants()
+
+
+# op stream: each element picks an operation + reference index (mod size)
+ops = st.lists(st.tuples(st.sampled_from(
+    ["first", "last", "after", "before", "move", "remove"]),
+    st.integers(0, 10 ** 6)), min_size=1, max_size=120)
+
+
+class TestAgainstListOracle:
+    @given(ops)
+    @settings(max_examples=60, deadline=None)
+    def test_random_ops(self, stream):
+        ol = OrderList()
+        oracle = []           # nodes in oracle order
+        for op, r in stream:
+            if op == "first" or not oracle and op in ("after", "before",
+                                                      "move", "remove"):
+                oracle.insert(0, ol.insert_first())
+            elif op == "last":
+                oracle.append(ol.insert_last())
+            elif op == "after":
+                ref = oracle[r % len(oracle)]
+                oracle.insert(oracle.index(ref) + 1, ol.insert_after(ref))
+            elif op == "before":
+                ref = oracle[r % len(oracle)]
+                oracle.insert(oracle.index(ref), ol.insert_before(ref))
+            elif op == "move" and len(oracle) >= 2:
+                node = oracle[r % len(oracle)]
+                ref = oracle[(r // 7) % len(oracle)]
+                if node is not ref:
+                    ol.move_after(node, ref)
+                    oracle.remove(node)
+                    oracle.insert(oracle.index(ref) + 1, node)
+            elif op == "remove" and len(oracle) >= 2:
+                node = oracle.pop(r % len(oracle))
+                ol.remove(node)
+            ol.check_invariants()
+            assert [n for n in ol] == oracle
+
+        # full pairwise order agreement with the oracle's index order
+        rng = random.Random(42)
+        idxs = range(len(oracle))
+        sample = [(i, j) for i in idxs for j in idxs if i != j]
+        if len(sample) > 400:
+            sample = rng.sample(sample, 400)
+        for i, j in sample:
+            assert OrderList.precedes(oracle[i], oracle[j]) == (i < j)
