@@ -9,9 +9,7 @@ mechanism's contribution.
 
 import pytest
 
-from repro.core.suppress import SuppressionConfig
 from repro.core.tool import TaskgrindOptions, TaskgrindTool
-from repro.errors import SimDeadlock
 from repro.machine.machine import Machine
 from repro.openmp.api import make_env
 from repro.workloads.lulesh import LuleshConfig, run_lulesh

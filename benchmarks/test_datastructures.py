@@ -5,7 +5,6 @@ accesses and keep O(log n) operations; plus the reachability bitsets that
 back the happens-before queries of Algorithm 1.
 """
 
-import pytest
 
 from repro.core.segments import SegmentGraph
 from repro.util.intervals import IntervalSet

@@ -4,7 +4,6 @@ One pass over all 15 extra rows under Taskgrind, asserting every verdict
 matches the expectation the suite documents (including the modeled
 limitations: mutex FPs, taskloop descriptor FPs, user-TLS indexing)."""
 
-import pytest
 
 from repro.bench.extras import all_programs, run_extras
 

@@ -9,12 +9,20 @@ Subcommands map one-to-one to the paper's artifacts::
     python -m repro extras            # the beyond-the-paper suite
     python -m repro stability         # verdict stability across seeds
     python -m repro offline TRACE     # offline analysis of a saved trace
+    python -m repro run PROGRAM       # one program under one tool
+    python -m repro perf              # record/analyze fast-path bench
+
+Global flag (works with every subcommand)::
+
+    --stats[=json|pretty]             # print the observability document
+                                      # (phase wall/virtual timings, counters,
+                                      # per-tool stats) after the subcommand
 """
 
 from __future__ import annotations
 
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 COMMANDS = {
     "table1": "repro.bench.table1",
@@ -24,17 +32,48 @@ COMMANDS = {
     "extras": "repro.bench.extras",
     "stability": "repro.bench.stability",
     "offline": "repro.core.offline",
+    "run": "repro.bench.runner",
+    "perf": "repro.bench.perf",
 }
+
+
+def _extract_stats_flag(argv: List[str]) -> Tuple[List[str], Optional[str]]:
+    """Strip a launcher-level ``--stats[=json|pretty]`` from anywhere."""
+    out: List[str] = []
+    mode: Optional[str] = None
+    for arg in argv:
+        if arg == "--stats":
+            mode = "pretty"
+        elif arg.startswith("--stats="):
+            value = arg.split("=", 1)[1]
+            if value not in ("json", "pretty"):
+                print(f"unknown --stats mode {value!r} "
+                      "(expected json or pretty)", file=sys.stderr)
+                value = "pretty"
+            mode = value
+        else:
+            out.append(arg)
+    return out, mode
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    argv, stats_mode = _extract_stats_flag(argv)
     if not argv or argv[0] in ("-h", "--help") or argv[0] not in COMMANDS:
         print(__doc__)
         return 0 if argv and argv[0] in ("-h", "--help") else 2
     import importlib
     module = importlib.import_module(COMMANDS[argv[0]])
-    return module.main(argv[1:])
+    rc = module.main(argv[1:])
+    if stats_mode is not None:
+        from repro.obs.metrics import get_registry
+        registry = get_registry()
+        if stats_mode == "json":
+            import json
+            print(json.dumps(registry.snapshot(), indent=2))
+        else:
+            print(registry.render())
+    return rc
 
 
 if __name__ == "__main__":

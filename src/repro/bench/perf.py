@@ -20,7 +20,19 @@ between the two implementations before reporting any numbers, and the tool
 emits ``BENCH_perf.json`` so future PRs have a trajectory.
 
 Usage: ``python -m repro.bench.perf [--json BENCH_perf.json]
-[--max-events 250000] [--repeats 3] [--skip-lulesh]``
+[--max-events 250000] [--repeats 3] [--skip-lulesh]
+[--baseline BENCH_perf.json --tolerance 0.4]``
+
+``--baseline`` turns the run into a regression gate (the CI ``perf-gate``
+job): each workload's fresh ``combined_speedup`` is compared against the
+committed baseline and the run fails (exit 1) only when a workload fell
+more than ``--tolerance`` (fraction, default 0.4) below it — loose enough
+to absorb shared-runner noise, tight enough to catch a real fast-path
+regression.
+
+Every workload's entry also carries a ``stats`` block — the observability
+registry's per-phase wall/virtual timings plus the record counters from
+the capture run (write-combining hit/spill/flush mix, translation counts).
 """
 
 from __future__ import annotations
@@ -31,13 +43,12 @@ import sys
 import time
 from typing import Dict, List, Optional, Tuple
 
-import repro.core.analysis as analysis
 from repro.core.analysis import (RaceCandidate, _candidate_pairs,
-                                 _conflict_ranges, _conflict_ranges_tree,
-                                 find_races_indexed)
+                                 _conflict_ranges_tree, find_races_indexed)
 from repro.core.segments import Segment, SegmentGraph
 from repro.core.tool import TaskgrindOptions, TaskgrindTool
 from repro.machine.machine import Machine
+from repro.obs.metrics import get_registry
 from repro.openmp.api import make_env
 from repro.workloads.lulesh import LuleshConfig, run_lulesh
 from repro.workloads.synthetic import omp_fib, omp_heat
@@ -186,8 +197,16 @@ def bench_analyze(graph: SegmentGraph, repeats: int) -> Dict[str, float]:
 def run_perf(*, workloads=("fib", "heat", "lulesh"), max_events: int = 250_000,
              repeats: int = 3) -> Dict:
     results: Dict[str, Dict] = {}
+    reg = get_registry()
     for wl in workloads:
+        reg.reset()                      # per-workload phase breakdown
         graph, raw = capture(wl)
+        snap = reg.snapshot()
+        stats = {
+            "phases": snap["phases"],
+            "record_counters": {k: v for k, v in snap["counters"].items()
+                                if k.startswith(("record.", "vex."))},
+        }
         events, dropped = expand_elements(raw, max_events)
         if dropped:
             print(f"[{wl}] event cap hit: {dropped} raw records dropped "
@@ -209,6 +228,7 @@ def run_perf(*, workloads=("fib", "heat", "lulesh"), max_events: int = 250_000,
             "analyze": ana,
             "combined_speedup": (combined_legacy / combined_fast
                                  if combined_fast else float("inf")),
+            "stats": stats,
         }
     return {
         "bench": "perf",
@@ -236,6 +256,33 @@ def render(results: Dict) -> str:
     return "\n".join(lines)
 
 
+def compare_to_baseline(fresh: Dict, baseline: Dict,
+                        tolerance: float) -> Tuple[bool, List[str]]:
+    """The CI regression gate: fresh vs committed ``combined_speedup``.
+
+    Only workloads present in both documents are compared (the quick CI
+    preset skips LULESH); a workload fails when its fresh combined speedup
+    fell more than ``tolerance`` (a fraction) below the baseline's.
+    Returns ``(ok, report_lines)``.
+    """
+    lines: List[str] = []
+    ok = True
+    common = [wl for wl in baseline.get("workloads", {})
+              if wl in fresh.get("workloads", {})]
+    if not common:
+        return False, ["no common workloads between fresh run and baseline"]
+    for wl in common:
+        base = baseline["workloads"][wl]["combined_speedup"]
+        got = fresh["workloads"][wl]["combined_speedup"]
+        floor = base * (1.0 - tolerance)
+        verdict = "ok" if got >= floor else "REGRESSION"
+        if got < floor:
+            ok = False
+        lines.append(f"{wl:<10} baseline {base:.2f}x  fresh {got:.2f}x  "
+                     f"floor {floor:.2f}x  {verdict}")
+    return ok, lines
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--json", default="BENCH_perf.json",
@@ -245,6 +292,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="timing repeats per phase, min 1 (default: 3)")
     ap.add_argument("--skip-lulesh", action="store_true",
                     help="only run the quick synthetic workloads")
+    ap.add_argument("--baseline", metavar="PATH", default=None,
+                    help="committed BENCH_perf.json to gate against")
+    ap.add_argument("--tolerance", type=float, default=0.4,
+                    help="allowed fractional speedup drop vs the baseline "
+                         "(default: 0.4)")
     args = ap.parse_args(argv)
     workloads = ("fib", "heat") if args.skip_lulesh else \
         ("fib", "heat", "lulesh")
@@ -255,6 +307,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         json.dump(results, fh, indent=2)
         fh.write("\n")
     print(f"\nwrote {args.json}")
+    if args.baseline is not None:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        ok, lines = compare_to_baseline(results, baseline, args.tolerance)
+        print(f"\nregression gate vs {args.baseline} "
+              f"(tolerance {args.tolerance:.0%}):")
+        for line in lines:
+            print(f"  {line}")
+        if not ok:
+            print("perf regression gate FAILED", file=sys.stderr)
+            return 1
+        print("perf regression gate passed")
     return 0
 
 

@@ -5,15 +5,22 @@ from reports-vs-ground-truth, ``ncs`` when the modeled compiler rejects the
 program, ``segv`` when the instrumented run crashes, ``deadlock`` when the
 simulator's deadlock detector fires (the Taskgrind multi-thread cells of
 Table II).
+
+CLI: ``python -m repro run PROGRAM [--tool taskgrind] [--threads 4]
+[--seed 0] [--save-trace out.json] [--stats[=json|pretty]]`` — run one
+benchmark program (DRB or TMB, see ``--list``) and print the verdict and
+reports; ``--save-trace`` dumps the run for ``python -m repro.core.offline``.
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.baselines.archer import ArcherTool
-from repro.baselines.common import ToolOutcome, Verdict, classify
+from repro.baselines.common import Verdict, classify
 from repro.baselines.romp import RompTool
 from repro.baselines.tasksanitizer import TaskSanitizerTool
 from repro.bench.programs import BenchProgram
@@ -21,7 +28,7 @@ from repro.core.tool import TaskgrindOptions, TaskgrindTool
 from repro.errors import GuestCrash, NoCompilerSupport, OutOfMemory, SimDeadlock
 from repro.machine.cost import MemoryMeter
 from repro.machine.machine import Machine
-from repro.openmp.api import OmpEnv, make_env
+from repro.openmp.api import make_env
 from repro.vex.tool import NullTool
 
 #: tool name -> factory
@@ -50,6 +57,8 @@ class RunResult:
     crash_reason: str = ""
     machine: Optional[Machine] = None
     tool_obj: object = None
+    #: the tool's stats document (taskgrind-stats/1) when the tool has one
+    stats: Optional[dict] = None
 
     @property
     def sim_memory_mib(self) -> float:
@@ -114,6 +123,88 @@ def run_benchmark(program: BenchProgram, tool_name: str, *,
     result.verdict = classify(bool(reports), program.racy)
     result.sim_seconds = machine.cost.seconds
     result.memory = machine.memory_meter()
+    if hasattr(tool, "stats"):
+        result.stats = tool.stats()
     if keep_machine:
         result.machine = machine
     return result
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro run PROGRAM
+# ---------------------------------------------------------------------------
+
+def _find_program(name: str) -> Optional[BenchProgram]:
+    from repro.bench import drb, tmb
+    for registry in (drb.REGISTRY, tmb.REGISTRY):
+        for program in registry:
+            if program.name == name:
+                return program
+    return None
+
+
+def _all_program_names() -> List[str]:
+    from repro.bench import drb, tmb
+    return [p.name for p in drb.REGISTRY] + [p.name for p in tmb.REGISTRY]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro run",
+        description="Run one benchmark program under one tool.")
+    parser.add_argument("program", nargs="?",
+                        help="a DRB/TMB program name (see --list)")
+    parser.add_argument("--tool", default="taskgrind", choices=sorted(TOOLS))
+    parser.add_argument("--threads", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--save-trace", metavar="PATH", default=None,
+                        help="dump the run as a trace for offline analysis "
+                             "(taskgrind only)")
+    parser.add_argument("--list", action="store_true",
+                        help="list runnable program names and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in _all_program_names():
+            print(name)
+        return 0
+    if args.program is None:
+        parser.error("program name required (or --list)")
+    program = _find_program(args.program)
+    if program is None:
+        print(f"unknown program {args.program!r} "
+              "(see python -m repro run --list)", file=sys.stderr)
+        return 2
+    if args.save_trace and args.tool != "taskgrind":
+        print("--save-trace requires --tool taskgrind", file=sys.stderr)
+        return 2
+
+    result = run_benchmark(program, args.tool, nthreads=args.threads,
+                           seed=args.seed,
+                           keep_machine=args.save_trace is not None)
+    print(f"{result.program} under {result.tool} "
+          f"({result.nthreads} threads, seed {result.seed}): "
+          f"{result.cell()} — {result.report_count} report(s), "
+          f"{result.sim_seconds:.3f} simulated s, "
+          f"{result.sim_memory_mib:.1f} MiB")
+    if result.crash_reason:
+        print(f"  crash: {result.crash_reason}")
+    for report in result.reports:
+        from repro.core.reports import format_report
+        print()
+        print(format_report(report))
+    if args.save_trace:
+        if result.machine is None or result.tool_obj is None or \
+                result.verdict.name in ("NCS", "SEGV", "DEADLOCK"):
+            print("run did not finish cleanly; no trace written",
+                  file=sys.stderr)
+            return 1
+        from repro.core.trace import save_trace
+        save_trace(result.tool_obj, result.machine, args.save_trace)
+        print(f"\nwrote trace to {args.save_trace}")
+    # mirror the offline CLI's convention: nonzero when races were reported
+    return 0 if result.report_count == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    sys.exit(main())

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.segments import Segment, SegmentGraph
+from repro.obs.metrics import get_registry
 from repro.util.intervals import IntervalSet
 
 
@@ -72,21 +73,38 @@ def _conflict_ranges_tree(s1: Segment, s2: Segment) -> IntervalSet:
 
 def find_races_naive(graph: SegmentGraph) -> List[RaceCandidate]:
     """Faithful Algorithm 1: all-pairs with happens-before filtering."""
+    reg = get_registry()
     out: List[RaceCandidate] = []
-    graph.prepare_queries()
-    segs = [s for s in graph.segments if s.has_accesses]
-    for i in range(len(segs)):
-        s1 = segs[i]
-        for j in range(i + 1, len(segs)):
-            s2 = segs[j]
-            if not s1.writes and not s2.writes:
-                continue
-            if graph.ordered(s1, s2):
-                continue
-            ranges = _conflict_ranges(s1, s2)
-            if ranges:
-                out.append(RaceCandidate(s1, s2, ranges))
+    with reg.phase("analysis"):
+        with reg.phase("analysis.prepare"):
+            graph.prepare_queries()
+        segs = [s for s in graph.segments if s.has_accesses]
+        checked = ordered = 0
+        with reg.phase("analysis.pairs"):
+            for i in range(len(segs)):
+                s1 = segs[i]
+                for j in range(i + 1, len(segs)):
+                    s2 = segs[j]
+                    if not s1.writes and not s2.writes:
+                        continue
+                    checked += 1
+                    if graph.ordered(s1, s2):
+                        ordered += 1
+                        continue
+                    ranges = _conflict_ranges(s1, s2)
+                    if ranges:
+                        out.append(RaceCandidate(s1, s2, ranges))
+        _record_pass(reg, "naive", checked, ordered, len(out))
     return out
+
+
+def _record_pass(reg, mode: str, checked: int, ordered: int,
+                 conflicts: int) -> None:
+    """Publish one analysis pass's pair-work counters."""
+    reg.counter("analysis.pairs_checked").inc(checked)
+    reg.counter("analysis.pairs_ordered").inc(ordered)
+    reg.counter("analysis.conflicts").inc(conflicts)
+    reg.gauge("analysis.last_mode").set(mode)
 
 
 def _write_index(segs: Sequence[Segment]
@@ -121,20 +139,31 @@ def _candidate_pairs(segs: Sequence[Segment]) -> Set[Tuple[int, int]]:
 
 def find_races_indexed(graph: SegmentGraph) -> List[RaceCandidate]:
     """Address-indexed Algorithm 1 (same result set as the naive pass)."""
-    graph.prepare_queries()
-    segs = [s for s in graph.segments if s.has_accesses]
+    reg = get_registry()
     out: List[RaceCandidate] = []
-    # iterate unsorted and sort only the (much smaller) surviving candidate
-    # list — segment ids increase with segs-list index, so sorting by key()
-    # yields the same deterministic order as sorting all pairs up front
-    for i, j in _candidate_pairs(segs):
-        s1, s2 = segs[i], segs[j]
-        if graph.ordered(s1, s2):
-            continue
-        ranges = _conflict_ranges(s1, s2)
-        if ranges:
-            out.append(RaceCandidate(s1, s2, ranges))
-    out.sort(key=lambda c: c.key())
+    with reg.phase("analysis"):
+        with reg.phase("analysis.prepare"):
+            graph.prepare_queries()
+        segs = [s for s in graph.segments if s.has_accesses]
+        with reg.phase("analysis.candidates"):
+            pairs = _candidate_pairs(segs)
+        reg.counter("analysis.candidate_pairs").inc(len(pairs))
+        ordered = 0
+        # iterate unsorted and sort only the (much smaller) surviving
+        # candidate list — segment ids increase with segs-list index, so
+        # sorting by key() yields the same deterministic order as sorting
+        # all pairs up front
+        with reg.phase("analysis.pairs"):
+            for i, j in pairs:
+                s1, s2 = segs[i], segs[j]
+                if graph.ordered(s1, s2):
+                    ordered += 1
+                    continue
+                ranges = _conflict_ranges(s1, s2)
+                if ranges:
+                    out.append(RaceCandidate(s1, s2, ranges))
+        out.sort(key=lambda c: c.key())
+        _record_pass(reg, "indexed", len(pairs), ordered, len(out))
     return out
 
 
@@ -155,32 +184,48 @@ def find_races_parallel(graph: SegmentGraph, *,
     """
     if workers is None:
         workers = min(4, os.cpu_count() or 1)
-    graph.prepare_queries()               # materialize once, shared read-only
-    segs = [s for s in graph.segments if s.has_accesses]
-    for s in segs:
-        s.flush_accesses()                # no lazy tree builds inside workers
-        s.reads_set()
-        s.writes_set()
-    pairs = sorted(_candidate_pairs(segs))
+    reg = get_registry()
+    with reg.phase("analysis"):
+        with reg.phase("analysis.prepare"):
+            graph.prepare_queries()       # materialize once, shared read-only
+            segs = [s for s in graph.segments if s.has_accesses]
+            for s in segs:
+                s.flush_accesses()        # no lazy tree builds inside workers
+                s.reads_set()
+                s.writes_set()
+        with reg.phase("analysis.candidates"):
+            pairs = sorted(_candidate_pairs(segs))
+        reg.counter("analysis.candidate_pairs").inc(len(pairs))
 
-    def check(chunk: Sequence[Tuple[int, int]]) -> List[RaceCandidate]:
-        found: List[RaceCandidate] = []
-        for i, j in chunk:
-            s1, s2 = segs[i], segs[j]
-            if graph.ordered(s1, s2):
-                continue
-            ranges = _conflict_ranges(s1, s2)
-            if ranges:
-                found.append(RaceCandidate(s1, s2, ranges))
-        return found
+        def check(chunk: Sequence[Tuple[int, int]]
+                  ) -> Tuple[List[RaceCandidate], int]:
+            found: List[RaceCandidate] = []
+            n_ordered = 0
+            # per-worker-thread phase: wall seconds sum across workers
+            with reg.phase("analysis.pairs"):
+                for i, j in chunk:
+                    s1, s2 = segs[i], segs[j]
+                    if graph.ordered(s1, s2):
+                        n_ordered += 1
+                        continue
+                    ranges = _conflict_ranges(s1, s2)
+                    if ranges:
+                        found.append(RaceCandidate(s1, s2, ranges))
+            return found, n_ordered
 
-    if not pairs:
-        return []
-    chunks = [pairs[k:k + _PARALLEL_CHUNK]
-              for k in range(0, len(pairs), _PARALLEL_CHUNK)]
-    out: List[RaceCandidate] = []
-    with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
-        for res in pool.map(check, chunks):
-            out.extend(res)
-    out.sort(key=lambda c: c.key())
+        if not pairs:
+            _record_pass(reg, "parallel", 0, 0, 0)
+            return []
+        chunks = [pairs[k:k + _PARALLEL_CHUNK]
+                  for k in range(0, len(pairs), _PARALLEL_CHUNK)]
+        reg.histogram("analysis.chunk_pairs").observe(len(chunks))
+        out: List[RaceCandidate] = []
+        ordered = 0
+        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) \
+                as pool:
+            for res, n_ordered in pool.map(check, chunks):
+                out.extend(res)
+                ordered += n_ordered
+        out.sort(key=lambda c: c.key())
+        _record_pass(reg, "parallel", len(pairs), ordered, len(out))
     return out

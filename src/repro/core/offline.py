@@ -3,16 +3,24 @@
 Runs Algorithm 1 (+ suppressions + report formatting) over a trace produced
 by :func:`repro.core.trace.save_trace`, outside the "Valgrind framework" —
 the paper's Section VII future-work deployment.
+
+``--stats[=json|pretty]`` appends the observability document: offline
+phase timings (load / analysis / suppress / report) plus the recording
+run's embedded stats block, which carries the cost-model virtual time of
+the instrumented execution.  With ``--json``, the stats document is
+embedded in the report document under the ``"stats"`` key so the output
+stays one parseable JSON object.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.core.reports import format_report, reports_to_json
-from repro.core.trace import analyze_trace
+from repro.core.reports import format_report, report_to_dict
+from repro.core.trace import analyze_trace_with_stats
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -25,10 +33,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="emit machine-readable JSON")
     parser.add_argument("--suggest", action="store_true",
                         help="append fix suggestions to each report")
+    parser.add_argument("--stats", nargs="?", const="pretty", default=None,
+                        choices=["json", "pretty"],
+                        help="emit the observability document "
+                             "(phase timings, counters, record-run stats)")
     args = parser.parse_args(argv)
-    reports = analyze_trace(args.trace, mode=args.mode, workers=args.workers)
+    reports, stats = analyze_trace_with_stats(args.trace, mode=args.mode,
+                                              workers=args.workers)
     if args.json:
-        print(reports_to_json(reports))
+        doc = {
+            "tool": "taskgrind",
+            "protocol": 1,
+            "error_count": len(reports),
+            "errors": [report_to_dict(r) for r in reports],
+        }
+        if args.stats is not None:
+            doc["stats"] = stats
+        print(json.dumps(doc, indent=2))
     else:
         print(f"{len(reports)} determinacy race(s)\n")
         for report in reports:
@@ -37,6 +58,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 from repro.core.assistant import render_suggestions
                 print(render_suggestions(report))
             print()
+        if args.stats == "json":
+            print(json.dumps(stats, indent=2))
+        elif args.stats == "pretty":
+            from repro.obs.metrics import get_registry
+            print(get_registry().render())
     return 0 if not reports else 1
 
 

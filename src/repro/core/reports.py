@@ -23,7 +23,7 @@ from typing import List, Optional, Tuple
 from repro.core.analysis import RaceCandidate
 from repro.core.segments import Segment
 from repro.machine.debuginfo import SourceLocation, format_stack
-from repro.util.intervals import Interval, IntervalSet
+from repro.util.intervals import IntervalSet
 
 
 @dataclass

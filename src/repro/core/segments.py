@@ -48,6 +48,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.hbindex import HbIndex
 from repro.machine.debuginfo import SourceLocation
+from repro.obs.metrics import get_registry
 from repro.machine.tls import TlsSnapshot
 from repro.openmp.ompt import DepKind, Dependence, TaskFlags
 from repro.openmp.tasks import Task
@@ -63,6 +64,18 @@ MAX_LOC_SAMPLES = 64
 _WC_SLOTS = 16
 _WC_MASK = _WC_SLOTS - 1
 _WC_SHIFT = 6
+
+#: prebound recorder counters — incremented only at drain/flush time (cold),
+#: never per access, so the write-combining hot loop stays registry-free
+_REG = get_registry()
+_WC_HITS = _REG.counter("record.wc_hits")
+_WC_SPILLS = _REG.counter("record.wc_spills")
+_WC_FLUSHES = _REG.counter("record.wc_flushes")
+_WC_ACCESSES = _REG.counter("record.wc_accesses")
+_FLUSH_BULK_BUILD = _REG.counter("record.flush_bulk_build")
+_FLUSH_BULK_MERGE = _REG.counter("record.flush_bulk_merge")
+_FLUSH_INSERTS = _REG.counter("record.flush_inserts")
+_FLUSH_BATCH = _REG.histogram("record.flush_batch_ranges")
 
 
 @dataclass
@@ -93,12 +106,13 @@ class _PendingAccesses:
     :meth:`repro.util.itree.IntervalTree.build_from_sorted`.
     """
 
-    __slots__ = ("cells", "spill", "count")
+    __slots__ = ("cells", "spill", "count", "hits")
 
     def __init__(self) -> None:
         self.cells: List[Optional[List[int]]] = [None] * _WC_SLOTS
         self.spill: List[Tuple[int, int]] = []
         self.count = 0
+        self.hits = 0
 
     def add(self, lo: int, hi: int) -> None:
         self.count += 1
@@ -110,6 +124,7 @@ class _PendingAccesses:
                     cell[0] = lo
                 if hi > cell[1]:
                     cell[1] = hi
+                self.hits += 1
                 return
             self.spill.append((cell[0], cell[1]))
         self.cells[slot] = [lo, hi]
@@ -117,12 +132,17 @@ class _PendingAccesses:
     def drain(self) -> List[Tuple[int, int]]:
         """All buffered ranges, sorted and coalesced; resets the buffer."""
         pairs = self.spill
+        _WC_SPILLS.inc(len(pairs))
         for cell in self.cells:
             if cell is not None:
                 pairs.append((cell[0], cell[1]))
+        _WC_ACCESSES.inc(self.count)
+        _WC_HITS.inc(self.hits)
+        _WC_FLUSHES.inc()
         self.cells = [None] * _WC_SLOTS
         self.spill = []
         self.count = 0
+        self.hits = 0
         pairs.sort()
         return coalesce_sorted_pairs(pairs)
 
@@ -172,10 +192,14 @@ class Segment:
         (sparse segments would otherwise pay the rebuild machinery for 1-2
         intervals)."""
         pairs = pend.drain()
+        _FLUSH_BATCH.observe(len(pairs))
         if not tree and len(pairs) > 8:
+            _FLUSH_BULK_BUILD.inc()
             return IntervalTree.build_from_sorted(pairs)
         if tree and len(pairs) * 4 >= len(tree):
+            _FLUSH_BULK_MERGE.inc()
             return tree.bulk_merge(pairs)
+        _FLUSH_INSERTS.inc()
         for lo, hi in pairs:
             tree.insert(lo, hi)
         return tree
@@ -308,6 +332,12 @@ class SegmentGraph:
         #: (E, H) label snapshot from prepare_queries — valid only while the
         #: graph is unchanged
         self._hb_labels: Optional[Tuple[List, List]] = None
+        # query-path mix (plain ints: incremented on the analysis hot path,
+        # published into the metrics registry at stats-assembly time)
+        self.q_label = 0           # answered from the flat label snapshot
+        self.q_index = 0           # answered by an HbIndex hint
+        self.q_dp = 0              # answered by the bitmask DP
+        self.dp_rebuilds = 0       # full reachability DP materializations
 
     def new_segment(self, **kwargs) -> Segment:
         seg = Segment(len(self.segments), **kwargs)
@@ -362,7 +392,9 @@ class SegmentGraph:
 
     def _reachability(self) -> List[int]:
         if self._reach is None:
-            self._reach = self._compute_reach()
+            self.dp_rebuilds += 1
+            with get_registry().phase("hb.dp_rebuild"):
+                self._reach = self._compute_reach()
         return self._reach
 
     def prepare_queries(self) -> None:
@@ -390,6 +422,7 @@ class SegmentGraph:
             if ea is not None and eb is not None:
                 # both E and H are strict total orders: a path exists iff
                 # the two label comparisons agree in direction
+                self.q_label += 1
                 return (ea < eb) == (h[a.id] < h[b.id])
         idx = self.hb_index
         if idx is not None and self.hb_mode != "bitmask":
@@ -402,7 +435,9 @@ class SegmentGraph:
                     assert hint == dp, (
                         f"hb index disagrees with bitmask oracle on "
                         f"({a.id}, {b.id}): index={hint} dp={dp}")
+                self.q_index += 1
                 return hint
+        self.q_dp += 1
         reach = self._reachability()
         return bool(reach[a.id] >> b.id & 1) or bool(reach[b.id] >> a.id & 1)
 
@@ -412,6 +447,7 @@ class SegmentGraph:
             e, h = labs
             ea, eb = e[a.id], e[b.id]
             if ea is not None and eb is not None:
+                self.q_label += 1
                 return ea < eb and h[a.id] < h[b.id]
         idx = self.hb_index
         if idx is not None and self.hb_mode != "bitmask":
@@ -422,7 +458,9 @@ class SegmentGraph:
                     assert hint == dp, (
                         f"hb index disagrees with bitmask oracle on "
                         f"({a.id} -> {b.id}): index={hint} dp={dp}")
+                self.q_index += 1
                 return hint
+        self.q_dp += 1
         return bool(self._reachability()[a.id] >> b.id & 1)
 
     def independent(self, a: Segment, b: Segment) -> bool:
@@ -445,6 +483,27 @@ class SegmentGraph:
                 + len(self.segments) * bytes_per_segment
                 + self.edge_count * 16
                 + index_bytes)
+
+    def stats(self) -> dict:
+        """Graph shape + happens-before query mix for the stats document."""
+        idx = self.hb_index
+        return {
+            "segments": len(self.segments),
+            "edges": self.edge_count,
+            "hb_mode": self.hb_mode,
+            "hb_exact": idx.exact if idx is not None else False,
+            "hb_inexact_reason": (idx.inexact_reason
+                                  if idx is not None else None),
+            "queries": {
+                "label": self.q_label,
+                "index": self.q_index,
+                "dp": self.q_dp,
+            },
+            "dp_rebuilds": self.dp_rebuilds,
+            "index_queries": idx.queries if idx is not None else 0,
+            "index_fallbacks": idx.fallbacks if idx is not None else 0,
+            "memory_bytes": self.memory_bytes(),
+        }
 
 
 @dataclass

@@ -28,7 +28,7 @@ Load with :func:`parse_suppressions`, apply with
 from __future__ import annotations
 
 import fnmatch
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.reports import RaceReport

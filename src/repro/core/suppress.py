@@ -33,6 +33,7 @@ from typing import List, Optional, Tuple
 from repro.core.analysis import RaceCandidate
 from repro.core.segments import Segment
 from repro.machine.memory import RegionKind
+from repro.obs.metrics import get_registry
 from repro.util.intervals import Interval, IntervalSet
 
 #: Default ignore-list: LLVM OpenMP runtime internals, the dynamic loader,
@@ -159,9 +160,30 @@ class SuppressionEngine:
 
     def filter_all(self, candidates: List[RaceCandidate]
                    ) -> List[RaceCandidate]:
+        reg = get_registry()
+        s = self.stats
+        tls0, stack0 = s.tls_suppressed, s.stack_suppressed
+        surv0, full0 = s.survived, s.fully_suppressed_pairs
         out = []
-        for cand in candidates:
-            kept = self.filter_candidate(cand)
-            if kept is not None:
-                out.append(kept)
+        with reg.phase("suppress"):
+            for cand in candidates:
+                kept = self.filter_candidate(cand)
+                if kept is not None:
+                    out.append(kept)
+        reg.counter("suppress.drop.tls").inc(s.tls_suppressed - tls0)
+        reg.counter("suppress.drop.stack").inc(s.stack_suppressed - stack0)
+        reg.counter("suppress.survived").inc(s.survived - surv0)
+        reg.counter("suppress.fully_suppressed_pairs").inc(
+            s.fully_suppressed_pairs - full0)
         return out
+
+    def stats_doc(self) -> dict:
+        """Analysis-time drop counts per mechanism (Section IV classes)."""
+        s = self.stats
+        return {
+            "tls": s.tls_suppressed,
+            "stack": s.stack_suppressed,
+            "survived": s.survived,
+            "fully_suppressed_pairs": s.fully_suppressed_pairs,
+            "tls_gen_warnings": s.tls_gen_warnings,
+        }

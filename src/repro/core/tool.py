@@ -33,14 +33,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.core.analysis import (RaceCandidate, find_races_indexed,
-                                 find_races_naive, find_races_parallel)
+from repro.core.analysis import (find_races_indexed, find_races_naive, find_races_parallel)
 from repro.core.ompt_shim import TaskgrindOmptShim
 from repro.core.reports import RaceReport, build_report, dedupe_reports
 from repro.core.segments import SegmentBuilder, SegmentModelConfig
 from repro.core.suppress import SuppressionConfig, SuppressionEngine
 from repro.machine.cost import ToolCost
-from repro.openmp.ompt import SyncKind
+from repro.obs.metrics import get_registry
 from repro.vex.events import AccessEvent
 from repro.vex.tool import Tool
 
@@ -96,6 +95,8 @@ class TaskgrindTool(Tool):
         self.raw_candidates: int = 0
         self.filtered_accesses = 0
         self.recorded_accesses = 0
+        self.fast_accesses = 0          # via on_access_raw (no event object)
+        self.legacy_accesses = 0        # via on_access (AccessEvent path)
         self.file_suppressed = 0
         self._symbol_filtered: dict = {}       # symbol name -> filtered?
 
@@ -176,6 +177,7 @@ class TaskgrindTool(Tool):
             self.filtered_accesses += 1
             return
         self.recorded_accesses += 1
+        self.legacy_accesses += 1
         self.builder.record_access(event.thread_id, event.addr, event.size,
                                    event.is_write, event.loc)
 
@@ -191,31 +193,78 @@ class TaskgrindTool(Tool):
             self.filtered_accesses += 1
             return
         self.recorded_accesses += 1
+        self.fast_accesses += 1
         self.builder.record_access(thread_id, addr, size, is_write, loc)
 
     # -- post-mortem analysis -----------------------------------------------------------
 
     def finalize(self) -> List[RaceReport]:
-        graph = self.builder.graph
-        mode = self.options.analysis
-        if mode == "naive":
-            candidates = find_races_naive(graph)
-        elif mode == "parallel":
-            candidates = find_races_parallel(
-                graph, workers=self.options.analysis_workers)
-        else:
-            candidates = find_races_indexed(graph)
-        self.raw_candidates = len(candidates)
-        surviving = self.suppressor.filter_all(candidates)
-        reports = [build_report(self.machine, c) for c in surviving]
-        if self.options.dedupe:
-            reports = dedupe_reports(reports)
-        if self.options.suppression_file is not None:
-            from repro.core.suppfile import load_suppressions
-            supp = load_suppressions(self.options.suppression_file)
-            reports, self.file_suppressed = supp.filter(reports)
-        self.reports = reports
+        reg = get_registry()
+        with reg.phase("finalize"):
+            graph = self.builder.graph
+            mode = self.options.analysis
+            if mode == "naive":
+                candidates = find_races_naive(graph)
+            elif mode == "parallel":
+                candidates = find_races_parallel(
+                    graph, workers=self.options.analysis_workers)
+            else:
+                candidates = find_races_indexed(graph)
+            self.raw_candidates = len(candidates)
+            surviving = self.suppressor.filter_all(candidates)
+            with reg.phase("report"):
+                reports = [build_report(self.machine, c) for c in surviving]
+                if self.options.dedupe:
+                    reports = dedupe_reports(reports)
+                if self.options.suppression_file is not None:
+                    from repro.core.suppfile import load_suppressions
+                    supp = load_suppressions(self.options.suppression_file)
+                    reports, self.file_suppressed = supp.filter(reports)
+            self.reports = reports
+        reg.publish("taskgrind", self.stats())
         return reports
+
+    # -- observability --------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The run's stats document (record / hb / analysis / suppression).
+
+        Key names are stable — the CI offline smoke test and the perf gate
+        parse this document; see ``docs/INTERNALS.md`` §6.
+        """
+        builder = self.builder
+        graph = builder.graph if builder is not None else None
+        machine = self.machine
+        doc: dict = {
+            "schema": "taskgrind-stats/1",
+            "record": {
+                "fast_path": self.fast_path,
+                "recorded_accesses": self.recorded_accesses,
+                "filtered_accesses": self.filtered_accesses,
+                "fast_accesses": self.fast_accesses,
+                "legacy_accesses": self.legacy_accesses,
+            },
+        }
+        if machine is not None:
+            doc["record"]["hub"] = machine.instrumentation.stats()
+            doc["virtual"] = machine.cost.stats()
+        if graph is not None:
+            doc["graph"] = graph.stats()
+        doc["analysis"] = {
+            "mode": self.options.analysis,
+            "raw_candidates": self.raw_candidates,
+            "reports": len(self.reports),
+        }
+        supp: dict = {"ignore_list": self.filtered_accesses,
+                      "file_suppressed": self.file_suppressed}
+        if machine is not None and hasattr(machine, "allocator"):
+            supp["recycling_retained_blocks"] = sum(
+                1 for b in machine.allocator.all_blocks
+                if getattr(b, "retained", False))
+        if self.suppressor is not None:
+            supp.update(self.suppressor.stats_doc())
+        doc["suppress"] = supp
+        return doc
 
     # -- accounting -----------------------------------------------------------------------
 

@@ -31,11 +31,12 @@ from typing import List, Optional, Tuple
 from repro.core.analysis import (find_races_indexed, find_races_naive,
                                  find_races_parallel)
 from repro.core.reports import RaceReport, build_report
-from repro.core.segments import Segment, SegmentGraph
+from repro.core.segments import SegmentGraph
 from repro.core.suppress import SuppressionConfig, SuppressionEngine
 from repro.machine.debuginfo import SourceLocation
 from repro.machine.memory import RegionKind
 from repro.machine.tls import TlsSnapshot
+from repro.obs.metrics import get_registry
 
 TRACE_VERSION = 1
 
@@ -101,7 +102,12 @@ def dump_environment(machine) -> dict:
 
 
 def save_trace(tool, machine, path: str) -> None:
-    """Serialize a finished Taskgrind run for offline analysis."""
+    """Serialize a finished Taskgrind run for offline analysis.
+
+    The document embeds the recording run's stats block (when the tool
+    provides one), so offline analysis can report the *record* phase —
+    including its cost-model virtual time — next to its own phases.
+    """
     doc = {
         "version": TRACE_VERSION,
         "graph": dump_graph(tool.builder.graph),
@@ -111,6 +117,8 @@ def save_trace(tool, machine, path: str) -> None:
             "suppress_stack": tool.options.suppression.suppress_stack,
         },
     }
+    if hasattr(tool, "stats"):
+        doc["stats"] = tool.stats()
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh)
 
@@ -246,19 +254,64 @@ def load_trace(path: str) -> Tuple[SegmentGraph, OfflineMachineView, dict]:
         doc.get("suppression", {})
 
 
+def load_trace_full(path: str) -> Tuple[SegmentGraph, OfflineMachineView,
+                                        dict, Optional[dict]]:
+    """:func:`load_trace` plus the embedded record-time stats block."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("version") != TRACE_VERSION:
+        raise ValueError(f"unsupported trace version {doc.get('version')}")
+    return (load_graph(doc["graph"]), load_environment(doc["environment"]),
+            doc.get("suppression", {}), doc.get("stats"))
+
+
 def analyze_trace(path: str, *, mode: str = "indexed",
                   workers: int = 4) -> List[RaceReport]:
     """The full offline pipeline: load, Algorithm 1, suppress, report."""
-    graph, view, supp_flags = load_trace(path)
-    if mode == "naive":
-        candidates = find_races_naive(graph)
-    elif mode == "parallel":
-        candidates = find_races_parallel(graph, workers=workers)
-    else:
-        candidates = find_races_indexed(graph)
-    config = SuppressionConfig(
-        suppress_tls=supp_flags.get("suppress_tls", True),
-        suppress_stack=supp_flags.get("suppress_stack", True))
-    engine = SuppressionEngine(view, config)
-    surviving = engine.filter_all(candidates)
-    return [build_report(view, c) for c in surviving]
+    reports, _stats = analyze_trace_with_stats(path, mode=mode,
+                                               workers=workers)
+    return reports
+
+
+def analyze_trace_with_stats(path: str, *, mode: str = "indexed",
+                             workers: int = 4
+                             ) -> Tuple[List[RaceReport], dict]:
+    """The offline pipeline with a per-phase stats document.
+
+    The returned document mirrors the online tool's shape: the embedded
+    record-phase stats (with their cost-model virtual time) under
+    ``"record_run"``, the offline load/analysis/suppress/report phase
+    timings under ``"phases"``, plus analysis and suppression counters.
+    """
+    reg = get_registry()
+    with reg.phase("offline"):
+        with reg.phase("offline.load"):
+            graph, view, supp_flags, record_stats = load_trace_full(path)
+        if mode == "naive":
+            candidates = find_races_naive(graph)
+        elif mode == "parallel":
+            candidates = find_races_parallel(graph, workers=workers)
+        else:
+            candidates = find_races_indexed(graph)
+        config = SuppressionConfig(
+            suppress_tls=supp_flags.get("suppress_tls", True),
+            suppress_stack=supp_flags.get("suppress_stack", True))
+        engine = SuppressionEngine(view, config)
+        surviving = engine.filter_all(candidates)
+        with reg.phase("report"):
+            reports = [build_report(view, c) for c in surviving]
+    stats = {
+        "schema": "taskgrind-offline-stats/1",
+        "trace": path,
+        "analysis": {
+            "mode": mode,
+            "raw_candidates": len(candidates),
+            "reports": len(reports),
+        },
+        "suppress": engine.stats_doc(),
+        "graph": graph.stats(),
+        "phases": reg.snapshot()["phases"],
+        "record_run": record_stats,
+    }
+    reg.publish("offline", stats)
+    return reports, stats

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import DoubleFree, OutOfMemory, SegmentationFault
+from repro.errors import DoubleFree, OutOfMemory
 from repro.machine.memory import AddressSpace, Region
 
 ALIGNMENT = 16

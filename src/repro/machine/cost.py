@@ -117,6 +117,10 @@ class Clock:
     def seconds(self) -> float:
         return self.makespan_ops / OPS_PER_SECOND
 
+    def per_thread_ops(self) -> Dict[int, float]:
+        """Virtual clock per thread (empty when serialized)."""
+        return dict(self._per_thread)
+
 
 @dataclass
 class MemoryMeter:
@@ -209,3 +213,20 @@ class CostModel:
     @property
     def seconds(self) -> float:
         return self.clock.seconds
+
+    @property
+    def vtime_ops(self) -> float:
+        """Current virtual makespan in ops (the registry's vclock source)."""
+        return self.clock.makespan_ops
+
+    def stats(self) -> Dict:
+        """The cost model's contribution to the ``--stats`` document."""
+        return {
+            "makespan_ops": self.clock.makespan_ops,
+            "seconds": self.seconds,
+            "serialize": self.clock.serialize,
+            "translated_symbols": len(self._translated),
+            "counters": dict(self.counters),
+            "per_thread_ops": {str(tid): ops for tid, ops
+                               in sorted(self.clock.per_thread_ops().items())},
+        }

@@ -25,6 +25,7 @@ from repro.machine.memory import (AddressSpace, Region, RegionKind,
 from repro.machine.stack import ThreadStack
 from repro.machine.threads import Scheduler, SimThread
 from repro.machine.tls import TlsRegistry
+from repro.obs.metrics import get_registry
 from repro.util.rng import RngHub
 from repro.vex.client_requests import ClientRequestRouter
 from repro.vex.events import AllocEvent, FreeEvent
@@ -95,6 +96,11 @@ class Machine:
         self.cost: CostModel = CostModel(cost_params)
         self.instrumentation = Instrumentation(self.space, self.cost)
         self._cost_params = cost_params
+        # phases timed while this machine runs report its virtual clock
+        self.metrics = get_registry()
+        from repro.machine.cost import OPS_PER_SECOND
+        self.metrics.set_vclock(lambda: self.cost.vtime_ops,
+                                ops_per_second=OPS_PER_SECOND)
 
         self._contexts: Dict[int, ThreadContext] = {}
         self._next_stack_base = STACKS_BASE
@@ -190,7 +196,8 @@ class Machine:
 
         self.new_thread(main, name="main")
         try:
-            self.scheduler.run()
+            with self.metrics.phase("record"):
+                self.scheduler.run()
         finally:
             self._finished = True
         return result_box[0]

@@ -23,8 +23,8 @@ compaction of the paper's interval trees.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple
 
 from repro.errors import MachineError
 from repro.machine.debuginfo import SourceLocation, Symbol

@@ -1,0 +1,11 @@
+"""Runtime observability: the metrics registry and stats assembly.
+
+See :mod:`repro.obs.metrics` for the registry design and
+``docs/INTERNALS.md`` §6 for the phase/counter taxonomy.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               get_registry)
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "get_registry"]

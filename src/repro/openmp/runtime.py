@@ -25,15 +25,12 @@ Modeled-from-LLVM behaviours (each load-bearing for the paper's evaluation):
 from __future__ import annotations
 
 import collections
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import RuntimeModelError
 from repro.machine.program import Buffer, GuestContext
-from repro.machine.threads import ThreadState
 from repro.openmp.deps import DependencyTracker
-from repro.openmp.ompt import (DepKind, Dependence, OmptDispatcher,
-                               OmptObserver, SyncKind, TaskFlags)
+from repro.openmp.ompt import (DepKind, Dependence, OmptDispatcher, SyncKind, TaskFlags)
 from repro.openmp.tasks import (DESCRIPTOR_HEADER_BYTES, PRIVATE_SLOT_BYTES,
                                 DetachEvent, Task, TaskState)
 

@@ -6,7 +6,6 @@ import collections
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import RuntimeModelError
 from repro.machine.machine import Machine
 from repro.machine.program import Buffer, GuestContext
 from repro.machine.threads import ThreadState

@@ -38,6 +38,10 @@ class Instrumentation:
         self.enabled = True
         self.access_count = 0
         self._all_fast = False      # every attached tool accepts raw dispatch
+        # hot-path hit rates, published into the stats doc at snapshot time
+        self.raw_dispatched = 0     # accesses through the no-event fast path
+        self.event_dispatched = 0   # accesses through AccessEvent objects
+        self.unobserved = 0         # accesses no attached tool saw
 
     def add_tool(self, tool: Tool) -> None:
         self.tools.append(tool)
@@ -65,6 +69,10 @@ class Instrumentation:
                         self.cost.charge_translation(thread, symbol.name)
                     tool.on_access_raw(thread_id, addr, size, is_write,
                                        symbol, loc)
+            if observed:
+                self.raw_dispatched += 1
+            else:
+                self.unobserved += 1
             self.cost.charge_access(thread, size, observed=observed,
                                     fast=True)
             return
@@ -78,4 +86,17 @@ class Instrumentation:
                 if tool.is_dbi:
                     self.cost.charge_translation(thread, symbol.name)
                 tool.on_access(event)
+        if observed:
+            self.event_dispatched += 1
+        else:
+            self.unobserved += 1
         self.cost.charge_access(thread, size, observed=observed)
+
+    def stats(self) -> dict:
+        """Hub-level dispatch mix for the stats document."""
+        return {
+            "accesses": self.access_count,
+            "raw_dispatched": self.raw_dispatched,
+            "event_dispatched": self.event_dispatched,
+            "unobserved": self.unobserved,
+        }

@@ -40,11 +40,15 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import MachineError
+from repro.obs.metrics import get_registry
 from repro.vex.ir import (BINOPS, Binop, Const, Dirty, Exit, Expr, Get,
                           IMark, Load, Put, RdTmp, Store, SuperBlock, WrTmp)
 
 N_REGS = 16
 INSTR_LEN = 4
+
+#: prebound hot-path counter (per executed block, so no registry lookup)
+_TCACHE_HITS = get_registry().counter("vex.tcache_hits")
 
 
 @dataclass(frozen=True)
@@ -263,13 +267,19 @@ class GuestVM:
     def _fetch(self, addr: int) -> SuperBlock:
         sb = self._cache.get(addr)
         if sb is None:
-            sb = translate_block(self.binary.block_at(addr))
-            sb = instrument_block(sb, self._track_access)
+            reg = get_registry()
+            with reg.phase("vex.translate"):
+                sb = translate_block(self.binary.block_at(addr))
+                sb = instrument_block(sb, self._track_access)
+            reg.counter("vex.translations").inc()
+            reg.histogram("vex.block_stmts").observe(len(sb.stmts))
             self._cache[addr] = sb
             self.translations += 1
             self.ctx.machine.cost.charge_translation(
                 self.ctx.machine.scheduler.current(),
                 f"{self.symbol}@{addr:#x}")
+        else:
+            _TCACHE_HITS.inc()
         return sb
 
     def _track_access(self, addr: int, size: int, is_write: int) -> None:

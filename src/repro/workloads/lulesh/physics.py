@@ -32,7 +32,6 @@ def _charge(ctx, lo: int, hi: int) -> None:
 
 def calc_force(ctx, mesh: Mesh, lo: int, hi: int) -> None:
     """Nodal force from the pressure gradient (halo read of p)."""
-    n = mesh.fx.n
     p = mesh.p
     left = p.read(max(0, lo - 1), min(p.n, hi - 1), line=101)
     right = p.read(min(lo + 1, p.n), min(p.n, hi + 1), line=102)

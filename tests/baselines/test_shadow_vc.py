@@ -1,6 +1,5 @@
 """Tests for the shadow interval map and vector clocks."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines.shadow import IntervalMap

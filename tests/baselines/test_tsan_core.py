@@ -1,6 +1,5 @@
 """Tests for the FastTrack-style TSan core."""
 
-import pytest
 
 from repro.baselines.tsan import TsanCore
 

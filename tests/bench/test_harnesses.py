@@ -1,9 +1,8 @@
 """Tests for the bench harness modules themselves (table1/table2/fig4/CSV)."""
 
-import pytest
 
 from repro.bench.fig4 import measure, run_fig4, to_csv
-from repro.bench.table1 import Table1Row, render, run_table1
+from repro.bench.table1 import Table1Row, render
 from repro.bench.table2 import Cell, run_cell
 
 

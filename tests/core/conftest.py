@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.segments import SegmentBuilder, SegmentModelConfig
+from repro.core.segments import SegmentBuilder
 from repro.core.tool import TaskgrindOptions, TaskgrindTool
 from repro.machine.machine import Machine
 from repro.openmp.api import make_env

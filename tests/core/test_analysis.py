@@ -4,11 +4,9 @@ Includes property tests asserting the three implementations (naive, indexed,
 parallel) produce identical candidate sets on random graphs.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.analysis import (RaceCandidate, find_races_indexed,
-                                 find_races_naive, find_races_parallel)
+from repro.core.analysis import (find_races_indexed, find_races_naive, find_races_parallel)
 from repro.core.segments import SegmentGraph
 
 

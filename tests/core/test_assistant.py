@@ -1,6 +1,5 @@
 """Tests for the fix-suggestion assistant (paper Section VII direction)."""
 
-import pytest
 
 from repro.core.assistant import render_suggestions, suggest
 

@@ -13,10 +13,9 @@ count and seed.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.tool import TaskgrindOptions, TaskgrindTool

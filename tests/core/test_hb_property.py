@@ -14,7 +14,6 @@ invariants that must hold for ANY such program:
 
 from typing import List
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 

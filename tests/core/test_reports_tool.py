@@ -1,9 +1,7 @@
 """Tests for report formatting (Listings 5/6) and TaskgrindTool plumbing."""
 
-import pytest
 
-from repro.core.analysis import RaceCandidate
-from repro.core.reports import build_report, dedupe_reports, format_report
+from repro.core.reports import dedupe_reports, format_report
 from repro.core.tool import TaskgrindOptions, TaskgrindTool
 from repro.errors import SimDeadlock
 

@@ -1,6 +1,5 @@
 """Tests for segment-graph construction (happens-before semantics)."""
 
-import pytest
 
 from repro.core.segments import SegmentGraph, SegmentModelConfig
 

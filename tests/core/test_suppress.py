@@ -1,9 +1,7 @@
 """Tests for the Section IV false-positive suppressions."""
 
-import pytest
 
-from repro.core.suppress import (DEFAULT_IGNORE_LIST, SuppressionConfig,
-                                 SuppressionEngine)
+from repro.core.suppress import SuppressionConfig, SuppressionEngine
 from repro.core.tool import TaskgrindOptions
 from repro.machine.debuginfo import DebugInfo
 

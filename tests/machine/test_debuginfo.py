@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.machine.debuginfo import (DebugInfo, SourceLocation, Symbol,
-                                     format_stack)
+from repro.machine.debuginfo import DebugInfo, SourceLocation, format_stack
 
 
 class TestSourceLocation:

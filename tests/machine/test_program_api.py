@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import MachineError
 from repro.machine.machine import Machine
-from repro.machine.program import Buffer, GuestContext
+from repro.machine.program import GuestContext
 from repro.vex.tool import Tool
 
 

@@ -19,9 +19,9 @@ def make_stack(tid=0):
 class TestThreadStack:
     def test_frames_grow_downward(self):
         _, st = make_stack()
-        f1 = st.push_frame("main")
+        st.push_frame("main")
         a = st.alloca(16)
-        f2 = st.push_frame("callee")
+        st.push_frame("callee")
         b = st.alloca(16)
         assert b < a
 

@@ -1,9 +1,8 @@
 """Property tests: DependencyTracker vs a brute-force ordering oracle."""
 
-from typing import Dict, List, Set, Tuple
+from typing import List
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.openmp.deps import DependencyTracker
@@ -103,7 +102,6 @@ class TestTrackerVsOracle:
             for j in range(i + 1, len(dep_lists)):
                 only_reads = all(d.kind == DepKind.IN
                                  for d in dep_lists[i] + dep_lists[j])
-                shares_nothing_else = True
                 if only_reads and not oracle_must_order(dep_lists, i, j):
                     # readers may still be transitively ordered through a
                     # writer between them; we only assert no DIRECT edge

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.machine.machine import Machine
-from repro.openmp.api import OmpEnv, make_env
-from repro.openmp.ompt import OmptObserver, SyncKind, TaskFlags
+from repro.openmp.api import make_env
+from repro.openmp.ompt import OmptObserver
 
 
 def run_omp(body, nthreads=4, seed=0, observer=None):

@@ -1,6 +1,5 @@
 """Tests for the Qthreads runtime (FEBs) and its Taskgrind shim."""
 
-import pytest
 
 from repro.core.qthreads_shim import attach_qthreads
 from repro.core.tool import TaskgrindTool

@@ -7,7 +7,6 @@ integration test of the public API paths it demonstrates (the internal
 
 import pathlib
 import runpy
-import sys
 
 import pytest
 

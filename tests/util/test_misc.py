@@ -2,7 +2,6 @@
 
 import logging
 
-import pytest
 
 from repro.util.log import enable_verbose, get_logger
 from repro.util.rng import RngHub

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import MachineError
 from repro.machine.machine import Machine
 from repro.machine.program import GuestContext
-from repro.vex.ir import Dirty, IMark, Load, Store, SuperBlock, WrTmp
+from repro.vex.ir import Dirty, IMark, Load, Store, WrTmp
 from repro.vex.translate import (Assembler, GuestVM, instrument_block,
                                  translate_block)
 

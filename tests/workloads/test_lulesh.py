@@ -1,7 +1,6 @@
 """Tests for the LULESH proxy: determinacy, racy schedule-dependence,
 scaling, and the Table II / Fig 4 preconditions."""
 
-import pytest
 
 from repro.machine.machine import Machine
 from repro.openmp.api import make_env
@@ -122,7 +121,6 @@ class TestRaceStructure:
 
     def test_racy_conflicts_touch_velocity_field(self):
         reports = self._tg_reports(racy=True)
-        machine = Machine()
         # conflicting ranges must fall inside a heap field allocation
         for r in reports:
             assert r.block_addr is not None
