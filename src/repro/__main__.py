@@ -12,11 +12,14 @@ Subcommands map one-to-one to the paper's artifacts::
     python -m repro run PROGRAM       # one program under one tool
     python -m repro perf              # record/analyze fast-path bench
 
-Global flag (works with every subcommand)::
+Global flags (work with every subcommand)::
 
     --stats[=json|pretty]             # print the observability document
                                       # (phase wall/virtual timings, counters,
                                       # per-tool stats) after the subcommand
+    --trace-timeline OUT.json         # record the execution timeline and
+                                      # export Chrome trace-event JSON
+                                      # (virtual-time axis; load in Perfetto)
 """
 
 from __future__ import annotations
@@ -56,15 +59,48 @@ def _extract_stats_flag(argv: List[str]) -> Tuple[List[str], Optional[str]]:
     return out, mode
 
 
+def _extract_timeline_flag(argv: List[str]
+                           ) -> Tuple[List[str], Optional[str]]:
+    """Strip a launcher-level ``--trace-timeline OUT`` / ``=OUT``."""
+    out: List[str] = []
+    path: Optional[str] = None
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--trace-timeline":
+            if i + 1 >= len(argv):
+                print("--trace-timeline needs an output path",
+                      file=sys.stderr)
+            else:
+                path = argv[i + 1]
+                i += 1
+        elif arg.startswith("--trace-timeline="):
+            path = arg.split("=", 1)[1]
+        else:
+            out.append(arg)
+        i += 1
+    return out, path
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     argv, stats_mode = _extract_stats_flag(argv)
+    argv, timeline_path = _extract_timeline_flag(argv)
     if not argv or argv[0] in ("-h", "--help") or argv[0] not in COMMANDS:
         print(__doc__)
         return 0 if argv and argv[0] in ("-h", "--help") else 2
+    tracer = None
+    if timeline_path is not None:
+        from repro.obs.tracer import get_tracer
+        tracer = get_tracer()
+        tracer.enable()
     import importlib
     module = importlib.import_module(COMMANDS[argv[0]])
     rc = module.main(argv[1:])
+    if tracer is not None:
+        tracer.export(timeline_path)
+        tracer.disable()
+        print(f"wrote timeline to {timeline_path} ({len(tracer)} events)")
     if stats_mode is not None:
         from repro.obs.metrics import get_registry
         registry = get_registry()

@@ -73,7 +73,15 @@ def run_benchmark(program: BenchProgram, tool_name: str, *,
                   nthreads: int = 4, seed: int = 0,
                   taskgrind_options: Optional[TaskgrindOptions] = None,
                   keep_machine: bool = False) -> RunResult:
-    """Execute ``program`` under ``tool_name`` and classify the outcome."""
+    """Execute ``program`` under ``tool_name`` and classify the outcome.
+
+    The result's stats document carries a ``"registry"`` block with the
+    *per-run* metrics delta (counters/phases scoped to this call), so two
+    back-to-back runs in one process report independent numbers instead of
+    the process-lifetime cumulative registry state.
+    """
+    from repro.obs.metrics import get_registry
+    reg_baseline = get_registry().mark()
     factory = TOOLS[tool_name]
     if tool_name == "taskgrind" and taskgrind_options is not None:
         tool = factory(taskgrind_options)
@@ -125,6 +133,7 @@ def run_benchmark(program: BenchProgram, tool_name: str, *,
     result.memory = machine.memory_meter()
     if hasattr(tool, "stats"):
         result.stats = tool.stats()
+        result.stats["registry"] = get_registry().delta_since(reg_baseline)
     if keep_machine:
         result.machine = machine
     return result
@@ -160,6 +169,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--save-trace", metavar="PATH", default=None,
                         help="dump the run as a trace for offline analysis "
                              "(taskgrind only)")
+    parser.add_argument("--explain", action="store_true",
+                        help="append a provenance witness to each report "
+                             "(task ancestry, common ancestor, hb evidence; "
+                             "taskgrind only)")
+    parser.add_argument("--trace-timeline", metavar="OUT.json", default=None,
+                        help="export the execution timeline as Chrome "
+                             "trace-event JSON (virtual-time axis; load in "
+                             "Perfetto)")
     parser.add_argument("--list", action="store_true",
                         help="list runnable program names and exit")
     args = parser.parse_args(argv)
@@ -178,10 +195,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.save_trace and args.tool != "taskgrind":
         print("--save-trace requires --tool taskgrind", file=sys.stderr)
         return 2
+    if args.explain and args.tool != "taskgrind":
+        print("--explain requires --tool taskgrind", file=sys.stderr)
+        return 2
 
+    tracer = None
+    if args.trace_timeline is not None:
+        from repro.obs.tracer import get_tracer
+        tracer = get_tracer()
+        tracer.enable()
+    options = TaskgrindOptions(explain=True) if args.explain else None
     result = run_benchmark(program, args.tool, nthreads=args.threads,
-                           seed=args.seed,
+                           seed=args.seed, taskgrind_options=options,
                            keep_machine=args.save_trace is not None)
+    if tracer is not None:
+        tracer.export(args.trace_timeline)
+        tracer.disable()
+        print(f"wrote timeline to {args.trace_timeline} "
+              f"({len(tracer)} events)")
     print(f"{result.program} under {result.tool} "
           f"({result.nthreads} threads, seed {result.seed}): "
           f"{result.cell()} — {result.report_count} report(s), "

@@ -23,6 +23,9 @@ from typing import Dict, List
 
 from repro.cilk.runtime import CilkFrame, CilkObserver
 from repro.core.segments import SegmentBuilder, _TaskEntry
+from repro.obs.tracer import get_tracer
+
+_TRACER = get_tracer()
 
 
 class CilkSegmentBuilder(SegmentBuilder):
@@ -83,6 +86,9 @@ class TaskgrindCilkShim(CilkObserver):
         self.machine = machine
 
     def _req(self, name: str, payload) -> None:
+        if _TRACER.enabled:
+            _TRACER.instant(f"shim.cilk.{name}",
+                            self.machine.scheduler.current_id(), cat="shim")
         self.machine.client_requests.request(name, payload)
 
     def on_spawn(self, parent, child, thread_id) -> None:

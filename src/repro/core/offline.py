@@ -37,9 +37,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                         choices=["json", "pretty"],
                         help="emit the observability document "
                              "(phase timings, counters, record-run stats)")
+    parser.add_argument("--explain", action="store_true",
+                        help="append a provenance witness to each report "
+                             "(task ancestry, common ancestor, hb evidence)")
+    parser.add_argument("--trace-timeline", metavar="OUT.json", default=None,
+                        help="export the analysis timeline (Chrome "
+                             "trace-event JSON; wall-clock axis offline)")
     args = parser.parse_args(argv)
+    tracer = None
+    if args.trace_timeline is not None:
+        from repro.obs.tracer import get_tracer
+        tracer = get_tracer()
+        tracer.enable()
     reports, stats = analyze_trace_with_stats(args.trace, mode=args.mode,
-                                              workers=args.workers)
+                                              workers=args.workers,
+                                              explain=args.explain)
+    if tracer is not None:
+        tracer.export(args.trace_timeline)
+        tracer.disable()
     if args.json:
         doc = {
             "tool": "taskgrind",

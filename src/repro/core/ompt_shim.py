@@ -15,7 +15,10 @@ exercise the client-request machinery end to end.
 
 from __future__ import annotations
 
+from repro.obs.tracer import get_tracer
 from repro.openmp.ompt import OmptObserver, SyncKind
+
+_TRACER = get_tracer()
 
 
 class TaskgrindOmptShim(OmptObserver):
@@ -25,6 +28,9 @@ class TaskgrindOmptShim(OmptObserver):
         self.machine = machine
 
     def _req(self, name: str, payload) -> None:
+        if _TRACER.enabled:
+            _TRACER.instant(f"shim.ompt.{name}",
+                            self.machine.scheduler.current_id(), cat="shim")
         self.machine.client_requests.request(name, payload)
 
     def _tid(self) -> int:

@@ -21,7 +21,10 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro.core.segments import SegmentBuilder, _TaskEntry
+from repro.obs.tracer import get_tracer
 from repro.qthreads.runtime import QTask, QthreadsObserver
+
+_TRACER = get_tracer()
 
 
 class QthreadsSegmentBuilder(SegmentBuilder):
@@ -84,6 +87,9 @@ class TaskgrindQthreadsShim(QthreadsObserver):
         self.machine = machine
 
     def _req(self, name: str, payload) -> None:
+        if _TRACER.enabled:
+            _TRACER.instant(f"shim.qthreads.{name}",
+                            self.machine.scheduler.current_id(), cat="shim")
         self.machine.client_requests.request(name, payload)
 
     def on_fork(self, parent, child, thread_id) -> None:

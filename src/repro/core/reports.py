@@ -17,13 +17,51 @@ for the L456 error-reporting comparison bench.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.core.analysis import RaceCandidate
-from repro.core.segments import Segment
+from repro.core.segments import Segment, SegmentGraph
 from repro.machine.debuginfo import SourceLocation, format_stack
 from repro.util.intervals import IntervalSet
+
+
+@dataclass
+class ProvenanceWitness:
+    """Why the tool believes two segments race (the ``--explain`` payload).
+
+    Assembled from the segment graph after analysis: where each racing
+    segment came from (its ancestry up the graph), where their histories
+    last met (nearest common ancestor), the first conflicting byte
+    interval, and which happens-before query tier established that no
+    ordering path exists.
+    """
+
+    #: ancestry of each racing segment as ``(seg_id, kind, label)`` triples,
+    #: nearest-first, ending at the common ancestor (or a root)
+    s1_path: List[Tuple[int, str, str]] = field(default_factory=list)
+    s2_path: List[Tuple[int, str, str]] = field(default_factory=list)
+    #: task-pragma ancestry (task labels creator-to-leaf) when tasks are live
+    s1_tasks: List[str] = field(default_factory=list)
+    s2_tasks: List[str] = field(default_factory=list)
+    nca_id: Optional[int] = None
+    nca_label: str = ""
+    first_interval: Optional[Tuple[int, int]] = None
+    #: which query tier answered "unordered" and its evidence
+    hb_explanation: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "s1_path": [list(t) for t in self.s1_path],
+            "s2_path": [list(t) for t in self.s2_path],
+            "s1_tasks": self.s1_tasks,
+            "s2_tasks": self.s2_tasks,
+            "nca": (None if self.nca_id is None
+                    else {"segment": self.nca_id, "label": self.nca_label}),
+            "first_interval": (list(self.first_interval)
+                               if self.first_interval else None),
+            "hb": self.hb_explanation,
+        }
 
 
 @dataclass
@@ -40,11 +78,25 @@ class RaceReport:
     alloc_site: Optional[SourceLocation] = None
     alloc_stack: Tuple[SourceLocation, ...] = ()
     region_desc: str = ""
+    witness: Optional[ProvenanceWitness] = None  # set by --explain
 
     def key(self) -> Tuple[str, str]:
         """Deduplication key: the pair of segment labels (source order)."""
         a, b = self.s1.label(), self.s2.label()
         return (a, b) if a <= b else (b, a)
+
+    def sort_key(self) -> Tuple:
+        """Total deterministic order: label pair, access locations, ids.
+
+        Everything :func:`dedupe_reports` needs to produce the same output
+        list — same representatives, same order — regardless of the order
+        analysis emitted the reports in (parallel mode shuffles it).
+        """
+        span = self.ranges.span
+        return (self.key(),
+                str(self.s1_loc or ""), str(self.s2_loc or ""),
+                span.lo if span is not None else 0,
+                min(self.s1.id, self.s2.id), max(self.s1.id, self.s2.id))
 
 
 def build_report(machine, cand: RaceCandidate) -> RaceReport:
@@ -63,6 +115,111 @@ def build_report(machine, cand: RaceCandidate) -> RaceReport:
         report.alloc_site = block.alloc_site
         report.alloc_stack = tuple(block.alloc_stack)
     return report
+
+
+def _ancestors(graph: SegmentGraph, preds: List[List[int]],
+               start: int) -> Tuple[dict, set]:
+    """BFS over predecessor edges: ``{id: parent-toward-start}`` + visited."""
+    parent = {start: None}
+    frontier = [start]
+    while frontier:
+        nxt: List[int] = []
+        for sid in frontier:
+            for p in preds[sid]:
+                if p not in parent:
+                    parent[p] = sid
+                    nxt.append(p)
+        frontier = nxt
+    return parent, set(parent)
+
+
+def _path_to(graph: SegmentGraph, parent: dict, start: int,
+             ancestor: Optional[int]) -> List[Tuple[int, str, str]]:
+    """The segment path ``start .. ancestor`` as (id, kind, label) triples."""
+    if ancestor is None or ancestor not in parent:
+        return [(start, graph.segments[start].kind,
+                 graph.segments[start].label())]
+    path: List[int] = []
+    sid: Optional[int] = ancestor
+    while sid is not None:
+        path.append(sid)
+        sid = parent[sid]
+    path.reverse()                      # now start .. ancestor
+    return [(i, graph.segments[i].kind, graph.segments[i].label())
+            for i in path]
+
+
+def _task_ancestry(seg: Segment) -> List[str]:
+    """Task-pragma labels creator-to-leaf (empty offline, where task=None)."""
+    labels: List[str] = []
+    task = seg.task
+    while task is not None:
+        labels.append(task.label())
+        task = task.parent
+    labels.reverse()
+    return labels
+
+
+def build_witness(graph: SegmentGraph, report: RaceReport) -> ProvenanceWitness:
+    """Assemble the provenance witness for one report from the graph."""
+    s1, s2 = report.s1, report.s2
+    preds = graph.predecessors_map()
+    par1, anc1 = _ancestors(graph, preds, s1.id)
+    par2, anc2 = _ancestors(graph, preds, s2.id)
+    common = anc1 & anc2
+    nca: Optional[int] = None
+    if common:
+        pos = graph.topo_positions()
+        nca = max(common, key=lambda sid: pos[sid])
+    witness = ProvenanceWitness(
+        s1_path=_path_to(graph, par1, s1.id, nca),
+        s2_path=_path_to(graph, par2, s2.id, nca),
+        s1_tasks=_task_ancestry(s1),
+        s2_tasks=_task_ancestry(s2),
+        nca_id=nca,
+        nca_label=graph.segments[nca].label() if nca is not None else "",
+        hb_explanation=graph.explain_unordered(s1, s2),
+    )
+    for lo, hi in report.ranges.pairs():
+        witness.first_interval = (lo, hi)
+        break
+    return witness
+
+
+def _format_path(path: List[Tuple[int, str, str]]) -> str:
+    parts = [f"seg#{sid}[{kind}] {label}" for sid, kind, label in path]
+    if len(parts) > 6:                   # keep long chains readable
+        parts = parts[:3] + [f"... ({len(parts) - 5} more)"] + parts[-2:]
+    return " -> ".join(parts)
+
+
+def format_witness(witness: ProvenanceWitness) -> str:
+    """Render the ``--explain`` block appended below a report."""
+    lines = ["provenance:"]
+    if witness.s1_tasks:
+        lines.append("    task ancestry (1): "
+                     + " > ".join(witness.s1_tasks))
+    if witness.s2_tasks:
+        lines.append("    task ancestry (2): "
+                     + " > ".join(witness.s2_tasks))
+    lines.append("    segment path (1): " + _format_path(witness.s1_path))
+    lines.append("    segment path (2): " + _format_path(witness.s2_path))
+    if witness.nca_id is not None:
+        lines.append(f"    diverged at seg#{witness.nca_id} "
+                     f"({witness.nca_label}): nearest common ancestor of "
+                     "both segments")
+    else:
+        lines.append("    no common ancestor: the segments come from "
+                     "unrelated roots")
+    if witness.first_interval is not None:
+        lo, hi = witness.first_interval
+        lines.append(f"    first conflicting interval: "
+                     f"[{lo:#x}, {hi:#x}) ({hi - lo} bytes)")
+    hb = witness.hb_explanation
+    if hb:
+        lines.append(f"    no happens-before path ({hb.get('tier', '?')} "
+                     f"tier): {hb.get('reason', '')}")
+    return "\n".join(lines)
 
 
 def format_report(report: RaceReport, *, style: str = "taskgrind") -> str:
@@ -92,6 +249,8 @@ def format_report(report: RaceReport, *, style: str = "taskgrind") -> str:
             lines.append(f"    at {report.s1_loc}")
         if report.s2_loc:
             lines.append(f"    at {report.s2_loc}")
+    if report.witness is not None:
+        lines.append(format_witness(report.witness))
     return "\n".join(lines)
 
 
@@ -106,11 +265,16 @@ def _format_romp(report: RaceReport) -> str:
 
 
 def dedupe_reports(reports: List[RaceReport]) -> List[RaceReport]:
-    """Collapse reports with identical segment-label pairs (loop iterations)."""
+    """Collapse reports with identical segment-label pairs (loop iterations).
+
+    Deterministic: the output order and the representative chosen for each
+    label pair depend only on the *set* of reports, not on the order the
+    analysis produced them in (parallel phase scheduling permutes it).
+    """
     seen = {}
-    for r in reports:
+    for r in sorted(reports, key=RaceReport.sort_key):
         seen.setdefault(r.key(), r)
-    return list(seen.values())
+    return sorted(seen.values(), key=RaceReport.sort_key)
 
 
 # ---------------------------------------------------------------------------
@@ -138,6 +302,8 @@ def report_to_dict(report: RaceReport) -> dict:
             "site": str(report.alloc_site) if report.alloc_site else None,
             "stack": [str(loc) for loc in report.alloc_stack],
         },
+        "witness": (report.witness.to_dict()
+                    if report.witness is not None else None),
     }
 
 

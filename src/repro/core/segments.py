@@ -49,6 +49,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.hbindex import HbIndex
 from repro.machine.debuginfo import SourceLocation
 from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.machine.tls import TlsSnapshot
 from repro.openmp.ompt import DepKind, Dependence, TaskFlags
 from repro.openmp.tasks import Task
@@ -68,6 +69,7 @@ _WC_SHIFT = 6
 #: prebound recorder counters — incremented only at drain/flush time (cold),
 #: never per access, so the write-combining hot loop stays registry-free
 _REG = get_registry()
+_TRACER = get_tracer()
 _WC_HITS = _REG.counter("record.wc_hits")
 _WC_SPILLS = _REG.counter("record.wc_spills")
 _WC_FLUSHES = _REG.counter("record.wc_flushes")
@@ -356,6 +358,13 @@ class SegmentGraph:
         self._hb_labels = None
         if self.hb_index is not None:
             self.hb_index.on_edge(src.id, dst.id)
+        if _TRACER.enabled and (src.thread_id != dst.thread_id
+                                or src.virtual or dst.virtual):
+            # cross-thread / join-node edges are the synchronisation edges —
+            # same-thread program-order edges would only be timeline noise
+            _TRACER.edge_flow(f"hb seg#{src.id}->seg#{dst.id}",
+                              src.thread_id, dst.thread_id,
+                              args={"src": src.id, "dst": dst.id})
 
     # -- reachability --------------------------------------------------------
 
@@ -466,8 +475,64 @@ class SegmentGraph:
     def independent(self, a: Segment, b: Segment) -> bool:
         return a is not b and not self.ordered(a, b)
 
+    def explain_unordered(self, a: Segment, b: Segment) -> dict:
+        """Why the configured query path found no happens-before path.
+
+        Mirrors the tier selection of :meth:`ordered` without touching the
+        query counters: reports which mechanism answered (label snapshot,
+        order-maintenance index, or bitmask DP) and the evidence it used —
+        the provenance half of a race report's witness.
+        """
+        labs = self._hb_labels
+        if labs is not None and self.hb_mode == "auto":
+            e, h = labs
+            ea, eb = e[a.id], e[b.id]
+            if ea is not None and eb is not None:
+                ha, hb = h[a.id], h[b.id]
+                return {
+                    "tier": "label",
+                    "e_labels": [ea, eb], "h_labels": [ha, hb],
+                    "reason": (
+                        f"order-maintenance labels disagree in direction: "
+                        f"E({ea} {'<' if ea < eb else '>'} {eb}) but "
+                        f"H({ha} {'<' if ha < hb else '>'} {hb}) — the "
+                        f"segments are parallel branches"),
+                }
+        idx = self.hb_index
+        if idx is not None and self.hb_mode != "bitmask":
+            hint = idx.ordered_hint(a.id, b.id)
+            if hint is not None:
+                return {
+                    "tier": "index",
+                    "reason": ("order-maintenance index query returned "
+                               "unordered (E and H comparisons disagree)"),
+                }
+        reach = self._reachability()
+        return {
+            "tier": "dp",
+            "a_reaches_b": bool(reach[a.id] >> b.id & 1),
+            "b_reaches_a": bool(reach[b.id] >> a.id & 1),
+            "reason": ("bitmask reachability DP found no path "
+                       f"seg#{a.id}->seg#{b.id} nor seg#{b.id}->seg#{a.id}"),
+        }
+
     def successors(self, seg: Segment) -> List[Segment]:
         return [self.segments[i] for i in self._succ[seg.id]]
+
+    def predecessors_map(self) -> List[List[int]]:
+        """Reverse adjacency (predecessor ids per segment), built on demand."""
+        preds: List[List[int]] = [[] for _ in self.segments]
+        for sid, succs in enumerate(self._succ):
+            for t in succs:
+                preds[t].append(sid)
+        return preds
+
+    def topo_positions(self) -> List[int]:
+        """Topological position per segment id (for nearest-ancestor picks)."""
+        pos = [0] * len(self.segments)
+        for i, sid in enumerate(self._topo_order()):
+            pos[sid] = i
+        return pos
 
     def check_acyclic(self) -> None:
         """Raise if the graph has a cycle (it must be a DAG)."""
@@ -606,6 +671,8 @@ class SegmentBuilder:
                                      sp_at_start=sp, stack_bounds=bounds,
                                      label_loc=label_loc)
         seg.seq_opened = self._bump(thread_id)
+        if _TRACER.enabled:
+            _TRACER.segment_begin(seg.id, thread_id, kind, seg.label())
         return seg
 
     def _close(self, seg: Segment, thread_id: int) -> Segment:
@@ -613,6 +680,9 @@ class SegmentBuilder:
             seg.open = False
             seg.seq_closed = self._bump(thread_id)
             seg.flush_accesses()       # bulk-build the interval trees now
+            if _TRACER.enabled:
+                _TRACER.segment_end(seg.id, args={
+                    "reads": len(seg._reads), "writes": len(seg._writes)})
             try:
                 seg.tls_snapshot = self.machine.tls.snapshot(thread_id)
             except KeyError:  # pragma: no cover - threads always registered

@@ -34,7 +34,10 @@ from repro.core.analysis import RaceCandidate
 from repro.core.segments import Segment
 from repro.machine.memory import RegionKind
 from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.util.intervals import Interval, IntervalSet
+
+_TRACER = get_tracer()
 
 #: Default ignore-list: LLVM OpenMP runtime internals, the dynamic loader,
 #: and libc allocator internals (the paper names ``__kmp`` explicitly).
@@ -113,10 +116,18 @@ class SuppressionEngine:
             if self._stack_local(piece, s1, region) and \
                     self._stack_local(piece, s2, region):
                 self.stats.stack_suppressed += 1
+                if _TRACER.enabled:
+                    _TRACER.instant("suppress.stack", cat="suppress",
+                                    args={"lo": piece.lo, "hi": piece.hi,
+                                          "s1": s1.id, "s2": s2.id})
                 return True
         if region.kind == RegionKind.TLS and self.config.suppress_tls:
             if self._tls_suppressed(piece, s1, s2):
                 self.stats.tls_suppressed += 1
+                if _TRACER.enabled:
+                    _TRACER.instant("suppress.tls", cat="suppress",
+                                    args={"lo": piece.lo, "hi": piece.hi,
+                                          "s1": s1.id, "s2": s2.id})
                 return True
         return False
 

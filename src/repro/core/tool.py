@@ -35,11 +35,13 @@ from typing import List, Optional
 
 from repro.core.analysis import (find_races_indexed, find_races_naive, find_races_parallel)
 from repro.core.ompt_shim import TaskgrindOmptShim
-from repro.core.reports import RaceReport, build_report, dedupe_reports
+from repro.core.reports import (RaceReport, build_report, build_witness,
+                                dedupe_reports)
 from repro.core.segments import SegmentBuilder, SegmentModelConfig
 from repro.core.suppress import SuppressionConfig, SuppressionEngine
 from repro.machine.cost import ToolCost
 from repro.obs.metrics import get_registry
+from repro.obs.tracer import get_tracer
 from repro.vex.events import AccessEvent
 from repro.vex.tool import Tool
 
@@ -65,6 +67,9 @@ class TaskgrindOptions:
     #: happens-before query path: 'auto' (O(1) index with bitmask fallback),
     #: 'bitmask' (legacy DP only) or 'checked' (index cross-checked vs DP)
     hb_mode: str = "auto"
+    #: attach a provenance witness (ancestry, NCA, hb-tier evidence) to each
+    #: report — the ``--explain`` flag
+    explain: bool = False
 
 
 class TaskgrindTool(Tool):
@@ -220,6 +225,18 @@ class TaskgrindTool(Tool):
                     from repro.core.suppfile import load_suppressions
                     supp = load_suppressions(self.options.suppression_file)
                     reports, self.file_suppressed = supp.filter(reports)
+                if self.options.explain:
+                    with reg.phase("explain"):
+                        for r in reports:
+                            r.witness = build_witness(graph, r)
+                tracer = get_tracer()
+                if tracer.enabled:
+                    for r in reports:
+                        tracer.race_flow(r.s1.id, r.s2.id,
+                                         t1=r.s1.thread_id,
+                                         t2=r.s2.thread_id, args={
+                            "label1": r.s1.label(), "label2": r.s2.label(),
+                            "bytes": r.ranges.total_bytes})
             self.reports = reports
         reg.publish("taskgrind", self.stats())
         return reports

@@ -266,15 +266,17 @@ def load_trace_full(path: str) -> Tuple[SegmentGraph, OfflineMachineView,
 
 
 def analyze_trace(path: str, *, mode: str = "indexed",
-                  workers: int = 4) -> List[RaceReport]:
+                  workers: int = 4,
+                  explain: bool = False) -> List[RaceReport]:
     """The full offline pipeline: load, Algorithm 1, suppress, report."""
     reports, _stats = analyze_trace_with_stats(path, mode=mode,
-                                               workers=workers)
+                                               workers=workers,
+                                               explain=explain)
     return reports
 
 
 def analyze_trace_with_stats(path: str, *, mode: str = "indexed",
-                             workers: int = 4
+                             workers: int = 4, explain: bool = False
                              ) -> Tuple[List[RaceReport], dict]:
     """The offline pipeline with a per-phase stats document.
 
@@ -282,8 +284,14 @@ def analyze_trace_with_stats(path: str, *, mode: str = "indexed",
     record-phase stats (with their cost-model virtual time) under
     ``"record_run"``, the offline load/analysis/suppress/report phase
     timings under ``"phases"``, plus analysis and suppression counters.
+    The phase timings are **per-run deltas** — two back-to-back analyses in
+    one process each report only their own work, not the registry's
+    cumulative process-lifetime totals.
     """
+    from repro.core.reports import build_witness
+    from repro.obs.tracer import get_tracer
     reg = get_registry()
+    baseline = reg.mark()
     with reg.phase("offline"):
         with reg.phase("offline.load"):
             graph, view, supp_flags, record_stats = load_trace_full(path)
@@ -300,6 +308,18 @@ def analyze_trace_with_stats(path: str, *, mode: str = "indexed",
         surviving = engine.filter_all(candidates)
         with reg.phase("report"):
             reports = [build_report(view, c) for c in surviving]
+            if explain:
+                with reg.phase("explain"):
+                    for r in reports:
+                        r.witness = build_witness(graph, r)
+            tracer = get_tracer()
+            if tracer.enabled:
+                for r in reports:
+                    tracer.race_flow(r.s1.id, r.s2.id,
+                                     t1=r.s1.thread_id, t2=r.s2.thread_id,
+                                     args={
+                        "label1": r.s1.label(), "label2": r.s2.label(),
+                        "bytes": r.ranges.total_bytes})
     stats = {
         "schema": "taskgrind-offline-stats/1",
         "trace": path,
@@ -310,7 +330,7 @@ def analyze_trace_with_stats(path: str, *, mode: str = "indexed",
         },
         "suppress": engine.stats_doc(),
         "graph": graph.stats(),
-        "phases": reg.snapshot()["phases"],
+        "phases": reg.delta_since(baseline)["phases"],
         "record_run": record_stats,
     }
     reg.publish("offline", stats)

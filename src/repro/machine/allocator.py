@@ -25,6 +25,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import DoubleFree, OutOfMemory
 from repro.machine.memory import AddressSpace, Region
+from repro.obs.tracer import get_tracer
+
+_TRACER = get_tracer()
 
 ALIGNMENT = 16
 
@@ -112,6 +115,10 @@ class Allocator:
             self.recycled_allocs += 1
         self.live_bytes += want
         self.high_water = max(self.high_water, self.footprint)
+        if _TRACER.enabled:
+            _TRACER.instant("heap.malloc", thread, cat="heap",
+                            args={"addr": addr, "size": size,
+                                  "recycled": recycled})
         if self.on_alloc is not None:
             self.on_alloc(block)
         return block
@@ -144,6 +151,11 @@ class Allocator:
             self.retained_bytes += block.size
             self.live_bytes -= block.size
             self.total_frees += 1
+            if _TRACER.enabled:
+                # the paper's IV-B no-op free: block retained, never recycled
+                _TRACER.instant("heap.free", block.alloc_thread, cat="heap",
+                                args={"addr": addr, "size": block.size,
+                                      "retained": True})
             if self.on_free is not None:
                 self.on_free(block, True)
             return
@@ -153,6 +165,10 @@ class Allocator:
         self.total_frees += 1
         self.space.clear_range(block.addr, block.end)
         self._release(block.addr, block.size)
+        if _TRACER.enabled:
+            _TRACER.instant("heap.free", block.alloc_thread, cat="heap",
+                            args={"addr": addr, "size": block.size,
+                                  "retained": False})
         if self.on_free is not None:
             self.on_free(block, False)
 

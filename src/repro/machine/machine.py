@@ -101,6 +101,12 @@ class Machine:
         from repro.machine.cost import OPS_PER_SECOND
         self.metrics.set_vclock(lambda: self.cost.vtime_ops,
                                 ops_per_second=OPS_PER_SECOND)
+        from repro.obs.tracer import get_tracer
+        tracer = get_tracer()
+        if tracer.enabled:
+            # timeline timestamps follow this machine's virtual clock too
+            tracer.set_vclock(lambda: self.cost.vtime_ops,
+                              ops_per_second=OPS_PER_SECOND)
 
         self._contexts: Dict[int, ThreadContext] = {}
         self._next_stack_base = STACKS_BASE

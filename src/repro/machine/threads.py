@@ -33,7 +33,10 @@ import threading
 from typing import Callable, List, Optional
 
 from repro.errors import MachineError, SimDeadlock
+from repro.obs.tracer import get_tracer
 from repro.util.rng import RngHub
+
+_TRACER = get_tracer()
 
 _SLICE_TIMEOUT = 300.0      # seconds of *real* time before declaring a hang
 
@@ -82,6 +85,10 @@ class SimThread:
             self.exc = exc
         finally:
             self.state = ThreadState.DONE
+            if _TRACER.enabled:
+                _TRACER.instant("thread.exit", self.id, cat="thread",
+                                args={"name": self.name,
+                                      "faulted": self.exc is not None})
             self.sched._token_to_master()
 
     def _wait_for_token(self) -> None:
@@ -147,6 +154,10 @@ class Scheduler:
         t.vtime = self.now
         live = sum(1 for x in self.threads if x.state != ThreadState.DONE)
         self.peak_live = max(self.peak_live, live)
+        if _TRACER.enabled:
+            _TRACER._meta("thread_name", 1, tid, {"name": t.name})
+            _TRACER.instant("thread.spawn", tid, cat="thread",
+                            args={"name": t.name, "live": live})
         t._real.start()
         return t
 

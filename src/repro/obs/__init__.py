@@ -1,11 +1,14 @@
-"""Runtime observability: the metrics registry and stats assembly.
+"""Runtime observability: metrics registry, timeline tracer, stats assembly.
 
-See :mod:`repro.obs.metrics` for the registry design and
-``docs/INTERNALS.md`` §6 for the phase/counter taxonomy.
+See :mod:`repro.obs.metrics` for the registry design,
+:mod:`repro.obs.tracer` for the execution timeline tracer and
+``docs/INTERNALS.md`` §6–§7 for the phase/counter taxonomy and the
+timeline event model.
 """
 
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                get_registry)
+from repro.obs.tracer import TimelineTracer, get_tracer
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "get_registry"]
+           "TimelineTracer", "get_registry", "get_tracer"]

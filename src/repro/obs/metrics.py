@@ -35,6 +35,10 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro.obs.tracer import get_tracer
+
+_TRACER = get_tracer()
+
 
 class Counter:
     """A monotonically increasing event count."""
@@ -100,6 +104,33 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile from the power-of-two buckets.
+
+        Walks the cumulative bucket counts and interpolates linearly inside
+        the bucket the quantile lands in (bucket ``k`` spans
+        ``(2**(k-1), 2**k]``; bucket 0 spans ``(0, 1]``), clamped to the
+        observed min/max.  Accurate to within one bucket's width — enough
+        for the batch-size questions the histograms answer.
+        """
+        if not self.count:
+            return None
+        target = q * self.count
+        cum = 0
+        for k in sorted(self.buckets):
+            c = self.buckets[k]
+            if cum + c >= target:
+                lo = 0.0 if k == 0 else float(1 << (k - 1))
+                hi = float(1 << k)
+                est = lo + (target - cum) / c * (hi - lo)
+                if self.min is not None:
+                    est = max(est, self.min)
+                if self.max is not None:
+                    est = min(est, self.max)
+                return est
+            cum += c
+        return self.max
+
     def reset(self) -> None:
         self.count = 0
         self.sum = 0.0
@@ -109,6 +140,8 @@ class Histogram:
     def as_dict(self) -> dict:
         return {"count": self.count, "sum": self.sum, "min": self.min,
                 "max": self.max, "mean": self.mean,
+                "p50": self.percentile(0.50),
+                "p95": self.percentile(0.95),
                 "buckets": {str(k): v
                             for k, v in sorted(self.buckets.items())}}
 
@@ -151,6 +184,8 @@ class _PhaseCtx:
         if not self._reentrant:
             self._t0 = reg._wallclock()
             self._v0 = reg._vtime_now()
+            if _TRACER.enabled:
+                _TRACER.begin_span(self._phase.name, _TRACER.phase_lane())
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
@@ -161,6 +196,8 @@ class _PhaseCtx:
         if not self._reentrant:
             self._phase.wall_s += reg._wallclock() - self._t0
             self._phase.vtime_ops += reg._vtime_now() - self._v0
+            if _TRACER.enabled:
+                _TRACER.end_span(self._phase.name, _TRACER.phase_lane())
 
 
 class MetricsRegistry:
@@ -258,6 +295,77 @@ class MetricsRegistry:
             "tools": dict(self._docs),
         }
 
+    # -- per-run scoping ---------------------------------------------------
+
+    def mark(self) -> dict:
+        """A raw-value baseline for :meth:`delta_since`.
+
+        The process-wide registry is a true singleton (hot paths prebind its
+        instruments at import time), so back-to-back runs in one process
+        accumulate into the same counters.  Callers that need a *per-run*
+        document take a mark before the run and subtract it afterwards —
+        each ``taskgrind-stats/1`` / ``taskgrind-offline-stats/1`` document
+        then reflects exactly one run.
+        """
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "histograms": {
+                n: (h.count, h.sum, dict(h.buckets))
+                for n, h in self._histograms.items()},
+            "phases": {n: (p.count, p.wall_s, p.vtime_ops)
+                       for n, p in self._phases.items()},
+        }
+
+    def delta_since(self, baseline: dict) -> dict:
+        """A snapshot-shaped document of activity since ``baseline``.
+
+        Counters, histogram counts/sums/buckets and phase totals are
+        baseline-subtracted; gauges are last-write-wins and reported as-is,
+        and histogram min/max are lifetime values (a bounded-memory sketch
+        cannot un-observe extrema) — both documented caveats.
+        """
+        base_c = baseline.get("counters", {})
+        base_h = baseline.get("histograms", {})
+        base_p = baseline.get("phases", {})
+        counters = {}
+        for n, c in sorted(self._counters.items()):
+            v = c.value - base_c.get(n, 0)
+            if v:
+                counters[n] = v
+        histograms = {}
+        for n, h in sorted(self._histograms.items()):
+            b_count, b_sum, b_buckets = base_h.get(n, (0, 0.0, {}))
+            if h.count == b_count:
+                continue
+            buckets = {}
+            for k, v in sorted(h.buckets.items()):
+                dv = v - b_buckets.get(k, 0)
+                if dv:
+                    buckets[str(k)] = dv
+            histograms[n] = {"count": h.count - b_count,
+                             "sum": h.sum - b_sum,
+                             "min": h.min, "max": h.max,
+                             "buckets": buckets}
+        phases = {}
+        for n, p in sorted(self._phases.items()):
+            b_count, b_wall, b_vtime = base_p.get(n, (0, 0.0, 0.0))
+            if p.count == b_count:
+                continue
+            vtime_ops = p.vtime_ops - b_vtime
+            phases[n] = {
+                "count": p.count - b_count,
+                "wall_s": p.wall_s - b_wall,
+                "vtime_ops": vtime_ops,
+                "vtime_s": (vtime_ops / self._ops_per_second
+                            if self._ops_per_second else 0.0),
+            }
+        return {
+            "counters": counters,
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": histograms,
+            "phases": phases,
+        }
+
     def render(self) -> str:
         """Human-readable snapshot (the ``--stats=pretty`` output)."""
         snap = self.snapshot()
@@ -276,6 +384,16 @@ class MetricsRegistry:
             lines.append("gauges:")
             for name, v in snap["gauges"].items():
                 lines.append(f"  {name:<34} {v}")
+        if snap["histograms"]:
+            lines.append("histograms:                          count"
+                         "       mean        p50        p95")
+            for name, h in snap["histograms"].items():
+                if not h["count"]:
+                    continue
+                p50 = h["p50"] if h["p50"] is not None else 0.0
+                p95 = h["p95"] if h["p95"] is not None else 0.0
+                lines.append(f"  {name:<34} {h['count']:>6} "
+                             f"{h['mean']:>10.2f} {p50:>10.2f} {p95:>10.2f}")
         for tool, doc in snap["tools"].items():
             lines.append(f"tool document: {tool} "
                          f"({len(doc)} top-level sections)")

@@ -1,0 +1,135 @@
+"""Validator for exported timeline traces (Chrome trace-event JSON).
+
+Checks the invariants the tracer guarantees (and CI relies on):
+
+* every event carries the required keys — ``ph``, ``ts``, ``pid``, ``tid``,
+  ``name`` — with a non-negative numeric ``ts``;
+* the ``ts`` sequence is monotone non-decreasing in file order (the tracer
+  sorts on export);
+* ``B``/``E`` span events pair up per ``(pid, tid)`` with LIFO nesting;
+* every flow ``s`` has a matching ``f`` with the same ``id`` (and vice
+  versa), and the finish is not earlier than the start;
+* ``ph`` codes are from the supported set.
+
+Unmatched span/flow events are tolerated **only** when ``otherData.dropped``
+reports ring-buffer truncation — a wrapped buffer may have lost one side of
+a pair.
+
+CLI: ``python -m repro.obs.tracecheck TRACE.json [--require-flows N]
+[--require-segments]`` — exit 0 when valid, 1 with a finding list otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+KNOWN_PHASES = {"B", "E", "X", "i", "s", "f", "t", "M", "C"}
+
+
+def validate_events(events: List[dict], *,
+                    dropped: int = 0) -> List[str]:
+    """Return a list of violation strings (empty when the trace is valid)."""
+    errors: List[str] = []
+    last_ts: Optional[float] = None
+    span_stacks: Dict[Tuple[int, int], List[str]] = {}
+    flow_start: Dict[object, float] = {}
+    flow_finish: Dict[object, float] = {}
+    for i, ev in enumerate(events):
+        for key in REQUIRED_KEYS:
+            if key not in ev:
+                errors.append(f"event {i}: missing required key {key!r}")
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            errors.append(f"event {i}: unknown ph {ph!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"event {i}: ts {ts!r} not a non-negative number")
+            continue
+        if ph != "M":                      # metadata is pinned at ts 0
+            if last_ts is not None and ts < last_ts:
+                errors.append(f"event {i}: ts {ts} < previous {last_ts} "
+                              "(not monotone)")
+            last_ts = ts
+        lane = (ev.get("pid"), ev.get("tid"))
+        if ph == "B":
+            span_stacks.setdefault(lane, []).append(ev.get("name"))
+        elif ph == "E":
+            stack = span_stacks.get(lane)
+            if not stack:
+                if not dropped:
+                    errors.append(f"event {i}: E {ev.get('name')!r} on "
+                                  f"{lane} without open B")
+            elif stack[-1] != ev.get("name"):
+                errors.append(f"event {i}: E {ev.get('name')!r} closes "
+                              f"{stack[-1]!r} (bad nesting on {lane})")
+                stack.pop()
+            else:
+                stack.pop()
+        elif ph == "s":
+            flow_start[ev.get("id")] = ts
+        elif ph == "f":
+            flow_finish[ev.get("id")] = ts
+    for lane, stack in span_stacks.items():
+        if stack:
+            errors.append(f"unclosed span(s) {stack!r} on {lane}")
+    for fid, ts in flow_start.items():
+        if fid not in flow_finish:
+            if not dropped:
+                errors.append(f"flow {fid!r}: 's' without matching 'f'")
+        elif flow_finish[fid] < ts:
+            errors.append(f"flow {fid!r}: finish ts {flow_finish[fid]} "
+                          f"before start ts {ts}")
+    for fid in flow_finish:
+        if fid not in flow_start and not dropped:
+            errors.append(f"flow {fid!r}: 'f' without matching 's'")
+    return errors
+
+
+def validate(doc: dict, *, require_flows: int = 0,
+             require_segments: bool = False) -> List[str]:
+    """Validate a full exported trace document."""
+    if "traceEvents" not in doc:
+        return ["document has no traceEvents key"]
+    dropped = doc.get("otherData", {}).get("dropped", 0)
+    events = doc["traceEvents"]
+    errors = validate_events(events, dropped=dropped)
+    if require_segments and not any(
+            ev.get("cat") == "segment" and ev.get("ph") == "B"
+            for ev in events):
+        errors.append("no segment spans in trace")
+    if require_flows:
+        n = sum(1 for ev in events if ev.get("ph") == "s")
+        if n < require_flows:
+            errors.append(f"only {n} flow event(s), required "
+                          f">= {require_flows}")
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="timeline JSON from --trace-timeline")
+    parser.add_argument("--require-flows", type=int, default=0, metavar="N",
+                        help="fail unless >= N flow events are present")
+    parser.add_argument("--require-segments", action="store_true",
+                        help="fail unless segment spans are present")
+    args = parser.parse_args(argv)
+    with open(args.trace, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    errors = validate(doc, require_flows=args.require_flows,
+                      require_segments=args.require_segments)
+    if errors:
+        for err in errors:
+            print(f"tracecheck: {err}", file=sys.stderr)
+        return 1
+    n = len(doc["traceEvents"])
+    print(f"tracecheck: ok ({n} events, "
+          f"{doc.get('otherData', {}).get('dropped', 0)} dropped)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

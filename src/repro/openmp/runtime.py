@@ -29,12 +29,15 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import RuntimeModelError
 from repro.machine.program import Buffer, GuestContext
+from repro.obs.tracer import get_tracer
 from repro.openmp.deps import DependencyTracker
 from repro.openmp.ompt import (DepKind, Dependence, OmptDispatcher, SyncKind, TaskFlags)
 from repro.openmp.tasks import (DESCRIPTOR_HEADER_BYTES, PRIVATE_SLOT_BYTES,
                                 DetachEvent, Task, TaskState)
 
 RUNTIME_LIB = "libomp.so"
+
+_TRACER = get_tracer()
 
 
 class Taskgroup:
@@ -337,6 +340,10 @@ class OmpRuntime:
 
         # -- dependences (sibling-scoped: tracked on the *parent*)
         task.deps = deps
+        if _TRACER.enabled:
+            _TRACER.instant("task.create", task.create_thread, cat="task",
+                            args={"task": task.tid, "label": task.label(),
+                                  "deferred": deferred, "deps": len(deps)})
         self.ompt.emit("on_task_create", task, creator)
         if deps:
             self.ompt.emit("on_task_dependences", task, deps)
@@ -521,6 +528,9 @@ class OmpRuntime:
         tid = self._tid()
         self.ompt.emit("on_task_schedule_end", task, tid, True)
         task.state = TaskState.COMPLETED
+        if _TRACER.enabled:
+            _TRACER.instant("task.complete", tid, cat="task",
+                            args={"task": task.tid, "label": task.label()})
         # release the descriptor back to the fast arena (recycles even under
         # Taskgrind's no-op free — the paper's future-work limitation)
         if task.descriptor_addr:
@@ -552,6 +562,10 @@ class OmpRuntime:
         task = self.current_task()
         tid = self._tid()
         self.machine.cost.charge_sync(self.machine.scheduler.current())
+        if _TRACER.enabled:
+            _TRACER.instant("sync.taskwait", tid, cat="sync",
+                            args={"task": task.label(),
+                                  "children": task.children_incomplete})
         self.ompt.emit("on_sync_region_begin", SyncKind.TASKWAIT, task, tid)
         while task.children_incomplete > 0:
             # tied-task scheduling constraint: descendants only
@@ -572,6 +586,9 @@ class OmpRuntime:
         group = Taskgroup(task)
         task.group_stack.append(group)           # type: ignore[attr-defined]
         self.machine.cost.charge_sync(self.machine.scheduler.current())
+        if _TRACER.enabled:
+            _TRACER.instant("sync.taskgroup", tid, cat="sync",
+                            args={"task": task.label()})
         self.ompt.emit("on_sync_region_begin", SyncKind.TASKGROUP, task, tid)
         try:
             body()
@@ -595,6 +612,10 @@ class OmpRuntime:
         tid = self._tid()
         kind = SyncKind.BARRIER_IMPLICIT if implicit else SyncKind.BARRIER
         self.machine.cost.charge_sync(self.machine.scheduler.current())
+        if _TRACER.enabled:
+            _TRACER.instant("sync.barrier", tid, cat="sync",
+                            args={"implicit": implicit,
+                                  "team": region.size if region else 1})
         self.ompt.emit("on_sync_region_begin", kind, task, tid)
         if region is None or region.size == 1:
             # serial team: just drain any remaining tasks

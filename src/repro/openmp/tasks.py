@@ -16,10 +16,13 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, TYPE_CHECKING
 
+from repro.obs.tracer import get_tracer
 from repro.openmp.ompt import Dependence, TaskFlags
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.openmp.runtime import OmpRuntime, ParallelRegion, Taskgroup
+
+_TRACER = get_tracer()
 
 
 class TaskState(enum.Enum):
@@ -48,6 +51,11 @@ class DetachEvent:
         if self.fulfilled:
             return
         self.fulfilled = True
+        if _TRACER.enabled:
+            _TRACER.instant("task.detach_fulfill",
+                            self.task.runtime._tid(), cat="task",
+                            args={"task": self.task.tid,
+                                  "label": self.task.label()})
         self.task.runtime._on_detach_fulfill(self.task)
 
 

@@ -72,6 +72,36 @@ class TestReportContent:
         assert len(tool.reports) >= 2
         assert len(dedupe_reports(tool.reports)) == 1
 
+    def test_dedupe_is_order_independent(self, run_taskgrind):
+        # parallel analysis permutes report order; dedupe must pick the same
+        # representatives in the same output order regardless
+        import random
+
+        def body(env):
+            ctx = env.ctx
+            x = ctx.malloc(4, line=3)
+            y = ctx.malloc(4, line=4)
+
+            def make():
+                for _ in range(2):
+                    ctx.line(8)
+                    env.task(lambda tv: x.write(0, line=9), name="wx")
+                    ctx.line(11)
+                    env.task(lambda tv: y.write(0, line=12), name="wy")
+            env.parallel_single(make)
+
+        tool, _ = run_taskgrind(body)
+        assert len(tool.reports) >= 2
+        baseline = dedupe_reports(tool.reports)
+        rng = random.Random(0)
+        for _ in range(5):
+            shuffled = list(tool.reports)
+            rng.shuffle(shuffled)
+            again = dedupe_reports(shuffled)
+            assert [r.key() for r in again] == [r.key() for r in baseline]
+            assert [r.sort_key() for r in again] == \
+                [r.sort_key() for r in baseline]
+
 
 class TestToolPlumbing:
     def test_client_requests_flow_through_router(self, run_taskgrind):

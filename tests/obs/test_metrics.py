@@ -296,3 +296,127 @@ class TestPerfGate:
     def test_improvement_always_passes(self):
         ok, _ = compare_to_baseline(doc(fib=9.0), doc(fib=2.0), tolerance=0.0)
         assert ok
+
+
+# ---------------------------------------------------------------------------
+# percentile estimation from power-of-two buckets
+# ---------------------------------------------------------------------------
+
+class TestPercentiles:
+    def test_empty_histogram_has_no_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        assert h.percentile(0.5) is None
+        d = h.as_dict()
+        assert d["p50"] is None and d["p95"] is None
+
+    def test_single_value_percentiles_clamp_to_it(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(7)
+        # one sample in bucket (4, 8]: every quantile is clamped to min=max=7
+        assert h.percentile(0.5) == 7
+        assert h.percentile(0.95) == 7
+
+    def test_p50_p95_order_and_bucket_accuracy(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        for v in range(1, 101):
+            h.observe(v)
+        p50, p95 = h.percentile(0.5), h.percentile(0.95)
+        assert p50 is not None and p95 is not None
+        assert p50 <= p95 <= 100
+        # power-of-two sketch: the estimate lands in the right bucket
+        assert 32 < p50 <= 64          # true median 50 lives in (32, 64]
+        assert 64 < p95 <= 100         # true p95 95 lives in (64, 128]
+
+    def test_as_dict_keeps_bucket_keys_stable(self):
+        # the CI smoke test parses buckets; adding p50/p95 must not disturb it
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(3)
+        d = h.as_dict()
+        assert d["buckets"] == {"2": 1}
+        assert set(d) == {"count", "sum", "min", "max", "mean",
+                          "p50", "p95", "buckets"}
+
+    def test_render_shows_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("batch")
+        for v in (1, 2, 4, 8):
+            h.observe(v)
+        out = reg.render()
+        assert "p50" in out and "p95" in out and "batch" in out
+
+
+# ---------------------------------------------------------------------------
+# per-run scoping (mark/delta): back-to-back runs must not leak state
+# ---------------------------------------------------------------------------
+
+class TestRunScoping:
+    def test_mark_delta_isolates_counter_activity(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc(10)
+        base = reg.mark()
+        c.inc(3)
+        delta = reg.delta_since(base)
+        assert delta["counters"]["x"] == 3
+
+    def test_delta_drops_untouched_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("quiet").inc(5)
+        reg.histogram("hquiet").observe(1)
+        base = reg.mark()
+        delta = reg.delta_since(base)
+        assert "quiet" not in delta["counters"]
+        assert "hquiet" not in delta["histograms"]
+
+    def test_delta_histograms_and_phases(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(2)
+        with reg.phase("p"):
+            pass
+        base = reg.mark()
+        h.observe(4)
+        h.observe(4)
+        with reg.phase("p"):
+            pass
+        delta = reg.delta_since(base)
+        assert delta["histograms"]["h"]["count"] == 2
+        assert delta["histograms"]["h"]["sum"] == 8.0
+        assert delta["histograms"]["h"]["buckets"] == {"2": 2}
+        assert delta["phases"]["p"]["count"] == 1
+
+    def test_two_sequential_runs_report_independent_registry_stats(self):
+        # regression: process-wide registry state used to leak into the
+        # second run's stats document (cumulative counters/phases)
+        prog = next(p for p in drb.REGISTRY
+                    if p.name == "027-taskdependmissing-orig")
+        r1 = run_benchmark(prog, "taskgrind")
+        r2 = run_benchmark(prog, "taskgrind")
+        reg1, reg2 = r1.stats["registry"], r2.stats["registry"]
+        # identical runs: the per-run deltas must match, not accumulate
+        assert reg1["counters"] == reg2["counters"]
+        assert reg1["phases"]["finalize"]["count"] == 1
+        assert reg2["phases"]["finalize"]["count"] == 1
+        h1 = reg1["histograms"].get("record.flush_batch_ranges")
+        h2 = reg2["histograms"].get("record.flush_batch_ranges")
+        assert (h1 is None) == (h2 is None)
+        if h1 is not None:
+            assert h1["count"] == h2["count"]
+            assert h1["buckets"] == h2["buckets"]
+
+    def test_two_sequential_offline_analyses_scoped(self, tmp_path):
+        prog = next(p for p in drb.REGISTRY
+                    if p.name == "027-taskdependmissing-orig")
+        result = run_benchmark(prog, "taskgrind", keep_machine=True)
+        path = str(tmp_path / "t.json")
+        save_trace(result.tool_obj, result.machine, path)
+        _, s1 = analyze_trace_with_stats(path)
+        _, s2 = analyze_trace_with_stats(path)
+        assert s1["phases"]["offline"]["count"] == 1
+        assert s2["phases"]["offline"]["count"] == 1
+        assert s1["phases"]["offline.load"]["count"] == 1
+        assert s2["phases"]["offline.load"]["count"] == 1
