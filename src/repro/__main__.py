@@ -11,6 +11,7 @@ Subcommands map one-to-one to the paper's artifacts::
     python -m repro offline TRACE     # offline analysis of a saved trace
     python -m repro run PROGRAM       # one program under one tool
     python -m repro perf              # record/analyze fast-path bench
+    python -m repro fuzz              # differential schedule-fuzzing
 
 Global flags (work with every subcommand)::
 
@@ -37,6 +38,7 @@ COMMANDS = {
     "offline": "repro.core.offline",
     "run": "repro.bench.runner",
     "perf": "repro.bench.perf",
+    "fuzz": "repro.fuzz.cli",
 }
 
 

@@ -141,7 +141,12 @@ class TsanCore:
     # -- results ------------------------------------------------------------------------
 
     def unique_races(self) -> List[TsanRace]:
-        """TSan-style deduplication by source-location pair."""
+        """TSan-style deduplication by source-location pair.
+
+        Races recorded without source locations all collapse onto the
+        ``(None, None)`` key; callers comparing by *address* (the fuzz
+        oracle) must use :meth:`racy_ranges` instead.
+        """
         seen: Set[Tuple[str, str]] = set()
         out: List[TsanRace] = []
         for race in self.races:
@@ -150,6 +155,15 @@ class TsanCore:
                 seen.add(k)
                 out.append(race)
         return out
+
+    def racy_ranges(self) -> List[Tuple[int, int]]:
+        """Distinct racy byte ranges, location-independent.
+
+        The address-level verdict the differential fuzz oracle compares:
+        every ``(lo, hi)`` that carried at least one unordered conflicting
+        pair, deduplicated by range rather than by report location.
+        """
+        return sorted({(race.lo, race.hi) for race in self.races})
 
     def memory_bytes(self, *, shadow_per_app_byte: int = 4,
                      cell_overhead: int = 48) -> int:

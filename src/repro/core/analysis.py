@@ -214,14 +214,22 @@ def find_races_parallel(graph: SegmentGraph, *,
             return found, n_ordered
 
         if not pairs:
+            reg.gauge("analysis.workers_requested").set(workers)
+            reg.gauge("analysis.workers_effective").set(0)
             _record_pass(reg, "parallel", 0, 0, 0)
             return []
         chunks = [pairs[k:k + _PARALLEL_CHUNK]
                   for k in range(0, len(pairs), _PARALLEL_CHUNK)]
+        # a pool wider than the chunk list would silently idle the extra
+        # workers; clamp explicitly and record both counts so perf runs can
+        # see the effective parallelism, not the requested one
+        workers_eff = max(1, min(workers, len(chunks)))
+        reg.gauge("analysis.workers_requested").set(workers)
+        reg.gauge("analysis.workers_effective").set(workers_eff)
         reg.histogram("analysis.chunk_pairs").observe(len(chunks))
         out: List[RaceCandidate] = []
         ordered = 0
-        with concurrent.futures.ThreadPoolExecutor(max_workers=workers) \
+        with concurrent.futures.ThreadPoolExecutor(max_workers=workers_eff) \
                 as pool:
             for res, n_ordered in pool.map(check, chunks):
                 out.extend(res)

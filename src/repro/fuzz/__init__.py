@@ -1,0 +1,23 @@
+"""Differential schedule-fuzzing harness.
+
+Generate random task programs with known intended races, replay them under
+many scheduler seeds, and cross-check Taskgrind against the structural
+ground truth and the ``repro.baselines`` detectors.  See
+``docs/INTERNALS.md`` §8 and ``python -m repro.fuzz --help``.
+"""
+
+from repro.fuzz.diff import DiffResult, Divergence, run_differential
+from repro.fuzz.executors import RunOutcome, fuzz_options, run_taskgrind
+from repro.fuzz.gen import generate
+from repro.fuzz.oracles import spbags_verdict, vclock_slots
+from repro.fuzz.shrink import load_reproducer, shrink, write_reproducer
+from repro.fuzz.spec import FAMILIES, FuzzProgram, validate
+from repro.fuzz.truth import ground_truth
+
+__all__ = [
+    "DiffResult", "Divergence", "run_differential",
+    "RunOutcome", "fuzz_options", "run_taskgrind",
+    "generate", "spbags_verdict", "vclock_slots",
+    "load_reproducer", "shrink", "write_reproducer",
+    "FAMILIES", "FuzzProgram", "validate", "ground_truth",
+]

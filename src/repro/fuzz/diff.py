@@ -1,0 +1,180 @@
+"""The differential oracle: Taskgrind × schedules × baseline detectors.
+
+For one program the oracle computes four verdicts:
+
+* ``truth`` — the structural event-graph ground truth (what the generator
+  intended);
+* ``vclock`` — the task-centric FastTrack interpretation over the
+  ``repro.baselines`` vector-clock machinery;
+* ``spbags`` — the real SP-bags run over the serial-elision Cilk rendering
+  (``sp`` family only, binary verdict);
+* one Taskgrind :class:`~repro.fuzz.executors.RunOutcome` per schedule seed.
+
+and flags every way they can disagree:
+
+==========================  ================================================
+kind                        meaning
+==========================  ================================================
+``missed-race``             truth says racy slots Taskgrind never reported
+``spurious-race``           Taskgrind reported slots truth says are ordered
+``schedule-nondeterminism``  Taskgrind's verdict differs across seeds
+``suppression``             Taskgrind reported ranges off the shared
+                            surface (TLS / stack / recycled heap noise)
+``vclock-disagreement``     vector-clock oracle ≠ ground truth (oracle bug
+                            or spec-semantics bug — both are findings)
+``spbags-disagreement``     SP-bags binary verdict ≠ ground truth
+``crash``                   an execution raised (deadlock, guest crash)
+==========================  ================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.tool import TaskgrindOptions
+from repro.fuzz.executors import RunOutcome, fuzz_options, run_taskgrind
+from repro.fuzz.oracles import spbags_verdict, vclock_slots
+from repro.fuzz.spec import FuzzProgram
+from repro.fuzz.truth import ground_truth
+from repro.obs.metrics import get_registry
+
+DIVERGENCE_KINDS = (
+    "missed-race", "spurious-race", "schedule-nondeterminism",
+    "suppression", "vclock-disagreement", "spbags-disagreement", "crash",
+)
+
+
+@dataclass
+class Divergence:
+    kind: str
+    detail: str
+    schedule_seed: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = f" @schedule={self.schedule_seed}" \
+            if self.schedule_seed is not None else ""
+        return f"[{self.kind}]{where} {self.detail}"
+
+
+@dataclass
+class DiffResult:
+    """All verdicts + divergences for one program."""
+
+    program: FuzzProgram
+    truth: frozenset = frozenset()
+    vclock: frozenset = frozenset()
+    spbags: Optional[bool] = None          # None when not applicable
+    outcomes: List[RunOutcome] = field(default_factory=list)
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def kinds(self) -> List[str]:
+        return sorted({d.kind for d in self.divergences})
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else ",".join(self.kinds())
+        return (f"{self.program.family} seed={self.program.seed} "
+                f"digest={self.program.digest()} truth={sorted(self.truth)} "
+                f"-> {status}")
+
+
+def run_differential(program: FuzzProgram, *, schedules: int = 4,
+                     taskgrind_options: Optional[TaskgrindOptions] = None,
+                     ) -> DiffResult:
+    """Run the full differential check on one program."""
+    registry = get_registry()
+    result = DiffResult(program=program)
+    div = result.divergences.append
+    registry.counter("fuzz.programs").inc()
+
+    with registry.phase("fuzz.oracles"):
+        result.truth = ground_truth(program)
+        try:
+            result.vclock = vclock_slots(program)
+        except Exception as exc:  # oracle crash is a finding, not an abort
+            div(Divergence("crash", f"vclock oracle raised {exc!r}"))
+            result.vclock = result.truth
+        if result.vclock != result.truth:
+            div(Divergence(
+                "vclock-disagreement",
+                f"vclock={sorted(result.vclock)} truth={sorted(result.truth)}"))
+        if program.family == "sp":
+            try:
+                result.spbags = spbags_verdict(program)
+            except Exception as exc:
+                div(Divergence("crash", f"spbags oracle raised {exc!r}"))
+            if result.spbags is not None and \
+                    result.spbags != bool(result.truth):
+                div(Divergence(
+                    "spbags-disagreement",
+                    f"spbags={result.spbags} truth={sorted(result.truth)}"))
+
+    with registry.phase("fuzz.taskgrind"):
+        for k in range(schedules):
+            schedule_seed = program.seed * 1000 + k
+            outcome = run_taskgrind(
+                program, schedule_seed=schedule_seed,
+                options=taskgrind_options if taskgrind_options is not None
+                else fuzz_options())
+            result.outcomes.append(outcome)
+            registry.counter("fuzz.schedule_runs").inc()
+
+    for outcome in result.outcomes:
+        if outcome.crashed:
+            div(Divergence("crash", f"execution raised {outcome.crashed}",
+                           outcome.schedule_seed))
+    clean = [o for o in result.outcomes if o.ok]
+    if clean:
+        signatures = {o.signature() for o in clean}
+        if len(signatures) > 1:
+            div(Divergence(
+                "schedule-nondeterminism",
+                "verdicts differ across schedule seeds: " + "; ".join(
+                    f"seed={o.schedule_seed}:{sorted(o.slots)}"
+                    for o in clean)))
+        # judge report content against truth on every clean schedule —
+        # Taskgrind's claim is schedule-independence of the verdict
+        for outcome in clean:
+            missed = result.truth - outcome.slots
+            spurious = outcome.slots - result.truth
+            # feb words are legitimate sync objects, not arena slots; a
+            # report on one is spurious only if truth has no race there
+            spurious = frozenset(s for s in spurious
+                                 if not s.startswith("feb"))
+            if missed:
+                div(Divergence("missed-race",
+                               f"never reported {sorted(missed)}",
+                               outcome.schedule_seed))
+            if spurious:
+                div(Divergence("spurious-race",
+                               f"reported ordered slots {sorted(spurious)}",
+                               outcome.schedule_seed))
+            if outcome.noise:
+                div(Divergence(
+                    "suppression",
+                    "reported off-surface ranges "
+                    f"{list(outcome.noise)[:4]}", outcome.schedule_seed))
+
+    _dedup(result)
+    if not result.ok:
+        registry.counter("fuzz.divergences").inc()
+        for kind in result.kinds():
+            registry.counter(f"fuzz.divergence.{kind}").inc()
+    return result
+
+
+def _dedup(result: DiffResult) -> None:
+    """Collapse per-schedule repeats of the same (kind, detail)."""
+    seen = set()
+    unique: List[Divergence] = []
+    for d in result.divergences:
+        key = (d.kind, d.detail)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(d)
+    result.divergences[:] = unique

@@ -1,0 +1,297 @@
+"""Render a fuzz program onto the simulated runtimes and run Taskgrind.
+
+One executor per family group:
+
+* ``sp``/``tasks``/``deps``/``barrier`` → the OpenMP runtime (tasks through
+  ``env.task`` with the deferrable annotation, dependences through the
+  ``depend`` clause, barriers through a real parallel region);
+* ``feb`` → the Qthreads runtime (forked qtasks + full/empty-bit words).
+
+The executor owns the address map: it remembers where the shared arena and
+the FEB words landed so :func:`normalize` can fold a tool's byte-range
+reports back into logical slot names (``s3``, ``feb1``) — the common
+currency of the differential oracle.  Ranges that map to nothing on the
+shared surface (TLS blocks, stack frames, recycled scratch allocations,
+runtime internals) are *noise*: a correctly suppressing Taskgrind never
+reports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.tool import TaskgrindOptions, TaskgrindTool
+from repro.errors import GuestCrash, OutOfMemory, SimDeadlock
+from repro.fuzz.spec import FuzzProgram
+from repro.machine.machine import Machine
+
+SLOT_BYTES = 8
+SCRATCH_BYTES = 16
+
+
+def fuzz_options(**overrides) -> TaskgrindOptions:
+    """Taskgrind options for fuzzing: the real analysis, not the modeled
+    Table II lock-up artifact (which is a reproduction fidelity feature,
+    not behaviour under test)."""
+    opts = TaskgrindOptions(model_multithread_lockup=False)
+    supp = opts.suppression
+    for key, value in overrides.items():
+        if hasattr(supp, key):
+            setattr(supp, key, value)
+        else:
+            setattr(opts, key, value)
+    return opts
+
+
+@dataclass
+class RunOutcome:
+    """One (program, schedule seed) Taskgrind run, normalized."""
+
+    schedule_seed: int
+    slots: frozenset = frozenset()        # racy shared objects ("s3", "feb1")
+    noise: Tuple[str, ...] = ()           # report ranges off the shared surface
+    report_count: int = 0
+    crashed: str = ""                     # exception class name when nonempty
+
+    @property
+    def ok(self) -> bool:
+        return not self.crashed
+
+    def signature(self) -> Tuple:
+        """What cross-schedule determinism is judged on.
+
+        Noise is excluded: off-surface report *addresses* legitimately vary
+        with allocation order across schedules, and their presence is
+        already flagged by the ``suppression`` divergence class.
+        """
+        return (self.crashed, self.slots)
+
+
+@dataclass
+class _AddrMap:
+    """Logical-object layout of one run."""
+
+    ranges: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    def add(self, lo: int, hi: int, key: str) -> None:
+        self.ranges.append((lo, hi, key))
+
+    def add_buffer(self, buf, key_prefix: str, count: int) -> None:
+        for i in range(count):
+            lo = buf.addr + i * SLOT_BYTES
+            self.add(lo, lo + SLOT_BYTES, f"{key_prefix}{i}")
+
+
+def normalize(reports, addr_map: _AddrMap) -> Tuple[frozenset, Tuple[str, ...]]:
+    """Fold byte-range reports into (racy objects, off-surface noise)."""
+    keys = set()
+    noise = []
+    for report in reports:
+        for lo, hi in report.ranges.pairs():
+            matched = False
+            for mlo, mhi, key in addr_map.ranges:
+                if lo < mhi and hi > mlo:
+                    keys.add(key)
+                    matched = True
+            if not matched:
+                noise.append(f"{lo:#x}+{hi - lo}")
+    return frozenset(keys), tuple(sorted(set(noise)))
+
+
+def run_taskgrind(program: FuzzProgram, *, schedule_seed: int,
+                  options: Optional[TaskgrindOptions] = None) -> RunOutcome:
+    """Execute ``program`` under Taskgrind with one scheduler seed."""
+    options = options if options is not None else fuzz_options()
+    try:
+        if program.family == "feb":
+            reports, addr_map = _run_qthreads(program, schedule_seed, options)
+        else:
+            reports, addr_map = _run_openmp(program, schedule_seed, options)
+    except (SimDeadlock, GuestCrash, OutOfMemory) as exc:
+        return RunOutcome(schedule_seed, crashed=type(exc).__name__)
+    slots, noise = normalize(reports, addr_map)
+    return RunOutcome(schedule_seed, slots=slots, noise=noise,
+                      report_count=len(reports))
+
+
+# ---------------------------------------------------------------------------
+# OpenMP families
+# ---------------------------------------------------------------------------
+
+def _run_openmp(program: FuzzProgram, seed: int,
+                options: TaskgrindOptions):
+    from repro.openmp.api import make_env
+
+    machine = Machine(seed=seed)
+    tool = TaskgrindTool(options)
+    machine.add_tool(tool)
+    env = make_env(machine, nthreads=program.nthreads, source_file="fuzz.c")
+    env.rt.ompt.register(tool.make_ompt_shim())
+    ctx = env.ctx
+    addr_map = _AddrMap()
+    line_counter = [10]
+
+    def next_line() -> int:
+        line_counter[0] += 1
+        return line_counter[0]
+
+    def do_noise(op, k: int) -> None:
+        kind = op[0]
+        if kind == "tls":
+            tls = ctx.tls_var(f"fuzz_tls{op[1]}", SLOT_BYTES,
+                              elem=SLOT_BYTES)
+            tls.write(0, line=next_line())
+        elif kind == "stack":
+            local = ctx.stack_var(f"fuzz_local{k}", SLOT_BYTES,
+                                  elem=SLOT_BYTES)
+            local.write(0, line=next_line())
+            local.read(0)
+        elif kind == "scratch":
+            scratch = ctx.malloc(SCRATCH_BYTES, elem=SLOT_BYTES,
+                                 name="scratch", line=next_line())
+            scratch.write(0)
+            scratch.write(1)
+            ctx.free(scratch)
+
+    def run_ops(arena, body: list) -> None:
+        for k, op in enumerate(body):
+            kind = op[0]
+            if kind == "r":
+                arena.read(op[1], line=next_line())
+            elif kind == "w":
+                arena.write(op[1], line=next_line())
+            elif kind == "task":
+                ctx.line(next_line())
+                env.task(lambda tv, b=op[1]: run_ops(arena, b),
+                         name=f"fuzz_task_l{line_counter[0]}",
+                         annotate_deferrable=True)
+            elif kind == "wait":
+                env.taskwait()
+            elif kind == "group":
+                env.taskgroup(lambda b=op[1]: run_ops(arena, b))
+            else:
+                do_noise(op, k)
+
+    def main() -> None:
+        with ctx.function("main", file="fuzz.c", line=1):
+            arena = ctx.malloc(SLOT_BYTES * program.slots, elem=SLOT_BYTES,
+                               name="arena")
+            addr_map.add_buffer(arena, "s", program.slots)
+
+            if program.family == "barrier":
+                def region(tid: int) -> None:
+                    rounds = program.body[tid]
+                    for r_ops in rounds:
+                        for k, op in enumerate(r_ops):
+                            if op[0] == "r":
+                                arena.read(op[1], line=next_line())
+                            elif op[0] == "w":
+                                arena.write(op[1], line=next_line())
+                            else:
+                                do_noise(op, k)
+                        env.barrier()
+                env.parallel(region, num_threads=program.nthreads)
+                return
+
+            if program.family == "deps":
+                tokens = [ctx.malloc(SLOT_BYTES, name=f"tok{t}")
+                          for t in range(_dep_token_count(program))]
+
+                def create_all() -> None:
+                    for idx, task in enumerate(program.body):
+                        depend = {}
+                        if task.get("out"):
+                            depend["out"] = [tokens[t] for t in task["out"]]
+                        if task.get("in"):
+                            depend["in"] = [tokens[t] for t in task["in"]]
+                        ctx.line(next_line())
+                        env.task(lambda tv, b=task.get("ops", []):
+                                 run_ops(arena, b),
+                                 depend=depend or None,
+                                 name=f"fuzz_dep{idx}",
+                                 annotate_deferrable=True)
+                    env.taskwait()
+                env.parallel_single(create_all)
+                return
+
+            # sp / tasks: the root body runs in the single region
+            env.parallel_single(lambda: run_ops(arena, program.body))
+
+    machine.run(main)
+    return tool.finalize(), addr_map
+
+
+def _dep_token_count(program: FuzzProgram) -> int:
+    toks = [t for task in program.body
+            for t in list(task.get("out", ())) + list(task.get("in", ()))]
+    return max(toks) + 1 if toks else 0
+
+
+# ---------------------------------------------------------------------------
+# Qthreads (feb family)
+# ---------------------------------------------------------------------------
+
+def _run_qthreads(program: FuzzProgram, seed: int,
+                  options: TaskgrindOptions):
+    from repro.core.qthreads_shim import attach_qthreads
+    from repro.fuzz.spec import feb_word_sites
+    from repro.qthreads.runtime import make_qthreads_env
+
+    machine = Machine(seed=seed)
+    tool = TaskgrindTool(options)
+    machine.add_tool(tool)
+    # one shepherd cannot drain forked qtasks while main blocks on them
+    nworkers = max(2, program.nthreads)
+    env = make_qthreads_env(machine, nworkers=nworkers,
+                            source_file="fuzz_qt.c")
+    attach_qthreads(tool, env)
+    ctx = env.ctx
+    addr_map = _AddrMap()
+    fills, _ = feb_word_sites(program.body)
+    n_words = max(fills.keys(), default=-1) + 1
+
+    def main() -> None:
+        with ctx.function("main", file="fuzz_qt.c", line=1):
+            arena = ctx.malloc(SLOT_BYTES * program.slots, elem=SLOT_BYTES,
+                               name="arena")
+            addr_map.add_buffer(arena, "s", program.slots)
+            words = ctx.malloc(SLOT_BYTES * max(1, n_words),
+                               elem=SLOT_BYTES, name="febwords")
+            addr_map.add_buffer(words, "feb", n_words)
+
+            def qtask_body(body: list) -> None:
+                for k, op in enumerate(body):
+                    kind = op[0]
+                    if kind == "r":
+                        arena.read(op[1])
+                    elif kind == "w":
+                        arena.write(op[1])
+                    elif kind == "writeEF":
+                        env.writeEF(words.index_addr(op[1]), op[1])
+                    elif kind == "readFE":
+                        env.readFE(words.index_addr(op[1]))
+                    elif kind == "tls":
+                        tls = ctx.tls_var(f"fuzz_tls{op[1]}", SLOT_BYTES,
+                                          elem=SLOT_BYTES)
+                        tls.write(0)
+                    elif kind == "stack":
+                        local = ctx.stack_var(f"fuzz_local{k}", SLOT_BYTES,
+                                              elem=SLOT_BYTES)
+                        local.write(0)
+                        local.read(0)
+                    elif kind == "scratch":
+                        scratch = ctx.malloc(SCRATCH_BYTES, elem=SLOT_BYTES,
+                                             name="scratch")
+                        scratch.write(0)
+                        scratch.write(1)
+                        ctx.free(scratch)
+
+            def qmain(qt_env) -> None:
+                for task in program.body:
+                    env.fork(qtask_body, task["ops"])
+
+            env.run(qmain, env)
+
+    machine.run(main)
+    return tool.finalize(), addr_map

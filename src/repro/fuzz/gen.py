@@ -1,0 +1,195 @@
+"""Seeded random program generator.
+
+``generate(seed)`` is a pure function of its seed: it builds one
+:class:`~repro.fuzz.spec.FuzzProgram` from a private ``random.Random(seed)``
+stream, picks the family round-robin-ish from the seed itself, and keeps
+sizes small (≤8 tasks, depth ≤3, ≤6 ops per body) — small programs shrink
+well and still cover every synchronisation idiom.  The same seed always
+yields a byte-identical ``to_json()`` — the contract the determinism tests
+pin down.
+
+``ensure_race=True/False`` post-filters against the structural ground truth
+(:func:`repro.fuzz.truth.ground_truth`): when the freshly generated program
+does not match, a deterministic *racy mutation* (append an unsynchronised
+write of the same slot to two parallel branches) or a regenerate-with-
+derived-seed loop fixes it up, still deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.fuzz.spec import FAMILIES, FuzzProgram, validate
+from repro.fuzz.truth import ground_truth
+
+MAX_DEPTH = 3
+MAX_TASKS = 8
+MAX_BODY_OPS = 6
+MAX_SLOTS = 6
+
+
+def generate(seed: int, *, family: Optional[str] = None,
+             ensure_race: Optional[bool] = None) -> FuzzProgram:
+    """Deterministically generate one valid fuzz program from ``seed``."""
+    for attempt in range(64):
+        derived = seed + attempt * 0x9E3779B1
+        rng = random.Random(derived)
+        fam = family or FAMILIES[derived % len(FAMILIES)]
+        program = _GENERATORS[fam](rng, seed)
+        err = validate(program)
+        if err is not None:  # pragma: no cover - generator invariant
+            continue
+        if ensure_race is None:
+            return program
+        racy = bool(ground_truth(program))
+        if racy == ensure_race:
+            return program
+        if ensure_race and program.family in ("sp", "tasks"):
+            mutated = _plant_race(program)
+            if validate(mutated) is None and ground_truth(mutated):
+                return mutated
+    raise RuntimeError(
+        f"seed {seed} could not produce ensure_race={ensure_race}")
+
+
+def _plant_race(program: FuzzProgram) -> FuzzProgram:
+    """Append an intended race: a deferred task writing slot 0 next to a
+    same-slot write in the parent, with no wait between them."""
+    p = program.clone()
+    tail: List[list] = [["task", [["w", 0]]], ["w", 0]]
+    if p.family == "sp":
+        tail.append(["wait"])
+    p.body.extend(tail)
+    return p
+
+
+# ---------------------------------------------------------------------------
+# per-family generators
+# ---------------------------------------------------------------------------
+
+def _noise_op(rng: random.Random) -> list:
+    kind = rng.choice(("tls", "stack", "scratch"))
+    if kind == "tls":
+        return ["tls", rng.randrange(2)]
+    return [kind]
+
+
+def _access_op(rng: random.Random, slots: int) -> list:
+    return [rng.choice(("r", "w")), rng.randrange(slots)]
+
+
+def _gen_tree_body(rng: random.Random, slots: int, depth: int,
+                   tasks_left: List[int], *, strict_sp: bool,
+                   allow_group: bool) -> list:
+    body: List[list] = []
+    n_ops = rng.randint(1, MAX_BODY_OPS)
+    spawned = False
+    for _ in range(n_ops):
+        roll = rng.random()
+        if roll < 0.45:
+            body.append(_access_op(rng, slots))
+        elif roll < 0.60:
+            body.append(_noise_op(rng))
+        elif roll < 0.85 and depth < MAX_DEPTH and tasks_left[0] > 0:
+            tasks_left[0] -= 1
+            child = _gen_tree_body(rng, slots, depth + 1, tasks_left,
+                                   strict_sp=strict_sp,
+                                   allow_group=allow_group)
+            body.append(["task", child])
+            spawned = True
+        elif allow_group and depth < MAX_DEPTH and tasks_left[0] > 0 \
+                and rng.random() < 0.5:
+            tasks_left[0] -= 1
+            inner = [["task", _gen_tree_body(rng, slots, depth + 1,
+                                             tasks_left, strict_sp=False,
+                                             allow_group=False)],
+                     _access_op(rng, slots)]
+            body.append(["group", inner])
+        elif spawned and not strict_sp:
+            body.append(["wait"])
+        else:
+            body.append(_access_op(rng, slots))
+    if strict_sp and any(op[0] == "task" for op in body):
+        if not body or body[-1][0] != "wait":
+            body.append(["wait"])
+    return body
+
+
+def _gen_sp(rng: random.Random, seed: int) -> FuzzProgram:
+    slots = rng.randint(2, MAX_SLOTS)
+    tasks_left = [rng.randint(2, MAX_TASKS)]
+    body = _gen_tree_body(rng, slots, 0, tasks_left, strict_sp=True,
+                          allow_group=False)
+    return FuzzProgram(family="sp", seed=seed,
+                       nthreads=rng.choice((2, 4)), slots=slots, body=body)
+
+
+def _gen_tasks(rng: random.Random, seed: int) -> FuzzProgram:
+    slots = rng.randint(2, MAX_SLOTS)
+    tasks_left = [rng.randint(2, MAX_TASKS)]
+    body = _gen_tree_body(rng, slots, 0, tasks_left, strict_sp=False,
+                          allow_group=True)
+    return FuzzProgram(family="tasks", seed=seed,
+                       nthreads=rng.choice((2, 4)), slots=slots, body=body)
+
+
+def _gen_deps(rng: random.Random, seed: int) -> FuzzProgram:
+    slots = rng.randint(2, MAX_SLOTS)
+    n_tasks = rng.randint(2, MAX_TASKS)
+    n_tokens = rng.randint(1, 3)
+    tasks = []
+    for _ in range(n_tasks):
+        ops = [_access_op(rng, slots) if rng.random() < 0.75
+               else _noise_op(rng)
+               for _ in range(rng.randint(1, 4))]
+        ins = sorted(set(rng.randrange(n_tokens)
+                         for _ in range(rng.randint(0, 2))))
+        outs = sorted(set(rng.randrange(n_tokens)
+                          for _ in range(rng.randint(0, 1))) - set(ins))
+        tasks.append({"ops": ops, "in": ins, "out": outs})
+    return FuzzProgram(family="deps", seed=seed,
+                       nthreads=rng.choice((2, 4)), slots=slots, body=tasks)
+
+
+def _gen_feb(rng: random.Random, seed: int) -> FuzzProgram:
+    slots = rng.randint(2, MAX_SLOTS)
+    n_tasks = rng.randint(2, min(6, MAX_TASKS))
+    tasks = [{"ops": [_access_op(rng, slots) if rng.random() < 0.8
+                      else _noise_op(rng)
+                      for _ in range(rng.randint(1, 4))]}
+             for _ in range(n_tasks)]
+    # wire single-producer/single-consumer transfers, fill strictly before
+    # consume in (task, op) order so the FIFO execution cannot deadlock
+    for word in range(rng.randint(0, n_tasks - 1)):
+        src = rng.randrange(n_tasks - 1)
+        dst = rng.randrange(src + 1, n_tasks)
+        tasks[src]["ops"].append(["writeEF", word])
+        tasks[dst]["ops"].insert(0, ["readFE", word])
+    return FuzzProgram(family="feb", seed=seed,
+                       nthreads=rng.choice((2, 4)), slots=slots, body=tasks)
+
+
+def _gen_barrier(rng: random.Random, seed: int) -> FuzzProgram:
+    slots = rng.randint(2, MAX_SLOTS)
+    nthreads = rng.choice((2, 4))
+    n_rounds = rng.randint(1, 3)
+    body = []
+    for _ in range(nthreads):
+        rounds = []
+        for _ in range(n_rounds):
+            rounds.append([_access_op(rng, slots) if rng.random() < 0.8
+                           else _noise_op(rng)
+                           for _ in range(rng.randint(1, 3))])
+        body.append(rounds)
+    return FuzzProgram(family="barrier", seed=seed, nthreads=nthreads,
+                       slots=slots, body=body)
+
+
+_GENERATORS = {
+    "sp": _gen_sp,
+    "tasks": _gen_tasks,
+    "deps": _gen_deps,
+    "feb": _gen_feb,
+    "barrier": _gen_barrier,
+}

@@ -1,0 +1,224 @@
+"""Baseline oracles for the differential harness.
+
+Two independent detectors, both driven from the *spec* (not from an
+execution), so their verdicts cannot depend on a schedule:
+
+* :func:`vclock_slots` — a task-centric FastTrack detector built on the
+  ``repro.baselines`` vector-clock machinery (:class:`TsanCore` +
+  :class:`VectorClock`/:class:`SyncVar`).  Unlike Archer, clocks are keyed
+  by *logical task id*, not OS thread, so the verdict describes the logical
+  program — the same relation Taskgrind's segment graph encodes, derived by
+  a completely different mechanism.  The spec is interpreted serially in a
+  topological order; by transitivity of happens-before, FastTrack's
+  last-epoch shadow cells cannot miss a racy *slot* under such an order
+  (they can miss individual racy pairs, which is why the comparison is at
+  slot granularity).
+* :func:`spbags_verdict` — the Nondeterminator's SP-bags
+  (:class:`repro.baselines.spbags.SpBagsTool`) run for real over the
+  serial-elision Cilk rendering of an ``sp``-family program.  SP-bags
+  guarantees *a* race is flagged iff one exists, but not one per racy
+  location, so its verdict is binary.
+
+Normalization rules (shared with the executors): only shared-arena slots
+(``s<i>``) count as the race surface; SP-bags sees no noise ops (its shadow
+has no free-interceptor, so recycled scratch blocks would be false
+positives *of the oracle*, not of the tool under test).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from repro.baselines.tsan import TsanCore
+from repro.fuzz.spec import FuzzProgram, dep_predecessors
+
+#: synthetic address base of shared slot ``i`` in the symbolic interpreters
+SLOT_BASE = 0x10000
+SLOT_BYTES = 8
+
+
+def _slot_addr(slot: int) -> int:
+    return SLOT_BASE + slot * SLOT_BYTES
+
+
+def _slot_of(lo: int) -> str:
+    return f"s{(lo - SLOT_BASE) // SLOT_BYTES}"
+
+
+class _VClockInterp:
+    """Serial spec interpreter feeding a task-centric TsanCore."""
+
+    def __init__(self) -> None:
+        self.core = TsanCore()
+        self._next_id = 0
+
+    def new_id(self) -> int:
+        self._next_id += 1
+        return self._next_id - 1
+
+    def acc(self, tid: int, slot: int, is_write: bool) -> None:
+        lo = _slot_addr(slot)
+        if is_write:
+            self.core.on_write(tid, lo, lo + SLOT_BYTES, None)
+        else:
+            self.core.on_read(tid, lo, lo + SLOT_BYTES, None)
+
+    def racy_slots(self) -> FrozenSet[str]:
+        return frozenset(_slot_of(lo) for lo, _hi in self.core.racy_ranges())
+
+    # -- family interpreters -------------------------------------------------
+
+    def run_task_tree(self, body: list) -> FrozenSet[str]:
+        root = self.new_id()
+        self._tree_body(body, root, [])
+        return self.racy_slots()
+
+    def _tree_body(self, body: list, me: int,
+                   open_groups: List[List[int]],
+                   children: List[int] = None) -> None:
+        core = self.core
+        children = [] if children is None else children
+        for op in body:
+            kind = op[0]
+            if kind in ("r", "w"):
+                self.acc(me, op[1], kind == "w")
+            elif kind == "task":
+                cid = self.new_id()
+                children.append(cid)
+                for grp in open_groups:
+                    grp.append(cid)
+                core.release(me, ("spawn", cid))
+                core.acquire(cid, ("spawn", cid))
+                self._tree_body(op[1], cid, open_groups)
+                core.release(cid, ("done", cid))
+            elif kind == "wait":
+                for c in children:
+                    core.acquire(me, ("done", c))
+            elif kind == "group":
+                members: List[int] = []
+                open_groups.append(members)
+                # group body ops run in ``me``; its tasks are also direct
+                # children of ``me`` (visible to a later taskwait)
+                self._tree_body(op[1], me, open_groups, children)
+                open_groups.pop()
+                for m in members:
+                    core.acquire(me, ("done", m))
+
+    def run_deps(self, tasks: list) -> FrozenSet[str]:
+        core = self.core
+        root = self.new_id()
+        ids = [self.new_id() for _ in tasks]
+        preds = dep_predecessors(tasks)
+        for i in range(len(tasks)):
+            core.release(root, ("create", i))
+        for i, task in enumerate(tasks):
+            tid = ids[i]
+            core.acquire(tid, ("create", i))
+            for p in preds[i]:
+                core.acquire(tid, ("done", p))
+            for op in task.get("ops", ()):
+                if op[0] in ("r", "w"):
+                    self.acc(tid, op[1], op[0] == "w")
+            core.release(tid, ("done", i))
+        return self.racy_slots()
+
+    def run_feb(self, tasks: list) -> FrozenSet[str]:
+        core = self.core
+        main = self.new_id()
+        ids = [self.new_id() for _ in tasks]
+        for i in range(len(tasks)):
+            core.release(main, ("fork", i))
+        # fork order is a topological order of the single-producer /
+        # single-consumer transfer graph (spec validity guarantees it)
+        for i, task in enumerate(tasks):
+            tid = ids[i]
+            core.acquire(tid, ("fork", i))
+            for op in task["ops"]:
+                kind = op[0]
+                if kind in ("r", "w"):
+                    self.acc(tid, op[1], kind == "w")
+                elif kind == "writeEF":
+                    core.release(tid, ("feb", op[1]))
+                elif kind == "readFE":
+                    core.acquire(tid, ("feb", op[1]))
+        return self.racy_slots()
+
+    def run_barrier(self, threads: list) -> FrozenSet[str]:
+        core = self.core
+        ids = [self.new_id() for _ in threads]
+        n_rounds = len(threads[0]) if threads else 0
+        for r in range(n_rounds):
+            for t, thread in enumerate(threads):
+                for op in thread[r]:
+                    if op[0] in ("r", "w"):
+                        self.acc(ids[t], op[1], op[0] == "w")
+            for t in range(len(threads)):
+                core.release(ids[t], ("bar", r))
+            for t in range(len(threads)):
+                core.acquire(ids[t], ("bar", r))
+        return self.racy_slots()
+
+
+def vclock_slots(program: FuzzProgram) -> FrozenSet[str]:
+    """Racy shared slots per the task-centric vector-clock oracle."""
+    interp = _VClockInterp()
+    if program.family in ("sp", "tasks"):
+        return interp.run_task_tree(program.body)
+    if program.family == "deps":
+        return interp.run_deps(program.body)
+    if program.family == "feb":
+        return interp.run_feb(program.body)
+    if program.family == "barrier":
+        return interp.run_barrier(program.body)
+    raise ValueError(f"unknown family {program.family!r}")
+
+
+def spbags_verdict(program: FuzzProgram) -> bool:
+    """SP-bags over the serial-elision Cilk rendering (``sp`` family only).
+
+    Returns the binary racy-or-not verdict of the real
+    :class:`~repro.baselines.spbags.SpBagsTool` run through the full
+    machine stack.
+    """
+    if program.family != "sp":
+        raise ValueError("SP-bags applies to the sp family only")
+    from repro.baselines.spbags import SpBagsTool
+    from repro.cilk.runtime import make_cilk_env
+    from repro.machine.machine import Machine
+
+    machine = Machine(seed=0)
+    tool = SpBagsTool()
+    machine.add_tool(tool)
+    env = make_cilk_env(machine, nworkers=1, serial_elision=True,
+                        source_file="fuzz.cilk")
+    tool.attach_cilk(env)
+    ctx = env.ctx
+
+    def cilk_ops(frame, body: list) -> None:
+        for op in body:
+            kind = op[0]
+            if kind in ("r", "w"):
+                if kind == "w":
+                    arena_box[0].write(op[1])
+                else:
+                    arena_box[0].read(op[1])
+            elif kind == "task":
+                env.spawn(frame, cilk_ops, op[1])
+            elif kind == "wait":
+                env.sync(frame)
+            # noise ops are not rendered: SP-bags has no free interceptor,
+            # so scratch recycling would false-positive the *oracle*
+
+    arena_box: list = [None]
+
+    def main():
+        with ctx.function("main", line=1):
+            arena_box[0] = ctx.malloc(SLOT_BYTES * program.slots,
+                                      elem=SLOT_BYTES, name="arena")
+
+            def root(frame):
+                cilk_ops(frame, program.body)
+            env.run(root)
+
+    machine.run(main)
+    return bool(tool.finalize())

@@ -114,6 +114,25 @@ class TestDeduplication:
         assert len(core.races) == 5
         assert len(core.unique_races()) == 1
 
+    def test_racy_ranges_survive_none_loc_dedup(self):
+        """unique_races collapses None-location races onto one key;
+        racy_ranges keeps every distinct address range."""
+        core = TsanCore()
+        for i in range(5):
+            core.on_write(0, 100 + 64 * i, 108 + 64 * i, None)
+            core.on_write(1, 100 + 64 * i, 108 + 64 * i, None)
+        assert len(core.unique_races()) == 1
+        assert core.racy_ranges() == [(100 + 64 * i, 108 + 64 * i)
+                                      for i in range(5)]
+
+    def test_racy_ranges_dedup_repeats(self):
+        core = TsanCore()
+        core.on_write(0, 100, 108, None)
+        core.on_write(1, 100, 108, None)
+        core.on_write(2, 100, 108, None)     # same range, new pair
+        assert len(core.races) >= 2
+        assert core.racy_ranges() == [(100, 108)]
+
     def test_memory_accounting(self):
         core = TsanCore()
         core.on_write(0, 0, 4096, None)

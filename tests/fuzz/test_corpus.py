@@ -1,0 +1,48 @@
+"""Corpus regression runner: replay every checked-in reproducer.
+
+Each ``tests/fuzz/corpus/*.json`` is a ``taskgrind-fuzz-repro/1`` document
+carrying a program, optional Taskgrind option overrides, and the expected
+divergence-kind set.  An empty ``expect`` list pins a program that must run
+*clean*; a non-empty one pins a known-divergent configuration (e.g. a
+suppression class intentionally disabled) that must keep diverging the same
+way.  The fuzz CLI appends new entries here whenever it shrinks a fresh
+divergence, so this suite only ever grows.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz.diff import run_differential
+from repro.fuzz.executors import fuzz_options
+from repro.fuzz.shrink import load_reproducer
+from repro.fuzz.spec import validate
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+ENTRIES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+#: replaying under several schedules is the point — divergences that depend
+#: on allocation order (recycling) need a few tries to manifest
+SCHEDULES = 6
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", ENTRIES,
+                         ids=[os.path.basename(p) for p in ENTRIES])
+def test_reproducer(path):
+    program, expect, options, note = load_reproducer(path)
+    assert validate(program) is None, f"{path}: invalid program"
+    result = run_differential(program, schedules=SCHEDULES,
+                              taskgrind_options=fuzz_options(**options))
+    if not expect:
+        assert result.ok, (f"{path} regressed ({note}): "
+                           f"{[str(d) for d in result.divergences]}")
+    else:
+        got = set(result.kinds())
+        assert set(expect) <= got, (
+            f"{path} no longer reproduces ({note}): expected {expect}, "
+            f"got {sorted(got)}")
