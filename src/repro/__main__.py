@@ -12,6 +12,7 @@ Subcommands map one-to-one to the paper's artifacts::
     python -m repro run PROGRAM       # one program under one tool
     python -m repro perf              # record/analyze fast-path bench
     python -m repro fuzz              # differential schedule-fuzzing
+    python -m repro faults            # resilience self-test (fault matrix)
 
 Global flags (work with every subcommand)::
 
@@ -39,6 +40,7 @@ COMMANDS = {
     "run": "repro.bench.runner",
     "perf": "repro.bench.perf",
     "fuzz": "repro.fuzz.cli",
+    "faults": "repro.faults.selftest",
 }
 
 

@@ -10,6 +10,9 @@ CLI: ``python -m repro run PROGRAM [--tool taskgrind] [--threads 4]
 [--seed 0] [--save-trace out.json] [--stats[=json|pretty]]`` — run one
 benchmark program (DRB or TMB, see ``--list``) and print the verdict and
 reports; ``--save-trace`` dumps the run for ``python -m repro.core.offline``.
+``--fault-plan plan.json`` (or ``--fault-plan builtin:<kind@at>``) arms the
+fault injector: the run is expected to degrade gracefully — crashes salvage
+the recorded prefix, trace damage salvages on load — never to traceback.
 """
 
 from __future__ import annotations
@@ -25,7 +28,10 @@ from repro.baselines.romp import RompTool
 from repro.baselines.tasksanitizer import TaskSanitizerTool
 from repro.bench.programs import BenchProgram
 from repro.core.tool import TaskgrindOptions, TaskgrindTool
-from repro.errors import GuestCrash, NoCompilerSupport, OutOfMemory, SimDeadlock
+from repro.errors import (GuestCrash, NoCompilerSupport, OutOfMemory,
+                          SimDeadlock)
+from repro.faults.inject import inject_plan
+from repro.faults.plan import FaultPlan
 from repro.machine.cost import MemoryMeter
 from repro.machine.machine import Machine
 from repro.openmp.api import make_env
@@ -72,13 +78,20 @@ class RunResult:
 def run_benchmark(program: BenchProgram, tool_name: str, *,
                   nthreads: int = 4, seed: int = 0,
                   taskgrind_options: Optional[TaskgrindOptions] = None,
-                  keep_machine: bool = False) -> RunResult:
+                  keep_machine: bool = False,
+                  fault_plan: Optional[FaultPlan] = None) -> RunResult:
     """Execute ``program`` under ``tool_name`` and classify the outcome.
 
     The result's stats document carries a ``"registry"`` block with the
     *per-run* metrics delta (counters/phases scoped to this call), so two
     back-to-back runs in one process report independent numbers instead of
     the process-lifetime cumulative registry state.
+
+    ``fault_plan`` arms the fault injector for the duration of the run
+    (resilience testing).  A faulted run that crashes mid-execution is
+    *salvaged*: the tool's finalize pass runs over whatever was recorded up
+    to the crash, so the verdict keeps the crash class but the result still
+    carries the reports and stats recovered from the prefix.
     """
     from repro.obs.metrics import get_registry
     reg_baseline = get_registry().mark()
@@ -111,21 +124,41 @@ def run_benchmark(program: BenchProgram, tool_name: str, *,
 
     result = RunResult(program.name, tool_name, nthreads, seed,
                        Verdict.TN, tool_obj=tool)
-    try:
-        machine.run(entry)
-    except SimDeadlock:
-        result.verdict = Verdict.DEADLOCK
-        result.sim_seconds = machine.cost.seconds
-        result.memory = machine.memory_meter()
-        return result
-    except (GuestCrash, OutOfMemory) as crash:
-        result.verdict = Verdict.SEGV
-        result.crash_reason = str(crash)
-        result.sim_seconds = machine.cost.seconds
-        result.memory = machine.memory_meter()
-        return result
 
-    reports = tool.finalize()
+    def salvage_finalize() -> None:
+        """Best-effort post-crash analysis of the recorded prefix."""
+        if fault_plan is None or not hasattr(tool, "finalize"):
+            return
+        try:
+            result.reports = tool.finalize()
+            result.report_count = len(result.reports)
+            if hasattr(tool, "stats"):
+                result.stats = tool.stats()
+        except Exception as exc:
+            result.crash_reason += f" (salvage finalize failed: {exc!r})"
+
+    with inject_plan(fault_plan):
+        try:
+            machine.run(entry)
+        except SimDeadlock:
+            result.verdict = Verdict.DEADLOCK
+            result.sim_seconds = machine.cost.seconds
+            result.memory = machine.memory_meter()
+            salvage_finalize()
+            if keep_machine:
+                result.machine = machine
+            return result
+        except (GuestCrash, OutOfMemory) as crash:
+            result.verdict = Verdict.SEGV
+            result.crash_reason = str(crash)
+            result.sim_seconds = machine.cost.seconds
+            result.memory = machine.memory_meter()
+            salvage_finalize()
+            if keep_machine:
+                result.machine = machine
+            return result
+
+        reports = tool.finalize()
     result.reports = reports
     result.report_count = len(reports)
     result.verdict = classify(bool(reports), program.racy)
@@ -177,6 +210,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="export the execution timeline as Chrome "
                              "trace-event JSON (virtual-time axis; load in "
                              "Perfetto)")
+    parser.add_argument("--fault-plan", metavar="PLAN", default=None,
+                        help="arm a taskgrind-fault-plan/1 JSON file for "
+                             "this run (resilience testing); "
+                             "'builtin:<kind@at>' names a CI-matrix plan, "
+                             "e.g. builtin:worker-exc@0")
+    parser.add_argument("--analysis", default=None,
+                        choices=["naive", "indexed", "parallel"],
+                        help="analysis mode (taskgrind only; default "
+                             "indexed, parallel runs supervised)")
     parser.add_argument("--list", action="store_true",
                         help="list runnable program names and exit")
     args = parser.parse_args(argv)
@@ -199,15 +241,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("--explain requires --tool taskgrind", file=sys.stderr)
         return 2
 
+    plan: Optional[FaultPlan] = None
+    if args.fault_plan is not None:
+        from repro.faults.plan import builtin_plan, load_fault_plan
+        try:
+            if args.fault_plan.startswith("builtin:"):
+                plan = builtin_plan(args.fault_plan[len("builtin:"):])
+            else:
+                plan = load_fault_plan(args.fault_plan)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
     tracer = None
     if args.trace_timeline is not None:
         from repro.obs.tracer import get_tracer
         tracer = get_tracer()
         tracer.enable()
-    options = TaskgrindOptions(explain=True) if args.explain else None
+    options = None
+    if args.explain or args.analysis is not None:
+        options = TaskgrindOptions(explain=args.explain)
+        if args.analysis is not None:
+            options.analysis = args.analysis
     result = run_benchmark(program, args.tool, nthreads=args.threads,
                            seed=args.seed, taskgrind_options=options,
-                           keep_machine=args.save_trace is not None)
+                           keep_machine=args.save_trace is not None,
+                           fault_plan=plan)
+    # re-arming the plan for the trace save resets its fired counters, so
+    # bank the run-phase firings now for the summary line
+    run_fired = dict(plan.fired_summary()) if plan is not None else {}
     if tracer is not None:
         tracer.export(args.trace_timeline)
         tracer.disable()
@@ -225,14 +287,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         print()
         print(format_report(report))
     if args.save_trace:
+        crashed = result.verdict.name in ("NCS", "SEGV", "DEADLOCK")
         if result.machine is None or result.tool_obj is None or \
-                result.verdict.name in ("NCS", "SEGV", "DEADLOCK"):
+                (crashed and plan is None):
             print("run did not finish cleanly; no trace written",
                   file=sys.stderr)
             return 1
         from repro.core.trace import save_trace
-        save_trace(result.tool_obj, result.machine, args.save_trace)
-        print(f"\nwrote trace to {args.save_trace}")
+        from repro.errors import InjectedFault
+        try:
+            with inject_plan(plan):
+                save_trace(result.tool_obj, result.machine, args.save_trace)
+        except (InjectedFault, OSError) as exc:
+            print(f"trace save failed ({exc}); any pre-existing trace at "
+                  f"{args.save_trace} is intact", file=sys.stderr)
+        else:
+            print(f"\nwrote trace to {args.save_trace}")
+    if plan is not None:
+        fired = {name: count + run_fired.get(name, 0)
+                 for name, count in plan.fired_summary().items()}
+        print("fault plan: " + (", ".join(
+            f"{name} fired {count}x" for name, count in fired.items())
+            or "no points"))
+        if result.verdict.name in ("SEGV", "DEADLOCK"):
+            print(f"  run crashed as planned; salvaged "
+                  f"{result.report_count} report(s) from the recorded "
+                  f"prefix")
     # mirror the offline CLI's convention: nonzero when races were reported
     return 0 if result.report_count == 0 else 1
 

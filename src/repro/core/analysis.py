@@ -16,6 +16,14 @@ sets (property-tested against each other):
   candidate set is partitioned across worker threads.  Benchmarked by the A1
   ablation.
 
+The parallel pass runs under a supervisor (:func:`find_races_supervised`):
+each chunk of candidate pairs gets a bounded number of retries with
+exponential backoff and an optional per-chunk deadline; chunks that keep
+failing are quarantined rather than allowed to take down the whole pass, and
+the result is a :class:`PartialAnalysis` that states exactly how many
+candidate pairs went unchecked.  A worker exception therefore degrades the
+analysis instead of discarding every completed chunk.
+
 The passes produce *raw* :class:`RaceCandidate` conflicts; the Section IV
 suppressions are applied afterwards by
 :class:`repro.core.suppress.SuppressionEngine` so ablations can toggle them
@@ -26,12 +34,16 @@ from __future__ import annotations
 
 import concurrent.futures
 import os
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.segments import Segment, SegmentGraph
+from repro.faults.inject import get_injector
 from repro.obs.metrics import get_registry
 from repro.util.intervals import IntervalSet
+
+_FAULTS = get_injector()
 
 
 @dataclass
@@ -173,18 +185,88 @@ def find_races_indexed(graph: SegmentGraph) -> List[RaceCandidate]:
 _PARALLEL_CHUNK = 64
 
 
-def find_races_parallel(graph: SegmentGraph, *,
-                        workers: Optional[int] = None) -> List[RaceCandidate]:
-    """Parallelized candidate verification (paper Section VII future work).
+@dataclass
+class QuarantinedChunk:
+    """One chunk the supervisor gave up on after exhausting retries."""
 
-    Candidate generation stays sequential (it is a single cheap sweep); the
-    happens-before check + interval intersection of each candidate pair —
-    the dominant cost — is farmed out over a thread pool.  Produces the same
-    sorted candidate list as :func:`find_races_indexed` for any worker count.
+    index: int
+    pairs: int
+    attempts: int
+    error: str
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "pairs": self.pairs,
+                "attempts": self.attempts, "error": self.error}
+
+
+@dataclass
+class PartialAnalysis:
+    """The supervised pass's result: candidates + explicit coverage.
+
+    ``candidates`` is always the deterministic sorted list over every chunk
+    that *did* complete; ``unchecked_pairs`` says exactly how much of the
+    candidate space the quarantined chunks cover.  A fault-free run has
+    ``complete == True`` and quarantines nothing.
+    """
+
+    candidates: List[RaceCandidate] = field(default_factory=list)
+    chunks_total: int = 0
+    chunks_ok: int = 0
+    pairs_total: int = 0
+    pairs_checked: int = 0
+    retries: int = 0
+    deadline_hits: int = 0
+    quarantined: List[QuarantinedChunk] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.quarantined and self.pairs_checked == self.pairs_total
+
+    @property
+    def unchecked_pairs(self) -> int:
+        return self.pairs_total - self.pairs_checked
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "taskgrind-partial-analysis/1",
+            "complete": self.complete,
+            "chunks": {"total": self.chunks_total, "ok": self.chunks_ok,
+                       "quarantined": len(self.quarantined)},
+            "pairs": {"total": self.pairs_total,
+                      "checked": self.pairs_checked,
+                      "unchecked": self.unchecked_pairs},
+            "retries": self.retries,
+            "deadline_hits": self.deadline_hits,
+            "quarantine": [q.to_dict() for q in self.quarantined],
+        }
+
+    def summary(self) -> str:
+        if self.complete:
+            return (f"all {self.pairs_total} candidate pairs checked "
+                    f"({self.chunks_total} chunks)")
+        return (f"{len(self.quarantined)} of {self.chunks_total} chunks "
+                f"quarantined; {self.unchecked_pairs} of {self.pairs_total} "
+                f"candidate pairs unchecked")
+
+
+def find_races_supervised(graph: SegmentGraph, *,
+                          workers: Optional[int] = None,
+                          deadline_s: Optional[float] = None,
+                          max_retries: int = 2,
+                          backoff_s: float = 0.01) -> PartialAnalysis:
+    """The parallel pass under supervision.
+
+    Every chunk is attempted up to ``1 + max_retries`` times with
+    exponential backoff between attempts; a chunk whose worker raises (or
+    misses the per-chunk ``deadline_s``) on every attempt is quarantined
+    and its candidate pairs booked as unchecked — the chunks that *did*
+    complete are never discarded.  Faults are observed exactly where the
+    fault injector plants them (:meth:`FaultInjector.on_analysis_chunk`).
     """
     if workers is None:
         workers = min(4, os.cpu_count() or 1)
     reg = get_registry()
+    result = PartialAnalysis()
     with reg.phase("analysis"):
         with reg.phase("analysis.prepare"):
             graph.prepare_queries()       # materialize once, shared read-only
@@ -196,9 +278,11 @@ def find_races_parallel(graph: SegmentGraph, *,
         with reg.phase("analysis.candidates"):
             pairs = sorted(_candidate_pairs(segs))
         reg.counter("analysis.candidate_pairs").inc(len(pairs))
+        result.pairs_total = len(pairs)
 
-        def check(chunk: Sequence[Tuple[int, int]]
+        def check(index: int, chunk: Sequence[Tuple[int, int]]
                   ) -> Tuple[List[RaceCandidate], int]:
+            _FAULTS.on_analysis_chunk(index)   # may raise / hang on demand
             found: List[RaceCandidate] = []
             n_ordered = 0
             # per-worker-thread phase: wall seconds sum across workers
@@ -217,9 +301,10 @@ def find_races_parallel(graph: SegmentGraph, *,
             reg.gauge("analysis.workers_requested").set(workers)
             reg.gauge("analysis.workers_effective").set(0)
             _record_pass(reg, "parallel", 0, 0, 0)
-            return []
+            return result
         chunks = [pairs[k:k + _PARALLEL_CHUNK]
                   for k in range(0, len(pairs), _PARALLEL_CHUNK)]
+        result.chunks_total = len(chunks)
         # a pool wider than the chunk list would silently idle the extra
         # workers; clamp explicitly and record both counts so perf runs can
         # see the effective parallelism, not the requested one
@@ -229,11 +314,76 @@ def find_races_parallel(graph: SegmentGraph, *,
         reg.histogram("analysis.chunk_pairs").observe(len(chunks))
         out: List[RaceCandidate] = []
         ordered = 0
-        with concurrent.futures.ThreadPoolExecutor(max_workers=workers_eff) \
-                as pool:
-            for res, n_ordered in pool.map(check, chunks):
-                out.extend(res)
-                ordered += n_ordered
+        pending = list(range(len(chunks)))
+        last_error: Dict[int, str] = {}
+        attempt = 0
+        with reg.phase("analysis.supervise"):
+            pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=workers_eff)
+            try:
+                while pending:
+                    if attempt > 0:
+                        reg.counter("resilience.chunks_retried").inc(
+                            len(pending))
+                        result.retries += len(pending)
+                        time.sleep(backoff_s * (2 ** (attempt - 1)))
+                    futures = {idx: pool.submit(check, idx, chunks[idx])
+                               for idx in pending}
+                    failed: List[int] = []
+                    for idx, fut in futures.items():
+                        try:
+                            res, n_ordered = fut.result(timeout=deadline_s)
+                        except concurrent.futures.TimeoutError:
+                            result.deadline_hits += 1
+                            reg.counter(
+                                "resilience.analysis_deadline_hits").inc()
+                            last_error[idx] = (
+                                f"deadline exceeded ({deadline_s}s)")
+                            failed.append(idx)
+                            continue
+                        except Exception as exc:
+                            last_error[idx] = repr(exc)
+                            failed.append(idx)
+                            continue
+                        out.extend(res)
+                        ordered += n_ordered
+                        result.chunks_ok += 1
+                        result.pairs_checked += len(chunks[idx])
+                    pending = failed
+                    attempt += 1
+                    if pending and attempt > max_retries:
+                        for idx in pending:
+                            result.quarantined.append(QuarantinedChunk(
+                                index=idx, pairs=len(chunks[idx]),
+                                attempts=attempt,
+                                error=last_error.get(idx, "unknown")))
+                        reg.counter("resilience.chunks_quarantined").inc(
+                            len(pending))
+                        reg.counter("resilience.pairs_unchecked").inc(
+                            sum(len(chunks[idx]) for idx in pending))
+                        pending = []
+            finally:
+                # don't block on a worker stuck past its deadline; cancel
+                # anything not yet started and let stragglers finish alone
+                pool.shutdown(wait=deadline_s is None, cancel_futures=True)
         out.sort(key=lambda c: c.key())
-        _record_pass(reg, "parallel", len(pairs), ordered, len(out))
-    return out
+        result.candidates = out
+        _record_pass(reg, "parallel", result.pairs_checked, ordered,
+                     len(out))
+    return result
+
+
+def find_races_parallel(graph: SegmentGraph, *,
+                        workers: Optional[int] = None) -> List[RaceCandidate]:
+    """Parallelized candidate verification (paper Section VII future work).
+
+    Candidate generation stays sequential (it is a single cheap sweep); the
+    happens-before check + interval intersection of each candidate pair —
+    the dominant cost — is farmed out over a thread pool.  Produces the same
+    sorted candidate list as :func:`find_races_indexed` for any worker count.
+
+    Runs under the supervisor, so a worker exception costs (at most) the
+    failing chunk, never the completed ones; callers that need the explicit
+    coverage accounting should call :func:`find_races_supervised` directly.
+    """
+    return find_races_supervised(graph, workers=workers).candidates

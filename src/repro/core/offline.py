@@ -10,6 +10,12 @@ run's embedded stats block, which carries the cost-model virtual time of
 the instrumented execution.  With ``--json``, the stats document is
 embedded in the report document under the ``"stats"`` key so the output
 stays one parseable JSON object.
+
+Damaged traces degrade, they don't crash: a truncated or corrupted file is
+salvaged to its longest valid prefix, the analysis runs over what survived,
+and the output carries an explicit coverage warning (exit code still 0/1 by
+race count).  ``--strict-trace`` restores fail-stop behavior: any damage
+exits 2 with the taxonomy error's actionable message.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from typing import List, Optional
 
 from repro.core.reports import format_report, report_to_dict
 from repro.core.trace import analyze_trace_with_stats
+from repro.errors import TraceError
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -43,15 +50,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trace-timeline", metavar="OUT.json", default=None,
                         help="export the analysis timeline (Chrome "
                              "trace-event JSON; wall-clock axis offline)")
+    parser.add_argument("--strict-trace", action="store_true",
+                        help="fail (exit 2) on any trace damage instead of "
+                             "salvaging the longest valid prefix")
     args = parser.parse_args(argv)
     tracer = None
     if args.trace_timeline is not None:
         from repro.obs.tracer import get_tracer
         tracer = get_tracer()
         tracer.enable()
-    reports, stats = analyze_trace_with_stats(args.trace, mode=args.mode,
-                                              workers=args.workers,
-                                              explain=args.explain)
+    try:
+        reports, stats = analyze_trace_with_stats(
+            args.trace, mode=args.mode, workers=args.workers,
+            explain=args.explain, strict=args.strict_trace)
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if tracer is not None:
         tracer.export(args.trace_timeline)
         tracer.disable()
@@ -66,6 +80,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             doc["stats"] = stats
         print(json.dumps(doc, indent=2))
     else:
+        coverage = stats.get("coverage")
+        if coverage is not None and not coverage["complete"]:
+            seg = coverage["segments"]
+            total = seg["total"] if seg["total"] is not None else "?"
+            print(f"WARNING: trace damaged — salvaged "
+                  f"{seg['recovered']}/{total} segments "
+                  f"({coverage['chunks']['corrupt']} bad chunk(s), last good "
+                  f"vtime {coverage['last_good_vtime']:.0f}); results below "
+                  f"cover the recovered prefix only\n")
+        resilience = stats.get("analysis", {}).get("resilience")
+        if resilience is not None and not resilience["complete"]:
+            pairs = resilience["pairs"]
+            print(f"WARNING: analysis incomplete — "
+                  f"{resilience['chunks']['quarantined']} chunk(s) "
+                  f"quarantined, {pairs['unchecked']} of {pairs['total']} "
+                  f"candidate pairs unchecked\n")
         print(f"{len(reports)} determinacy race(s)\n")
         for report in reports:
             print(format_report(report))

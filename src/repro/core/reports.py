@@ -79,6 +79,9 @@ class RaceReport:
     alloc_stack: Tuple[SourceLocation, ...] = ()
     region_desc: str = ""
     witness: Optional[ProvenanceWitness] = None  # set by --explain
+    #: degraded-evidence warnings (salvaged trace, quarantined analysis
+    #: chunks, memory-budget coarsening) — rendered like suppression notes
+    notes: Tuple[str, ...] = ()
 
     def key(self) -> Tuple[str, str]:
         """Deduplication key: the pair of segment labels (source order)."""
@@ -251,6 +254,8 @@ def format_report(report: RaceReport, *, style: str = "taskgrind") -> str:
             lines.append(f"    at {report.s2_loc}")
     if report.witness is not None:
         lines.append(format_witness(report.witness))
+    for note in report.notes:
+        lines.append(f"WARNING: {note}")
     return "\n".join(lines)
 
 
@@ -304,6 +309,7 @@ def report_to_dict(report: RaceReport) -> dict:
         },
         "witness": (report.witness.to_dict()
                     if report.witness is not None else None),
+        "notes": list(report.notes),
     }
 
 

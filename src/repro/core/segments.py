@@ -619,6 +619,10 @@ class SegmentBuilder:
         #: ``(segment_id, addr, size, is_write)`` — the perf bench's capture
         #: hook for replaying identical streams through both record paths
         self.access_log: Optional[List[Tuple[int, int, int, bool]]] = None
+        #: 0 = exact byte recording; a power of two widens every access to
+        #: its enclosing granule window (memory-budget degradation — see
+        #: :meth:`enter_coarse_mode`)
+        self.coarse_granule = 0
         self._entries: Dict[int, List[_TaskEntry]] = {}
         self._info: Dict[int, _TaskInfo] = {}
         self._group_stack: Dict[int, List[List[Task]]] = {}   # task tid -> stacks
@@ -1011,10 +1015,31 @@ class SegmentBuilder:
 
     # -- accesses -----------------------------------------------------------------
 
+    def enter_coarse_mode(self, granule: int = 64) -> None:
+        """Degrade recording to ``granule``-byte intervals (memory budget).
+
+        Every subsequent access is widened to the enclosing granule-aligned
+        window, so adjacent accesses coalesce into far fewer tree nodes.
+        This *over*-approximates the access sets — the analysis can then
+        report byte overlaps that never happened — which is why the tool
+        stamps a degraded-precision warning on every report of such a run.
+        One-way: precision already lost cannot be bought back by leaving
+        coarse mode, so there is no exit and re-entering can only widen
+        the granule, never narrow it.
+        """
+        assert granule > 0 and (granule & (granule - 1)) == 0, \
+            "coarse granule must be a power of two"
+        self.coarse_granule = max(self.coarse_granule, granule)
+
     def record_access(self, thread_id: int, addr: int, size: int,
                       is_write: bool,
                       loc: Optional[SourceLocation] = None) -> None:
         seg = self.current_segment(thread_id)
+        g = self.coarse_granule
+        if g:
+            lo = addr & ~(g - 1)
+            size = ((addr + size + g - 1) & ~(g - 1)) - lo
+            addr = lo
         if self.access_log is not None:
             self.access_log.append((seg.id, addr, size, is_write))
         if self.fast_record:

@@ -33,7 +33,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.core.analysis import (find_races_indexed, find_races_naive, find_races_parallel)
+from repro.core.analysis import (PartialAnalysis, find_races_indexed,
+                                 find_races_naive, find_races_supervised)
 from repro.core.ompt_shim import TaskgrindOmptShim
 from repro.core.reports import (RaceReport, build_report, build_witness,
                                 dedupe_reports)
@@ -70,6 +71,16 @@ class TaskgrindOptions:
     #: attach a provenance witness (ancestry, NCA, hb-tier evidence) to each
     #: report — the ``--explain`` flag
     explain: bool = False
+    #: tool-memory ceiling in bytes (None = unlimited): when the modeled
+    #: footprint crosses it, access recording degrades to coarse
+    #: ``memory_budget_granule``-byte intervals instead of dying OOM, and
+    #: every report carries a degraded-precision warning
+    memory_budget: Optional[int] = None
+    memory_budget_granule: int = 64
+    #: supervised parallel analysis: per-chunk wall deadline (None = none)
+    #: and retry budget before a failing chunk is quarantined
+    analysis_deadline_s: Optional[float] = None
+    analysis_max_retries: int = 2
 
 
 class TaskgrindTool(Tool):
@@ -104,6 +115,12 @@ class TaskgrindTool(Tool):
         self.legacy_accesses = 0        # via on_access (AccessEvent path)
         self.file_suppressed = 0
         self._symbol_filtered: dict = {}       # symbol name -> filtered?
+        #: supervised-analysis coverage of the last finalize (parallel mode)
+        self.partial_analysis: Optional[PartialAnalysis] = None
+        #: vtime-ordered access count at which the memory budget tripped
+        self.budget_tripped_at: Optional[int] = None
+        self._budget_check_every = 2048
+        self._budget_active = self.options.memory_budget is not None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -183,6 +200,8 @@ class TaskgrindTool(Tool):
             return
         self.recorded_accesses += 1
         self.legacy_accesses += 1
+        if self._budget_active:
+            self._check_memory_budget()
         self.builder.record_access(event.thread_id, event.addr, event.size,
                                    event.is_write, event.loc)
 
@@ -199,7 +218,30 @@ class TaskgrindTool(Tool):
             return
         self.recorded_accesses += 1
         self.fast_accesses += 1
+        if self._budget_active:
+            self._check_memory_budget()
         self.builder.record_access(thread_id, addr, size, is_write, loc)
+
+    def _check_memory_budget(self) -> None:
+        """Trip into coarse recording when the footprint crosses the budget.
+
+        The check amortizes: the (non-trivial) footprint model runs once per
+        ``_budget_check_every`` recorded accesses, so between checks the
+        footprint can overshoot by at most one check window's worth of tree
+        nodes.  Tripping is one-way — precision already spent recording at
+        byte granularity stays, only *new* accesses coarsen.
+        """
+        if self.budget_tripped_at is not None \
+                or self.recorded_accesses % self._budget_check_every:
+            return
+        if self.memory_bytes() <= self.options.memory_budget:
+            return
+        self.budget_tripped_at = self.recorded_accesses
+        granule = self.options.memory_budget_granule
+        self.builder.enter_coarse_mode(granule)
+        reg = get_registry()
+        reg.counter("resilience.memory_budget_trips").inc()
+        reg.gauge("resilience.coarse_granule").set(granule)
 
     # -- post-mortem analysis -----------------------------------------------------------
 
@@ -211,8 +253,11 @@ class TaskgrindTool(Tool):
             if mode == "naive":
                 candidates = find_races_naive(graph)
             elif mode == "parallel":
-                candidates = find_races_parallel(
-                    graph, workers=self.options.analysis_workers)
+                self.partial_analysis = find_races_supervised(
+                    graph, workers=self.options.analysis_workers,
+                    deadline_s=self.options.analysis_deadline_s,
+                    max_retries=self.options.analysis_max_retries)
+                candidates = self.partial_analysis.candidates
             else:
                 candidates = find_races_indexed(graph)
             self.raw_candidates = len(candidates)
@@ -229,6 +274,9 @@ class TaskgrindTool(Tool):
                     with reg.phase("explain"):
                         for r in reports:
                             r.witness = build_witness(graph, r)
+                for note in self._degradation_notes():
+                    for r in reports:
+                        r.notes = r.notes + (note,)
                 tracer = get_tracer()
                 if tracer.enabled:
                     for r in reports:
@@ -240,6 +288,23 @@ class TaskgrindTool(Tool):
             self.reports = reports
         reg.publish("taskgrind", self.stats())
         return reports
+
+    def _degradation_notes(self) -> List[str]:
+        """Suppression-style warnings stamped on every report of a degraded
+        run — a report reader must never mistake coarsened or partial
+        evidence for the exact kind."""
+        notes: List[str] = []
+        if self.budget_tripped_at is not None:
+            notes.append(
+                f"degraded precision: memory budget "
+                f"({self.options.memory_budget} bytes) exceeded after "
+                f"{self.budget_tripped_at} accesses; later accesses "
+                f"recorded at {self.builder.coarse_granule}-byte granularity "
+                f"(byte ranges over-approximate)")
+        pa = self.partial_analysis
+        if pa is not None and not pa.complete:
+            notes.append("incomplete analysis: " + pa.summary())
+        return notes
 
     # -- observability --------------------------------------------------------------------
 
@@ -272,6 +337,15 @@ class TaskgrindTool(Tool):
             "raw_candidates": self.raw_candidates,
             "reports": len(self.reports),
         }
+        resilience: dict = {
+            "memory_budget": self.options.memory_budget,
+            "budget_tripped_at": self.budget_tripped_at,
+            "coarse_granule": (builder.coarse_granule
+                               if builder is not None else 0),
+        }
+        if self.partial_analysis is not None:
+            resilience["analysis"] = self.partial_analysis.to_dict()
+        doc["resilience"] = resilience
         supp: dict = {"ignore_list": self.filtered_accesses,
                       "file_suppressed": self.file_suppressed}
         if machine is not None and hasattr(machine, "allocator"):

@@ -10,14 +10,26 @@ machine entirely.
 
 This module implements that pipeline:
 
-* :func:`save_trace` — serialize a finished run (segment graph, access
-  intervals, TLS/stack metadata, the address-space regions and allocation
-  records the suppressions and reports need) to a JSON document;
-* :func:`load_trace` — reconstruct the graph plus a lightweight
-  :class:`OfflineMachineView` that quacks enough like a
-  :class:`~repro.machine.machine.Machine` for the suppression engine and
-  report builder;
+* :func:`save_trace` — serialize a finished run to the chunked,
+  per-chunk-checksummed ``taskgrind-trace/2`` stream (atomic tmp+rename,
+  flushed chunk-by-chunk so a crashed writer loses at most one chunk);
+* :func:`load_trace` / :func:`load_trace_full` — strict readers that raise
+  the :mod:`repro.errors` trace taxonomy on any damage;
+* :func:`load_trace_salvaged` — the crash-tolerant reader: recovers the
+  longest valid prefix of a truncated or corrupted trace and reports what
+  was lost in a :class:`TraceCoverage` block instead of raising;
 * :func:`analyze_trace` — run any analysis mode + suppressions offline.
+
+Trace format (version 2)
+------------------------
+One JSON object per line.  Line 0 is the header chunk (declares totals);
+then ``segments`` chunks (``chunk_segments`` graph nodes each, ids dense
+and in order), ``edges`` chunks, one ``environment``, one ``suppression``,
+an optional ``stats`` chunk, and an ``end`` footer.  Every line carries a
+CRC-32 of its canonical payload JSON plus the cost-model virtual time at
+write — so the salvage reader can checksum each chunk independently and
+report the last good vtime of a torn stream.  Version-1 single-document
+traces remain readable through every entry point.
 
 CLI: ``python -m repro.core.offline <trace.json> [--mode parallel]``.
 """
@@ -25,20 +37,36 @@ CLI: ``python -m repro.core.offline <trace.json> [--mode parallel]``.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import IO, List, Optional, Tuple
 
-from repro.core.analysis import (find_races_indexed, find_races_naive,
-                                 find_races_parallel)
+from repro.core.analysis import (PartialAnalysis, find_races_indexed,
+                                 find_races_naive, find_races_supervised)
 from repro.core.reports import RaceReport, build_report
 from repro.core.segments import SegmentGraph
 from repro.core.suppress import SuppressionConfig, SuppressionEngine
+from repro.errors import (TraceCorruptionError, TraceFormatError,
+                          TraceVersionError)
+from repro.faults.inject import get_injector
 from repro.machine.debuginfo import SourceLocation
 from repro.machine.memory import RegionKind
 from repro.machine.tls import TlsSnapshot
 from repro.obs.metrics import get_registry
 
-TRACE_VERSION = 1
+TRACE_VERSION = 2
+TRACE_SCHEMA = "taskgrind-trace/2"
+LEGACY_TRACE_VERSION = 1
+
+#: graph nodes per ``segments`` chunk — small enough that one corrupt chunk
+#: costs a bounded slice of the run, large enough that chunk framing stays
+#: a rounding error of the document size
+DEFAULT_CHUNK_SEGMENTS = 256
+#: edges per ``edges`` chunk
+DEFAULT_CHUNK_EDGES = 4096
+
+_FAULTS = get_injector()
 
 
 # ---------------------------------------------------------------------------
@@ -57,30 +85,32 @@ def _loc_from_list(data) -> Optional[SourceLocation]:
     return SourceLocation(data[0], data[1], data[2])
 
 
+def _seg_to_dict(seg) -> dict:
+    snap = seg.tls_snapshot
+    return {
+        "id": seg.id,
+        "thread": seg.thread_id,
+        "kind": seg.kind,
+        "virtual": seg.virtual,
+        "label_loc": _loc_to_list(seg.label_loc),
+        "label": seg.label(),
+        "sp_at_start": seg.sp_at_start,
+        "stack_bounds": list(seg.stack_bounds),
+        "reads": seg.reads.pairs(),
+        "writes": seg.writes.pairs(),
+        "loc_samples": [[lo, hi, w, _loc_to_list(loc)]
+                        for lo, hi, w, loc in seg.loc_samples],
+        "tls": None if snap is None else {
+            "thread": snap.thread_id, "tcb": snap.tcb,
+            "generation": snap.generation,
+            "dtv": [list(entry) for entry in snap.dtv],
+        },
+    }
+
+
 def dump_graph(graph: SegmentGraph) -> dict:
     """The segment graph as plain data."""
-    segments = []
-    for seg in graph.segments:
-        snap = seg.tls_snapshot
-        segments.append({
-            "id": seg.id,
-            "thread": seg.thread_id,
-            "kind": seg.kind,
-            "virtual": seg.virtual,
-            "label_loc": _loc_to_list(seg.label_loc),
-            "label": seg.label(),
-            "sp_at_start": seg.sp_at_start,
-            "stack_bounds": list(seg.stack_bounds),
-            "reads": seg.reads.pairs(),
-            "writes": seg.writes.pairs(),
-            "loc_samples": [[lo, hi, w, _loc_to_list(loc)]
-                            for lo, hi, w, loc in seg.loc_samples],
-            "tls": None if snap is None else {
-                "thread": snap.thread_id, "tcb": snap.tcb,
-                "generation": snap.generation,
-                "dtv": [list(entry) for entry in snap.dtv],
-            },
-        })
+    segments = [_seg_to_dict(seg) for seg in graph.segments]
     edges = [[sid, dst] for sid, succs in enumerate(graph._succ)
              for dst in succs]
     return {"segments": segments, "edges": edges}
@@ -101,26 +131,147 @@ def dump_environment(machine) -> dict:
     return {"regions": regions, "blocks": blocks}
 
 
-def save_trace(tool, machine, path: str) -> None:
-    """Serialize a finished Taskgrind run for offline analysis.
+def _payload_crc(payload) -> int:
+    """CRC-32 over the canonical (sorted, compact) payload JSON."""
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canon.encode("utf-8")) & 0xFFFFFFFF
+
+
+class _ChunkWriter:
+    """Emits checksummed chunk lines, consulting the fault injector.
+
+    Flushes the OS buffer after every chunk, so a dying writer leaves the
+    stream torn mid-line at worst — exactly what the salvage reader is
+    built to survive.
+    """
+
+    def __init__(self, fh: IO[bytes], vtime: float = 0.0) -> None:
+        self._fh = fh
+        self._seq = 0
+        self.vtime = vtime
+        self.truncated = False
+
+    def emit(self, kind: str, payload, **extra) -> None:
+        if self.truncated:
+            return
+        doc = {"seq": self._seq, "kind": kind,
+               "vtime": self.vtime, "crc": _payload_crc(payload),
+               "payload": payload}
+        doc.update(extra)
+        line = json.dumps(doc, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        line = _FAULTS.on_trace_chunk(self._seq, line)
+        if line is None:
+            # injected truncation: model the torn half-write of a crash
+            self._fh.write(b'{"seq": %d, "kind": "torn' % self._seq)
+            self._fh.flush()
+            self.truncated = True
+            return
+        self._fh.write(line + b"\n")
+        self._fh.flush()
+        self._seq += 1
+
+    @property
+    def chunks(self) -> int:
+        return self._seq
+
+
+def save_trace(tool, machine, path: str, *,
+               version: int = TRACE_VERSION,
+               chunk_segments: int = DEFAULT_CHUNK_SEGMENTS) -> None:
+    """Serialize a Taskgrind run for offline analysis — atomically.
 
     The document embeds the recording run's stats block (when the tool
     provides one), so offline analysis can report the *record* phase —
     including its cost-model virtual time — next to its own phases.
+
+    The write goes to ``path + ".tmp"`` and is renamed into place only
+    once the stream is complete (or deliberately truncated by a fault
+    plan): an interrupted save never leaves a half-written ``path``
+    behind, and a pre-existing trace at ``path`` survives the crash.
+    ``version=1`` writes the legacy single-document format.
     """
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            if version == LEGACY_TRACE_VERSION:
+                _write_legacy(tool, machine, fh)
+            elif version == TRACE_VERSION:
+                _write_v2(tool, machine, fh, chunk_segments=chunk_segments)
+            else:
+                raise ValueError(f"cannot write trace version {version}")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def checkpoint_trace(tool, machine, path: str) -> None:
+    """Mid-run trace snapshot (periodic flush during recording).
+
+    Safe to call while the instrumented program is still running: reading
+    the segment trees flushes any write-combined pending accesses, and
+    recording resumes into fresh buffers afterwards.  Each checkpoint is a
+    complete, atomic trace — a crash between checkpoints costs only the
+    accesses since the last one.
+    """
+    save_trace(tool, machine, path)
+
+
+def _write_legacy(tool, machine, fh: IO[bytes]) -> None:
     doc = {
-        "version": TRACE_VERSION,
+        "version": LEGACY_TRACE_VERSION,
         "graph": dump_graph(tool.builder.graph),
         "environment": dump_environment(machine),
-        "suppression": {
-            "suppress_tls": tool.options.suppression.suppress_tls,
-            "suppress_stack": tool.options.suppression.suppress_stack,
-        },
+        "suppression": _supp_flags(tool),
     }
     if hasattr(tool, "stats"):
         doc["stats"] = tool.stats()
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(doc, fh)
+    fh.write(json.dumps(doc).encode("utf-8"))
+
+
+def _supp_flags(tool) -> dict:
+    return {
+        "suppress_tls": tool.options.suppression.suppress_tls,
+        "suppress_stack": tool.options.suppression.suppress_stack,
+    }
+
+
+def _write_v2(tool, machine, fh: IO[bytes], *,
+              chunk_segments: int = DEFAULT_CHUNK_SEGMENTS) -> None:
+    graph = tool.builder.graph
+    segments = [_seg_to_dict(seg) for seg in graph.segments]
+    edges = [[sid, dst] for sid, succs in enumerate(graph._succ)
+             for dst in succs]
+    # each edge travels with the chunk of its HIGHEST-id endpoint: any
+    # contiguous segment prefix then carries the *complete* happens-before
+    # relation among its segments.  A salvage that recovered segments
+    # without their orderings would see everything as concurrent and
+    # invent races — losing an edge must always lose an endpoint with it.
+    edges_by_chunk: dict = {}
+    for src, dst in edges:
+        edges_by_chunk.setdefault(max(src, dst) // chunk_segments,
+                                  []).append([src, dst])
+    vtime = float(machine.cost.vtime_ops) \
+        if hasattr(machine, "cost") else 0.0
+    w = _ChunkWriter(fh, vtime=vtime)
+    w.emit("header", {
+        "segments": len(segments),
+        "edges": len(edges),
+        "chunk_segments": chunk_segments,
+    }, schema=TRACE_SCHEMA, version=TRACE_VERSION)
+    for index, start in enumerate(range(0, len(segments), chunk_segments)):
+        batch = segments[start:start + chunk_segments]
+        w.emit("segments", {"start": start, "segments": batch,
+                            "edges": edges_by_chunk.get(index, [])})
+    w.emit("environment", dump_environment(machine))
+    w.emit("suppression", _supp_flags(tool))
+    if hasattr(tool, "stats"):
+        w.emit("stats", tool.stats())
+    w.emit("end", {"chunks": w.chunks})
 
 
 # ---------------------------------------------------------------------------
@@ -199,31 +350,35 @@ class OfflineMachineView:
 
 
 # ---------------------------------------------------------------------------
-# deserialization + analysis
+# deserialization
 # ---------------------------------------------------------------------------
+
+def _load_segment(graph: SegmentGraph, sd: dict) -> None:
+    seg = graph.new_segment(
+        thread_id=sd["thread"], task=None, kind=sd["kind"],
+        virtual=sd["virtual"], sp_at_start=sd["sp_at_start"],
+        stack_bounds=tuple(sd["stack_bounds"]),
+        label_loc=_loc_from_list(sd["label_loc"]))
+    assert seg.id == sd["id"], "trace ids must be dense and ordered"
+    seg.open = False
+    for lo, hi in sd["reads"]:
+        seg.reads.insert(lo, hi)
+    for lo, hi in sd["writes"]:
+        seg.writes.insert(lo, hi)
+    seg.loc_samples = [(lo, hi, w, _loc_from_list(loc))
+                       for lo, hi, w, loc in sd["loc_samples"]]
+    if sd["tls"] is not None:
+        t = sd["tls"]
+        seg.tls_snapshot = TlsSnapshot(
+            thread_id=t["thread"], tcb=t["tcb"],
+            generation=t["generation"],
+            dtv=tuple(tuple(entry) for entry in t["dtv"]))
+
 
 def load_graph(data: dict) -> SegmentGraph:
     graph = SegmentGraph()
     for sd in data["segments"]:
-        seg = graph.new_segment(
-            thread_id=sd["thread"], task=None, kind=sd["kind"],
-            virtual=sd["virtual"], sp_at_start=sd["sp_at_start"],
-            stack_bounds=tuple(sd["stack_bounds"]),
-            label_loc=_loc_from_list(sd["label_loc"]))
-        assert seg.id == sd["id"], "trace ids must be dense and ordered"
-        seg.open = False
-        for lo, hi in sd["reads"]:
-            seg.reads.insert(lo, hi)
-        for lo, hi in sd["writes"]:
-            seg.writes.insert(lo, hi)
-        seg.loc_samples = [(lo, hi, w, _loc_from_list(loc))
-                           for lo, hi, w, loc in sd["loc_samples"]]
-        if sd["tls"] is not None:
-            t = sd["tls"]
-            seg.tls_snapshot = TlsSnapshot(
-                thread_id=t["thread"], tcb=t["tcb"],
-                generation=t["generation"],
-                dtv=tuple(tuple(entry) for entry in t["dtv"]))
+        _load_segment(graph, sd)
     for src, dst in data["edges"]:
         graph.add_edge(graph.segments[src], graph.segments[dst])
     return graph
@@ -245,38 +400,355 @@ def load_environment(data: dict) -> OfflineMachineView:
                               _OfflineAllocator(blocks))
 
 
+def _empty_view() -> OfflineMachineView:
+    return OfflineMachineView(_OfflineSpace([]), _OfflineAllocator([]))
+
+
+# ---------------------------------------------------------------------------
+# coverage accounting + the salvage reader
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TraceCoverage:
+    """What a (possibly damaged) trace load actually recovered."""
+
+    complete: bool = True
+    trace_version: int = TRACE_VERSION
+    segments_total: Optional[int] = None     # None: header lost too
+    segments_recovered: int = 0
+    edges_total: Optional[int] = None
+    edges_recovered: int = 0
+    edges_dropped_dangling: int = 0          # edges into lost segments
+    chunks_valid: int = 0
+    chunks_corrupt: int = 0
+    first_bad_chunk: Optional[int] = None
+    first_bad_byte: Optional[int] = None
+    #: cost-model vtime stamped on the newest chunk that survived
+    last_good_vtime: float = 0.0
+    environment_recovered: bool = True
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def segments_lost(self) -> Optional[int]:
+        if self.segments_total is None:
+            return None
+        return self.segments_total - self.segments_recovered
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": "taskgrind-trace-coverage/1",
+            "complete": self.complete,
+            "trace_version": self.trace_version,
+            "segments": {"total": self.segments_total,
+                         "recovered": self.segments_recovered,
+                         "lost": self.segments_lost},
+            "edges": {"total": self.edges_total,
+                      "recovered": self.edges_recovered,
+                      "dropped_dangling": self.edges_dropped_dangling},
+            "chunks": {"valid": self.chunks_valid,
+                       "corrupt": self.chunks_corrupt,
+                       "first_bad": self.first_bad_chunk,
+                       "first_bad_byte": self.first_bad_byte},
+            "last_good_vtime": self.last_good_vtime,
+            "environment_recovered": self.environment_recovered,
+            "errors": list(self.errors),
+        }
+
+    def summary(self) -> str:
+        if self.complete:
+            return "trace complete"
+        seg = f"{self.segments_recovered}"
+        if self.segments_total is not None:
+            seg += f"/{self.segments_total}"
+        return (f"trace salvaged: {seg} segments, "
+                f"{self.edges_recovered} edges recovered, "
+                f"{self.chunks_corrupt} bad chunk(s), "
+                f"last good vtime {self.last_good_vtime:.0f}")
+
+
+@dataclass
+class SalvagedTrace:
+    """Everything :func:`load_trace_salvaged` recovered."""
+
+    graph: SegmentGraph
+    view: OfflineMachineView
+    suppression: dict
+    stats: Optional[dict]
+    coverage: TraceCoverage
+
+
+@dataclass
+class _RawChunk:
+    seq: int
+    kind: str
+    vtime: float
+    payload: dict
+    byte_offset: int
+
+
+def _scan_chunks(path: str, data: bytes, cov: TraceCoverage
+                 ) -> List[_RawChunk]:
+    """Parse + checksum every line independently; book damage in ``cov``."""
+    chunks: List[_RawChunk] = []
+    offset = 0
+    for raw in data.split(b"\n"):
+        line = raw.strip()
+        line_offset = offset
+        offset += len(raw) + 1
+        if not line:
+            continue
+        err: Optional[str] = None
+        try:
+            doc = json.loads(line)
+            if not isinstance(doc, dict):
+                err = "chunk line is not a JSON object"
+            else:
+                payload = doc.get("payload")
+                crc = doc.get("crc")
+                seq = doc.get("seq")
+                kind = doc.get("kind")
+                if payload is None or crc is None or seq is None \
+                        or kind is None:
+                    err = "chunk envelope missing seq/kind/crc/payload"
+                elif _payload_crc(payload) != crc:
+                    err = (f"checksum mismatch (stored {crc}, computed "
+                           f"{_payload_crc(payload)})")
+        except json.JSONDecodeError as exc:
+            err = f"undecodable chunk line: {exc.msg}"
+        if err is not None:
+            cov.chunks_corrupt += 1
+            cov.complete = False
+            if cov.first_bad_byte is None:
+                cov.first_bad_byte = line_offset
+                try:
+                    cov.first_bad_chunk = json.loads(line).get("seq")
+                except (json.JSONDecodeError, AttributeError):
+                    cov.first_bad_chunk = None
+            cov.errors.append(f"byte {line_offset}: {err}")
+            continue
+        cov.chunks_valid += 1
+        cov.last_good_vtime = max(cov.last_good_vtime,
+                                  float(doc.get("vtime", 0.0)))
+        chunks.append(_RawChunk(seq=doc["seq"], kind=doc["kind"],
+                                vtime=float(doc.get("vtime", 0.0)),
+                                payload=doc["payload"],
+                                byte_offset=line_offset))
+    return chunks
+
+
+def _assemble_v2(path: str, chunks: List[_RawChunk],
+                 cov: TraceCoverage) -> SalvagedTrace:
+    """Rebuild the longest valid prefix from independently-valid chunks."""
+    header = next((c for c in chunks if c.kind == "header"), None)
+    if header is not None:
+        cov.segments_total = header.payload.get("segments")
+        cov.edges_total = header.payload.get("edges")
+    else:
+        cov.complete = False
+        cov.errors.append("header chunk lost; totals unknown")
+
+    graph = SegmentGraph()
+    next_id = 0
+    seg_stream_broken = False
+    inline_edges: List[list] = []
+    for c in chunks:
+        if c.kind != "segments":
+            continue
+        # edges ride in the chunk of their highest-id endpoint, so the
+        # contiguous prefix below is guaranteed to carry every ordering
+        # among its own segments.  Edges from *rejected* chunks are still
+        # harvested: any that land inside the prefix are genuine
+        # happens-before facts (extra ordering can only remove races,
+        # never invent them); the dangling filter drops the rest.
+        inline_edges.extend(c.payload.get("edges", []))
+        if seg_stream_broken or c.payload.get("start") != next_id:
+            # a chunk before this one was lost: ids would no longer be
+            # dense, so everything from the gap on is unrecoverable
+            seg_stream_broken = True
+            cov.complete = False
+            continue
+        try:
+            for sd in c.payload["segments"]:
+                _load_segment(graph, sd)
+                next_id += 1
+        except (KeyError, TypeError, AssertionError) as exc:
+            seg_stream_broken = True
+            cov.complete = False
+            cov.errors.append(
+                f"segment chunk {c.seq}: unreadable segment after id "
+                f"{next_id - 1}: {exc!r}")
+    cov.segments_recovered = len(graph.segments)
+    if cov.segments_total is not None \
+            and cov.segments_recovered < cov.segments_total:
+        cov.complete = False
+
+    n = len(graph.segments)
+    edge_lists = [inline_edges] + [c.payload.get("edges", [])
+                                   for c in chunks if c.kind == "edges"]
+    for edges in edge_lists:
+        for src, dst in edges:
+            if src < n and dst < n:
+                graph.add_edge(graph.segments[src], graph.segments[dst])
+                cov.edges_recovered += 1
+            else:
+                cov.edges_dropped_dangling += 1
+
+    env = next((c for c in chunks if c.kind == "environment"), None)
+    if env is not None:
+        try:
+            view = load_environment(env.payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            view = _empty_view()
+            cov.environment_recovered = False
+            cov.complete = False
+            cov.errors.append(f"environment chunk unreadable: {exc!r}")
+    else:
+        view = _empty_view()
+        cov.environment_recovered = False
+        cov.complete = False
+        cov.errors.append("environment chunk lost; reports will lack "
+                          "allocation context and TLS/stack suppression "
+                          "evidence")
+
+    supp_chunk = next((c for c in chunks if c.kind == "suppression"), None)
+    supp = dict(supp_chunk.payload) if supp_chunk is not None else {}
+    stats_chunk = next((c for c in chunks if c.kind == "stats"), None)
+    stats = stats_chunk.payload if stats_chunk is not None else None
+
+    end = next((c for c in chunks if c.kind == "end"), None)
+    if end is None:
+        cov.complete = False
+        cov.errors.append("end marker missing: trace truncated")
+    return SalvagedTrace(graph=graph, view=view, suppression=supp,
+                         stats=stats, coverage=cov)
+
+
+def _load_legacy(path: str, doc: dict, cov: TraceCoverage) -> SalvagedTrace:
+    version = doc.get("version")
+    if version != LEGACY_TRACE_VERSION:
+        raise TraceVersionError(path, version,
+                                f"versions 1-{TRACE_VERSION}")
+    try:
+        graph = load_graph(doc["graph"])
+        view = load_environment(doc["environment"])
+    except (KeyError, TypeError, ValueError, AssertionError) as exc:
+        raise TraceFormatError(
+            path, f"legacy v1 document is structurally broken: {exc!r}") \
+            from exc
+    cov.trace_version = LEGACY_TRACE_VERSION
+    cov.segments_total = cov.segments_recovered = len(graph.segments)
+    cov.edges_total = cov.edges_recovered = graph.edge_count
+    return SalvagedTrace(graph=graph, view=view,
+                         suppression=doc.get("suppression", {}),
+                         stats=doc.get("stats"), coverage=cov)
+
+
+def load_trace_salvaged(path: str) -> SalvagedTrace:
+    """Crash-tolerant load: recover the longest valid prefix.
+
+    Never raises on damage within the stream — a truncated file, a
+    corrupt middle chunk or an outright empty file all come back as a
+    (possibly empty) graph plus a :class:`TraceCoverage` explaining the
+    loss.  Only a missing file or a legacy/unknown *format* still raises
+    (there is nothing to salvage from the wrong format).
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    cov = TraceCoverage()
+    first_line = data.split(b"\n", 1)[0].strip()
+    if not first_line:
+        cov.complete = False
+        cov.segments_total = None
+        cov.errors.append("empty trace file")
+        return SalvagedTrace(graph=SegmentGraph(), view=_empty_view(),
+                             suppression={}, stats=None, coverage=cov)
+    header_doc: Optional[dict] = None
+    try:
+        header_doc = json.loads(first_line)
+    except json.JSONDecodeError:
+        header_doc = None
+    if isinstance(header_doc, dict) and "graph" in header_doc:
+        # legacy single-document trace (version key checked inside)
+        return _load_legacy(path, header_doc, cov)
+    if isinstance(header_doc, dict) and "version" in header_doc \
+            and "kind" not in header_doc:
+        # a single-line document claiming some other version
+        return _load_legacy(path, header_doc, cov)
+    if isinstance(header_doc, dict) and header_doc.get("kind") == "header" \
+            and header_doc.get("version") != TRACE_VERSION:
+        # an intact v2-shaped header from some other format revision:
+        # wrong-format, not damage — salvaging it would misread every chunk
+        raise TraceVersionError(path, header_doc.get("version"),
+                                f"versions 1-{TRACE_VERSION}")
+    chunks = _scan_chunks(path, data, cov)
+    return _assemble_v2(path, chunks, cov)
+
+
+# ---------------------------------------------------------------------------
+# strict loaders (raise the trace-error taxonomy)
+# ---------------------------------------------------------------------------
+
+def _load_strict(path: str) -> SalvagedTrace:
+    try:
+        salvaged = load_trace_salvaged(path)
+    except TraceFormatError:
+        raise
+    except (OSError, ValueError) as exc:
+        raise TraceFormatError(path, repr(exc)) from exc
+    cov = salvaged.coverage
+    if cov.complete:
+        return salvaged
+    if not cov.chunks_valid and not cov.chunks_corrupt \
+            and cov.segments_recovered == 0:
+        raise TraceFormatError(path, cov.errors[0] if cov.errors
+                               else "no recognizable trace content")
+    raise TraceCorruptionError(
+        path,
+        byte_offset=(cov.first_bad_byte if cov.first_bad_byte is not None
+                     else -1),
+        chunk_seq=cov.first_bad_chunk,
+        reason="; ".join(cov.errors) or "incomplete trace")
+
+
 def load_trace(path: str) -> Tuple[SegmentGraph, OfflineMachineView, dict]:
-    with open(path, "r", encoding="utf-8") as fh:
-        doc = json.load(fh)
-    if doc.get("version") != TRACE_VERSION:
-        raise ValueError(f"unsupported trace version {doc.get('version')}")
-    return load_graph(doc["graph"]), load_environment(doc["environment"]), \
-        doc.get("suppression", {})
+    """Strict load: any damage raises the :mod:`repro.errors` taxonomy.
+
+    :class:`~repro.errors.TraceVersionError` for unknown versions (it
+    subclasses ``ValueError``, preserving the pre-taxonomy contract),
+    :class:`~repro.errors.TraceCorruptionError` for checksum/truncation
+    damage with the byte offset of the first bad chunk, and
+    :class:`~repro.errors.TraceFormatError` for files that are not traces.
+    """
+    s = _load_strict(path)
+    return s.graph, s.view, s.suppression
 
 
 def load_trace_full(path: str) -> Tuple[SegmentGraph, OfflineMachineView,
                                         dict, Optional[dict]]:
     """:func:`load_trace` plus the embedded record-time stats block."""
-    with open(path, "r", encoding="utf-8") as fh:
-        doc = json.load(fh)
-    if doc.get("version") != TRACE_VERSION:
-        raise ValueError(f"unsupported trace version {doc.get('version')}")
-    return (load_graph(doc["graph"]), load_environment(doc["environment"]),
-            doc.get("suppression", {}), doc.get("stats"))
+    s = _load_strict(path)
+    return s.graph, s.view, s.suppression, s.stats
 
+
+# ---------------------------------------------------------------------------
+# offline analysis
+# ---------------------------------------------------------------------------
 
 def analyze_trace(path: str, *, mode: str = "indexed",
                   workers: int = 4,
-                  explain: bool = False) -> List[RaceReport]:
+                  explain: bool = False,
+                  strict: bool = False) -> List[RaceReport]:
     """The full offline pipeline: load, Algorithm 1, suppress, report."""
     reports, _stats = analyze_trace_with_stats(path, mode=mode,
                                                workers=workers,
-                                               explain=explain)
+                                               explain=explain,
+                                               strict=strict)
     return reports
 
 
 def analyze_trace_with_stats(path: str, *, mode: str = "indexed",
-                             workers: int = 4, explain: bool = False
+                             workers: int = 4, explain: bool = False,
+                             strict: bool = False
                              ) -> Tuple[List[RaceReport], dict]:
     """The offline pipeline with a per-phase stats document.
 
@@ -287,6 +759,11 @@ def analyze_trace_with_stats(path: str, *, mode: str = "indexed",
     The phase timings are **per-run deltas** — two back-to-back analyses in
     one process each report only their own work, not the registry's
     cumulative process-lifetime totals.
+
+    By default the load is salvage-mode: a damaged trace degrades to its
+    longest valid prefix and the stats document carries a ``"coverage"``
+    block accounting for the loss (reports additionally carry a salvage
+    warning note).  ``strict=True`` restores fail-stop loading.
     """
     from repro.core.reports import build_witness
     from repro.obs.tracer import get_tracer
@@ -294,11 +771,25 @@ def analyze_trace_with_stats(path: str, *, mode: str = "indexed",
     baseline = reg.mark()
     with reg.phase("offline"):
         with reg.phase("offline.load"):
-            graph, view, supp_flags, record_stats = load_trace_full(path)
+            if strict:
+                graph, view, supp_flags, record_stats = load_trace_full(path)
+                coverage = None
+            else:
+                salvaged = load_trace_salvaged(path)
+                graph, view = salvaged.graph, salvaged.view
+                supp_flags = salvaged.suppression
+                record_stats = salvaged.stats
+                coverage = salvaged.coverage
+                if not coverage.complete:
+                    reg.counter("resilience.trace_salvaged").inc()
+                    reg.counter("resilience.trace_chunks_lost").inc(
+                        coverage.chunks_corrupt)
+        partial: Optional[PartialAnalysis] = None
         if mode == "naive":
             candidates = find_races_naive(graph)
         elif mode == "parallel":
-            candidates = find_races_parallel(graph, workers=workers)
+            partial = find_races_supervised(graph, workers=workers)
+            candidates = partial.candidates
         else:
             candidates = find_races_indexed(graph)
         config = SuppressionConfig(
@@ -308,6 +799,14 @@ def analyze_trace_with_stats(path: str, *, mode: str = "indexed",
         surviving = engine.filter_all(candidates)
         with reg.phase("report"):
             reports = [build_report(view, c) for c in surviving]
+            notes = []
+            if coverage is not None and not coverage.complete:
+                notes.append("incomplete evidence: " + coverage.summary())
+            if partial is not None and not partial.complete:
+                notes.append("incomplete analysis: " + partial.summary())
+            for note in notes:
+                for r in reports:
+                    r.notes = r.notes + (note,)
             if explain:
                 with reg.phase("explain"):
                     for r in reports:
@@ -333,5 +832,9 @@ def analyze_trace_with_stats(path: str, *, mode: str = "indexed",
         "phases": reg.delta_since(baseline)["phases"],
         "record_run": record_stats,
     }
+    if coverage is not None:
+        stats["coverage"] = coverage.to_dict()
+    if partial is not None:
+        stats["analysis"]["resilience"] = partial.to_dict()
     reg.publish("offline", stats)
     return reports, stats

@@ -8,6 +8,8 @@ benchmark runner can classify outcomes exactly the way the paper's tables do.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
@@ -76,3 +78,79 @@ class RuntimeModelError(ReproError):
 
 class ToolError(ReproError):
     """Internal error of an analysis tool (distinct from guest faults)."""
+
+
+# ---------------------------------------------------------------------------
+# trace-loading taxonomy (strict mode of repro.core.trace)
+# ---------------------------------------------------------------------------
+
+class TraceError(ReproError):
+    """Base class for trace save/load failures.
+
+    The salvage reader (:func:`repro.core.trace.load_trace_salvaged`) never
+    raises these — it degrades to the longest valid prefix instead.  Only
+    the strict loaders (``load_trace`` / ``--strict-trace``) escalate.
+    """
+
+
+class TraceFormatError(TraceError, ValueError):
+    """The file is not a Taskgrind trace at all (or is structurally broken).
+
+    Subclasses :class:`ValueError` so pre-taxonomy callers that caught
+    ``ValueError`` keep working.
+    """
+
+    def __init__(self, path: str, reason: str) -> None:
+        super().__init__(f"{path}: not a readable taskgrind trace: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+class TraceVersionError(TraceFormatError):
+    """The trace declares a version this reader does not speak."""
+
+    def __init__(self, path: str, found, expected) -> None:
+        ValueError.__init__(
+            self,
+            f"{path}: unsupported trace version {found!r} "
+            f"(this reader speaks {expected}); re-record the trace or "
+            "analyze it with a matching repro checkout")
+        self.path = path
+        self.found = found
+        self.expected = expected
+
+
+class TraceCorruptionError(TraceError):
+    """A chunk failed its checksum or the file is truncated mid-chunk.
+
+    Carries the byte offset and chunk sequence number of the first bad
+    chunk so operators can tell torn writes from bit rot.  Salvage mode
+    (`load_trace_salvaged`, the default offline path) recovers the valid
+    prefix instead of raising this.
+    """
+
+    def __init__(self, path: str, *, byte_offset: int,
+                 chunk_seq: Optional[int], reason: str) -> None:
+        where = f"chunk {chunk_seq} " if chunk_seq is not None else ""
+        super().__init__(
+            f"{path}: corrupt trace: {where}at byte offset {byte_offset}: "
+            f"{reason} (rerun without --strict-trace to salvage the valid "
+            "prefix)")
+        self.path = path
+        self.byte_offset = byte_offset
+        self.chunk_seq = chunk_seq
+        self.reason = reason
+
+
+class InjectedFault(ReproError):
+    """An error raised on purpose by the fault-injection framework.
+
+    Distinct from every organic failure so tests and the differential
+    oracle can tell "the fault we planted" from "a real bug the fault
+    uncovered".
+    """
+
+    def __init__(self, kind: str, detail: str = "") -> None:
+        super().__init__(f"injected fault [{kind}]"
+                         + (f": {detail}" if detail else ""))
+        self.fault_kind = kind

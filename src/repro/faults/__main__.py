@@ -1,0 +1,8 @@
+"""``python -m repro.faults`` — alias for the resilience self-test."""
+
+import sys
+
+from repro.faults.selftest import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""The injector: hooks the hot paths consult when a plan is active.
+
+Zero-overhead contract: every hook begins with a module-level ``None``
+check, so with no plan active the instrumented paths pay one attribute
+load.  Activation is a context manager (:func:`inject_plan`) so a crashed
+test can never leak an armed plan into the next one.
+
+The injector also books every fired point into the metrics registry
+(``resilience.faults_fired`` + ``resilience.fault.<kind>``) so campaign
+reports can prove the fault actually triggered — a chaos test whose fault
+silently missed its trigger index is a green lie.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Iterator, Optional
+
+from repro.errors import InjectedFault, OutOfMemory
+from repro.faults.plan import FaultPlan, FaultPoint
+
+
+class FaultInjector:
+    """Holds the active plan and evaluates trigger points."""
+
+    def __init__(self) -> None:
+        self.plan: Optional[FaultPlan] = None
+        self._alloc_ops = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def activate(self, plan: FaultPlan) -> None:
+        plan.reset()
+        self.plan = plan
+        self._alloc_ops = 0
+
+    def deactivate(self) -> None:
+        self.plan = None
+        self._alloc_ops = 0
+
+    @property
+    def active(self) -> bool:
+        return self.plan is not None
+
+    def _fire(self, point: FaultPoint) -> None:
+        point.fired += 1
+        from repro.obs.metrics import get_registry
+        reg = get_registry()
+        reg.counter("resilience.faults_fired").inc()
+        reg.counter(f"resilience.fault.{point.kind}").inc()
+
+    # -- hooks ---------------------------------------------------------------
+
+    def on_alloc(self) -> None:
+        """Called by the allocator before each malloc; may raise OOM."""
+        plan = self.plan
+        if plan is None:
+            return
+        op = self._alloc_ops
+        self._alloc_ops += 1
+        for point in plan.points_of("alloc-oom"):
+            if point.at == op and point.armed:
+                self._fire(point)
+                raise OutOfMemory(
+                    f"injected allocator OOM at malloc op {op}")
+
+    def on_analysis_chunk(self, index: int) -> None:
+        """Called at the top of each supervised analysis chunk attempt."""
+        plan = self.plan
+        if plan is None:
+            return
+        for point in plan.points_of("worker-exc", "worker-hang"):
+            if point.at != index or not point.armed:
+                continue
+            self._fire(point)
+            if point.kind == "worker-hang":
+                time.sleep(point.seconds)
+            else:
+                raise InjectedFault("worker-exc",
+                                    f"analysis chunk {index}")
+
+    def on_trace_chunk(self, seq: int, line: bytes) -> Optional[bytes]:
+        """Called by the trace writer with each serialized chunk line.
+
+        Returns the (possibly corrupted) line to write, or ``None`` to
+        stop the stream (truncation).  ``save-crash`` raises instead —
+        modelling the writer process dying mid-save.
+        """
+        plan = self.plan
+        if plan is None:
+            return line
+        for point in plan.points_of("trace-truncate"):
+            if point.at == seq and point.armed:
+                self._fire(point)
+                return None
+        for point in plan.points_of("save-crash"):
+            # fires *after* chunk ``at`` was written, on the next one
+            if point.at + 1 == seq and point.armed:
+                self._fire(point)
+                raise InjectedFault("save-crash",
+                                    f"writer killed before chunk {seq}")
+        for point in plan.points_of("trace-corrupt"):
+            if point.at == seq and point.armed:
+                self._fire(point)
+                return _flip_payload(line)
+        return line
+
+
+def _flip_payload(line: bytes) -> bytes:
+    """Damage a chunk line without breaking the outer JSON framing.
+
+    Swaps the case of the first alphabetic byte inside the payload span,
+    which changes the payload's checksum input while keeping the line
+    parseable — the reader must catch this via the checksum, not via a
+    JSON decode error (the harder, realistic bit-rot case).
+    """
+    marker = b'"payload"'
+    start = line.find(marker)
+    if start < 0:
+        return line[:-10] + b"CORRUPTED" + line[-1:]
+    for i in range(start + len(marker), len(line)):
+        b = line[i:i + 1]
+        if b.isalpha():
+            return line[:i] + b.swapcase() + line[i + 1:]
+    return line
+
+
+#: the process-wide injector (hot paths consult it through the helpers)
+_INJECTOR = FaultInjector()
+
+
+def get_injector() -> FaultInjector:
+    return _INJECTOR
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _INJECTOR.plan
+
+
+@contextlib.contextmanager
+def inject_plan(plan: Optional[FaultPlan]) -> Iterator[FaultInjector]:
+    """Arm ``plan`` for the duration of the with-block (None = no-op)."""
+    if plan is None:
+        yield _INJECTOR
+        return
+    _INJECTOR.activate(plan)
+    try:
+        yield _INJECTOR
+    finally:
+        _INJECTOR.deactivate()

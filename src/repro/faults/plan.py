@@ -1,0 +1,205 @@
+"""Fault plans: the ``taskgrind-fault-plan/1`` document.
+
+A plan is a list of fault points.  Each point names one injector hook
+(``kind``), the trigger index at that hook (``at``), and optional
+kind-specific parameters.  The schema is deliberately small and positional
+so plans are byte-stable and diffable — the chaos CI matrix checks plans
+into the workflow verbatim.
+
+Kinds
+-----
+
+==================  ========================================================
+kind                fires where
+==================  ========================================================
+``alloc-oom``       the ``at``-th guest ``malloc`` raises
+                    :class:`~repro.errors.OutOfMemory`
+``worker-exc``      analysis chunk ``at`` raises
+                    :class:`~repro.errors.InjectedFault` in its worker
+                    (every attempt, so retries exhaust into quarantine
+                    unless ``times`` bounds it)
+``worker-hang``     analysis chunk ``at`` sleeps ``seconds`` per attempt —
+                    the supervisor's per-chunk deadline must fire
+``trace-truncate``  the trace writer stops after chunk ``at`` (and emits a
+                    torn half-line, as a crashed writer would)
+``trace-corrupt``   the trace writer flips payload bytes of chunk ``at``
+                    *after* computing its checksum
+``save-crash``      the trace writer raises mid-stream after chunk ``at``
+                    (exercises the atomic tmp+rename guarantee)
+==================  ========================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+FAULT_PLAN_SCHEMA = "taskgrind-fault-plan/1"
+
+FAULT_KINDS = (
+    "alloc-oom",
+    "worker-exc",
+    "worker-hang",
+    "trace-truncate",
+    "trace-corrupt",
+    "save-crash",
+)
+
+#: kinds that target the analysis supervisor's chunk loop
+ANALYSIS_KINDS = ("worker-exc", "worker-hang")
+#: kinds that target the trace writer's chunk stream
+TRACE_KINDS = ("trace-truncate", "trace-corrupt", "save-crash")
+
+
+@dataclass
+class FaultPoint:
+    """One planned failure: ``kind`` fires at trigger index ``at``."""
+
+    kind: str
+    at: int
+    #: how many times the point fires before disarming (0 = unlimited);
+    #: ``worker-exc`` with ``times=1`` fails the first attempt only, so a
+    #: retrying supervisor recovers instead of quarantining
+    times: int = 0
+    #: ``worker-hang`` sleep length per attempt
+    seconds: float = 0.05
+    fired: int = 0
+
+    def to_dict(self) -> dict:
+        doc: dict = {"kind": self.kind, "at": self.at}
+        if self.times:
+            doc["times"] = self.times
+        if self.kind == "worker-hang":
+            doc["seconds"] = self.seconds
+        return doc
+
+    @property
+    def armed(self) -> bool:
+        return self.times == 0 or self.fired < self.times
+
+    def validate(self) -> List[str]:
+        problems = []
+        if self.kind not in FAULT_KINDS:
+            problems.append(f"unknown fault kind {self.kind!r} "
+                            f"(choose from {list(FAULT_KINDS)})")
+        if not isinstance(self.at, int) or self.at < 0:
+            problems.append(f"fault point 'at' must be a non-negative "
+                            f"integer, got {self.at!r}")
+        if self.times < 0:
+            problems.append(f"fault point 'times' must be >= 0, "
+                            f"got {self.times!r}")
+        if self.seconds < 0:
+            problems.append(f"fault point 'seconds' must be >= 0, "
+                            f"got {self.seconds!r}")
+        return problems
+
+
+@dataclass
+class FaultPlan:
+    """An ordered list of fault points plus a human-readable name."""
+
+    points: List[FaultPoint] = field(default_factory=list)
+    name: str = ""
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def single(cls, kind: str, at: int, **params) -> "FaultPlan":
+        """A one-point plan (the common chaos-matrix shape)."""
+        return cls(points=[FaultPoint(kind=kind, at=at, **params)],
+                   name=f"{kind}@{at}")
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        if doc.get("schema") != FAULT_PLAN_SCHEMA:
+            raise ValueError(
+                f"not a fault plan: schema={doc.get('schema')!r} "
+                f"(expected {FAULT_PLAN_SCHEMA})")
+        points = [FaultPoint(kind=p["kind"], at=int(p["at"]),
+                             times=int(p.get("times", 0)),
+                             seconds=float(p.get("seconds", 0.05)))
+                  for p in doc.get("faults", [])]
+        plan = cls(points=points, name=doc.get("name", ""))
+        problems = plan.validate()
+        if problems:
+            raise ValueError("invalid fault plan: " + "; ".join(problems))
+        return plan
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def to_dict(self) -> dict:
+        return {"schema": FAULT_PLAN_SCHEMA, "name": self.name,
+                "faults": [p.to_dict() for p in self.points]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    # -- queries -------------------------------------------------------------
+
+    def validate(self) -> List[str]:
+        problems: List[str] = []
+        for i, point in enumerate(self.points):
+            problems.extend(f"faults[{i}]: {p}" for p in point.validate())
+        return problems
+
+    def points_of(self, *kinds: str) -> List[FaultPoint]:
+        return [p for p in self.points if p.kind in kinds]
+
+    def fired_summary(self) -> Dict[str, int]:
+        """``{kind@at: fired}`` for post-run reporting."""
+        return {f"{p.kind}@{p.at}": p.fired for p in self.points}
+
+    def reset(self) -> None:
+        for p in self.points:
+            p.fired = 0
+
+
+def load_fault_plan(path: str) -> FaultPlan:
+    """Read and validate a plan file (the ``--fault-plan`` argument)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: fault plan is not valid JSON: {exc}") \
+                from exc
+    try:
+        return FaultPlan.from_dict(doc)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from exc
+
+
+def builtin_matrix() -> List[FaultPlan]:
+    """The fixed chaos-smoke matrix (CI + ``python -m repro.faults``).
+
+    One plan per fault class, trigger indices chosen so the target
+    structure exists by the time the fault fires (malloc op 1 exists once
+    the program allocates anything after its first block; analysis chunk 0
+    and trace chunk 1+ always exist for a racy program).
+    """
+    hang = FaultPlan.single("worker-hang", 0, seconds=0.2)
+    return [
+        FaultPlan.single("alloc-oom", 1),
+        FaultPlan.single("worker-exc", 0),
+        hang,
+        FaultPlan.single("trace-truncate", 2),
+        FaultPlan.single("trace-corrupt", 1),
+        FaultPlan.single("save-crash", 1),
+    ]
+
+
+_BUILTIN_NAMES: Optional[Dict[str, FaultPlan]] = None
+
+
+def builtin_plan(name: str) -> FaultPlan:
+    """Look up a matrix plan by its ``kind@at`` name."""
+    global _BUILTIN_NAMES
+    if _BUILTIN_NAMES is None:
+        _BUILTIN_NAMES = {p.name: p for p in builtin_matrix()}
+    try:
+        return _BUILTIN_NAMES[name]
+    except KeyError:
+        raise ValueError(f"unknown builtin fault plan {name!r} "
+                         f"(choose from {sorted(_BUILTIN_NAMES)})") from None

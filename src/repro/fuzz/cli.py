@@ -12,7 +12,8 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.fuzz.diff import DiffResult, run_differential
+from repro.fuzz.diff import (DiffResult, run_differential,
+                             run_fault_differential)
 from repro.fuzz.executors import fuzz_options
 from repro.fuzz.gen import generate
 from repro.fuzz.shrink import shrink, write_reproducer
@@ -56,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="intentionally disable one suppression class "
                              "(harness self-test: must produce divergences)")
+    parser.add_argument("--faults", action="store_true",
+                        help="fault-injection campaign: drive each program "
+                             "through the resilient pipeline under every "
+                             "builtin fault plan and assert the salvaged "
+                             "report set is a subset of the fault-free "
+                             "run's (no shrinking in this mode)")
     return parser
 
 
@@ -75,11 +82,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     deadline = time.monotonic() + args.budget if args.budget > 0 else None
 
     divergent: List[DiffResult] = []
-    report = {"schema": "taskgrind-fuzz-campaign/1",
+    schema = ("taskgrind-fault-campaign/1" if args.faults
+              else "taskgrind-fuzz-campaign/1")
+    report = {"schema": schema,
               "seeds": [], "divergent": [], "config": {
                   "schedules": args.schedules, "families": families,
                   "base_seed": args.base_seed,
-                  "break_suppression": args.break_suppression}}
+                  "break_suppression": args.break_suppression,
+                  "faults": args.faults}}
     ran = 0
     stopped_early = False
     with registry.phase("fuzz.campaign"):
@@ -90,8 +100,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed = args.base_seed + i
             family = families[seed % len(families)]
             program = generate(seed, family=family)
-            result = run_differential(program, schedules=args.schedules,
-                                      taskgrind_options=options)
+            if args.faults:
+                result = run_fault_differential(program,
+                                                schedules=args.schedules)
+            else:
+                result = run_differential(program, schedules=args.schedules,
+                                          taskgrind_options=options)
             ran += 1
             report["seeds"].append({
                 "seed": seed, "family": program.family,
@@ -107,7 +121,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                      "kinds": result.kinds(),
                      "divergences": [str(d) for d in result.divergences],
                      "program": json.loads(program.to_json())}
-            if not args.no_shrink:
+            if not args.no_shrink and not args.faults:
                 kinds = set(result.kinds())
 
                 def still_fails(candidate) -> bool:

@@ -167,6 +167,76 @@ def run_differential(program: FuzzProgram, *, schedules: int = 4,
     return result
 
 
+def run_fault_differential(program: FuzzProgram, *, schedules: int = 2,
+                           plans=None,
+                           taskgrind_options: Optional[TaskgrindOptions]
+                           = None) -> DiffResult:
+    """Fault-campaign oracle: salvage must never *invent* evidence.
+
+    For each schedule seed, one fault-free run fixes the full report set;
+    then each fault plan drives the resilient pipeline (salvaged run →
+    damaged trace → salvage load → supervised analysis) and two invariants
+    are checked, reusing the differential divergence taxonomy:
+
+    * ``crash`` — an exception escaped the resilient pipeline (the whole
+      point of the resilience layer is that nothing does);
+    * ``spurious-race`` — the salvaged report set is not a subset of the
+      fault-free run's (degradation may lose races, never add them).
+
+    Whether each plan actually fired is recorded per outcome in the
+    campaign report; trigger indices are program-shape-dependent, so a
+    non-firing point is campaign telemetry, not a divergence.
+    """
+    from repro.faults.plan import builtin_matrix
+    from repro.fuzz.executors import fault_fuzz_options, run_taskgrind_salvaged
+    registry = get_registry()
+    result = DiffResult(program=program)
+    div = result.divergences.append
+    plans = plans if plans is not None else builtin_matrix()
+    options = taskgrind_options if taskgrind_options is not None \
+        else fault_fuzz_options()
+    registry.counter("fuzz.fault_programs").inc()
+
+    with registry.phase("fuzz.faults"):
+        result.truth = ground_truth(program)
+        for k in range(schedules):
+            schedule_seed = program.seed * 1000 + k
+            full = run_taskgrind(program, schedule_seed=schedule_seed,
+                                 options=options)
+            result.outcomes.append(full)
+            registry.counter("fuzz.schedule_runs").inc()
+            if full.crashed:
+                div(Divergence("crash",
+                               f"fault-free run raised {full.crashed}",
+                               schedule_seed))
+                continue
+            for plan in plans:
+                outcome, info = run_taskgrind_salvaged(
+                    program, schedule_seed=schedule_seed, plan=plan,
+                    options=options)
+                registry.counter("fuzz.fault_runs").inc()
+                if outcome.crashed:
+                    div(Divergence(
+                        "crash",
+                        f"[{plan.name}] escaped the resilient pipeline: "
+                        f"{outcome.crashed}", schedule_seed))
+                    continue
+                extra = outcome.slots - full.slots
+                if extra:
+                    div(Divergence(
+                        "spurious-race",
+                        f"[{plan.name}] salvage invented {sorted(extra)} "
+                        f"(full run reported {sorted(full.slots)})",
+                        schedule_seed))
+
+    _dedup(result)
+    if not result.ok:
+        registry.counter("fuzz.divergences").inc()
+        for kind in result.kinds():
+            registry.counter(f"fuzz.divergence.{kind}").inc()
+    return result
+
+
 def _dedup(result: DiffResult) -> None:
     """Collapse per-schedule repeats of the same (kind, detail)."""
     seen = set()

@@ -115,12 +115,100 @@ def run_taskgrind(program: FuzzProgram, *, schedule_seed: int,
                       report_count=len(reports))
 
 
+def fault_fuzz_options() -> TaskgrindOptions:
+    """Fuzz options for fault campaigns: supervised parallel analysis with a
+    short per-chunk deadline so planted hangs quarantine instead of
+    stalling a nightly run."""
+    opts = fuzz_options()
+    opts.analysis = "parallel"
+    opts.analysis_workers = 2
+    opts.analysis_deadline_s = 0.1
+    opts.analysis_max_retries = 1
+    return opts
+
+
+def run_taskgrind_salvaged(program: FuzzProgram, *, schedule_seed: int,
+                           plan, options: Optional[TaskgrindOptions] = None
+                           ) -> Tuple[RunOutcome, dict]:
+    """The full resilient pipeline under an armed fault plan.
+
+    Run (crashes salvage the recorded prefix) → trace save (tolerating
+    planted truncation/corruption/writer death) → salvage load + supervised
+    analysis.  ``outcome.slots`` is the union of everything either pass
+    still reported; ``outcome.crashed`` is set ONLY when an exception
+    *escapes* the pipeline — a planned crash that was salvaged is recorded
+    in ``info["crashed_run"]`` and is not a failure.
+    """
+    import os
+    import tempfile
+
+    from repro.core.trace import analyze_trace_with_stats, save_trace
+    from repro.errors import InjectedFault
+    from repro.faults.inject import inject_plan
+
+    options = options if options is not None else fault_fuzz_options()
+    info = {"plan": plan.name, "crashed_run": "", "trace_written": False,
+            "coverage_complete": None, "fired": {}}
+    try:
+        if program.family == "feb":
+            machine, tool, addr_map, entry = _exec_qthreads(
+                program, schedule_seed, options)
+        else:
+            machine, tool, addr_map, entry = _exec_openmp(
+                program, schedule_seed, options)
+        with inject_plan(plan):
+            try:
+                machine.run(entry)
+            except (SimDeadlock, GuestCrash, OutOfMemory) as exc:
+                info["crashed_run"] = type(exc).__name__
+            reports = tool.finalize()
+        slots, noise = normalize(reports, addr_map)
+        slots, noise = set(slots), list(noise)
+        info["fired"] = dict(plan.fired_summary())
+
+        tmpdir = tempfile.mkdtemp(prefix="taskgrind-fuzz-faults-")
+        trace_path = os.path.join(tmpdir, "salvage.trace.json")
+        try:
+            try:
+                with inject_plan(plan):
+                    save_trace(tool, machine, trace_path)
+            except InjectedFault:
+                pass        # the writer died; target must be untouched
+            for name, count in plan.fired_summary().items():
+                info["fired"][name] = info["fired"].get(name, 0) + count
+            if os.path.exists(trace_path):
+                info["trace_written"] = True
+                offline, stats = analyze_trace_with_stats(
+                    trace_path, mode="parallel", workers=2)
+                info["coverage_complete"] = stats["coverage"]["complete"]
+                oslots, onoise = normalize(offline, addr_map)
+                slots |= set(oslots)
+                noise.extend(onoise)
+        finally:
+            for name in os.listdir(tmpdir):
+                os.unlink(os.path.join(tmpdir, name))
+            os.rmdir(tmpdir)
+    except Exception as exc:    # noqa: BLE001 - an escape IS the finding
+        return (RunOutcome(schedule_seed, crashed=repr(exc)), info)
+    return (RunOutcome(schedule_seed, slots=frozenset(slots),
+                       noise=tuple(sorted(set(noise))),
+                       report_count=len(reports)), info)
+
+
 # ---------------------------------------------------------------------------
 # OpenMP families
 # ---------------------------------------------------------------------------
 
 def _run_openmp(program: FuzzProgram, seed: int,
                 options: TaskgrindOptions):
+    machine, tool, addr_map, entry = _exec_openmp(program, seed, options)
+    machine.run(entry)
+    return tool.finalize(), addr_map
+
+
+def _exec_openmp(program: FuzzProgram, seed: int,
+                 options: TaskgrindOptions):
+    """Build the run but don't start it: (machine, tool, addr_map, entry)."""
     from repro.openmp.api import make_env
 
     machine = Machine(seed=seed)
@@ -218,8 +306,7 @@ def _run_openmp(program: FuzzProgram, seed: int,
             # sp / tasks: the root body runs in the single region
             env.parallel_single(lambda: run_ops(arena, program.body))
 
-    machine.run(main)
-    return tool.finalize(), addr_map
+    return machine, tool, addr_map, main
 
 
 def _dep_token_count(program: FuzzProgram) -> int:
@@ -234,6 +321,14 @@ def _dep_token_count(program: FuzzProgram) -> int:
 
 def _run_qthreads(program: FuzzProgram, seed: int,
                   options: TaskgrindOptions):
+    machine, tool, addr_map, entry = _exec_qthreads(program, seed, options)
+    machine.run(entry)
+    return tool.finalize(), addr_map
+
+
+def _exec_qthreads(program: FuzzProgram, seed: int,
+                   options: TaskgrindOptions):
+    """Build the run but don't start it: (machine, tool, addr_map, entry)."""
     from repro.core.qthreads_shim import attach_qthreads
     from repro.fuzz.spec import feb_word_sites
     from repro.qthreads.runtime import make_qthreads_env
@@ -293,5 +388,4 @@ def _run_qthreads(program: FuzzProgram, seed: int,
 
             env.run(qmain, env)
 
-    machine.run(main)
-    return tool.finalize(), addr_map
+    return machine, tool, addr_map, main

@@ -24,10 +24,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import DoubleFree, OutOfMemory
+from repro.faults.inject import get_injector
 from repro.machine.memory import AddressSpace, Region
 from repro.obs.tracer import get_tracer
 
 _TRACER = get_tracer()
+_FAULTS = get_injector()
 
 ALIGNMENT = 16
 
@@ -94,6 +96,8 @@ class Allocator:
         """Allocate ``size`` bytes; returns the block metadata."""
         if size <= 0:
             raise ValueError(f"malloc of non-positive size {size}")
+        if _FAULTS.plan is not None:
+            _FAULTS.on_alloc()            # may raise an injected OutOfMemory
         want = _align(size)
         addr = self._take_from_free_list(want)
         recycled = addr is not None

@@ -5,7 +5,8 @@ import json
 import pytest
 
 from repro.core.offline import main as offline_main
-from repro.core.trace import analyze_trace, load_trace, save_trace
+from repro.core.trace import (_payload_crc, analyze_trace, load_trace,
+                              save_trace)
 
 
 def racy_listing(env):
@@ -71,10 +72,18 @@ class TestRoundTrip:
 
     def test_version_gate(self, trace_path, tmp_path):
         path, _ = trace_path
-        doc = json.load(open(path))
-        doc["version"] = 99
+        lines = open(path).read().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = 99
+        lines[0] = json.dumps(header)
         bad = tmp_path / "bad.json"
-        bad.write_text(json.dumps(doc))
+        bad.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            load_trace(str(bad))
+
+    def test_version_gate_legacy_doc(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 99, "graph": {}}))
         with pytest.raises(ValueError, match="version"):
             load_trace(str(bad))
 
@@ -93,10 +102,16 @@ class TestSuppressionsOffline:
         tool, machine = run_taskgrind(stacky_clean, nthreads=1)
         path = tmp_path / "clean.json"
         save_trace(tool, machine, str(path))
-        doc = json.load(open(path))
-        doc["suppression"] = {"suppress_stack": False, "suppress_tls": False}
+        lines = open(path).read().splitlines()
+        for i, line in enumerate(lines):
+            doc = json.loads(line)
+            if doc["kind"] == "suppression":
+                doc["payload"] = {"suppress_stack": False,
+                                  "suppress_tls": False}
+                doc["crc"] = _payload_crc(doc["payload"])
+                lines[i] = json.dumps(doc)
         raw = tmp_path / "raw.json"
-        raw.write_text(json.dumps(doc))
+        raw.write_text("\n".join(lines) + "\n")
         assert analyze_trace(str(raw))       # the stack FP reappears
 
 

@@ -1,0 +1,185 @@
+"""Crash-tolerant trace loading: salvage semantics + atomic save.
+
+The load-bearing invariant throughout: a damaged trace may LOSE races but
+must never INVENT one — every salvaged report key must also appear in the
+fault-free analysis of the intact trace.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.offline import main as offline_main
+from repro.core.trace import (analyze_trace, analyze_trace_with_stats,
+                              load_trace, load_trace_salvaged, save_trace)
+from repro.errors import InjectedFault, TraceError
+from repro.faults.inject import inject_plan
+from repro.faults.plan import FaultPlan
+
+
+def racy_listing(env):
+    ctx = env.ctx
+    x = ctx.malloc(8, line=3, name="x")
+
+    def single_body():
+        ctx.line(8)
+        env.task(lambda tv: x.write(0, line=9), name="t8")
+        ctx.line(11)
+        env.task(lambda tv: x.write(0, line=12), name="t11")
+
+    env.parallel_single(single_body)
+
+
+@pytest.fixture
+def traced(run_taskgrind, tmp_path):
+    tool, machine = run_taskgrind(racy_listing)
+    path = tmp_path / "run.trace.json"
+    save_trace(tool, machine, str(path))
+    return str(path), tool
+
+
+def _keys(reports):
+    return {r.key() for r in reports}
+
+
+def _damaged(tmp_path, lines, name="damaged.json"):
+    path = tmp_path / name
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return str(path)
+
+
+class TestSalvage:
+    def test_intact_trace_reads_complete(self, traced):
+        path, _ = traced
+        salvaged = load_trace_salvaged(path)
+        cov = salvaged.coverage
+        assert cov.complete
+        assert cov.segments_recovered == cov.segments_total
+        assert cov.edges_recovered == cov.edges_total
+        assert cov.chunks_corrupt == 0
+
+    def test_truncation_recovers_prefix(self, traced, tmp_path):
+        path, tool = traced
+        lines = open(path).read().splitlines()
+        trunc = _damaged(tmp_path, lines[:2])      # header + segments
+        salvaged = load_trace_salvaged(trunc)
+        cov = salvaged.coverage
+        assert not cov.complete
+        assert cov.segments_recovered == len(tool.builder.graph.segments)
+        assert not cov.environment_recovered
+        assert cov.last_good_vtime > 0
+        assert any("end marker" in e for e in cov.errors)
+
+    def test_every_truncation_point_is_subset(self, traced, tmp_path):
+        """Sweep every prefix length (incl. a torn half-line): salvage
+        must degrade monotonically, never invent a report."""
+        path, tool = traced
+        full = _keys(tool.reports)
+        data = open(path, "rb").read()
+        for cut in range(0, len(data), max(1, len(data) // 40)):
+            trunc = tmp_path / "cut.json"
+            trunc.write_bytes(data[:cut])
+            reports = analyze_trace(str(trunc))
+            assert _keys(reports) <= full, f"invented a race at cut={cut}"
+
+    def test_corrupt_middle_chunk_is_skipped(self, traced, tmp_path):
+        path, tool = traced
+        lines = open(path).read().splitlines()
+        env_idx = next(i for i, line in enumerate(lines)
+                       if json.loads(line)["kind"] == "environment")
+        doc = json.loads(lines[env_idx])
+        doc["payload"]["regions"] = "rotted"       # crc now wrong
+        lines[env_idx] = json.dumps(doc)
+        bad = _damaged(tmp_path, lines)
+        salvaged = load_trace_salvaged(bad)
+        cov = salvaged.coverage
+        assert cov.chunks_corrupt == 1
+        assert cov.first_bad_chunk == doc["seq"]
+        assert cov.first_bad_byte is not None
+        assert not cov.environment_recovered
+        # the graph around the bad chunk survives untouched
+        assert cov.segments_recovered == len(tool.builder.graph.segments)
+        assert _keys(analyze_trace(bad)) <= _keys(tool.reports)
+
+    def test_empty_file_salvages_to_nothing(self, tmp_path):
+        empty = _damaged(tmp_path, [])
+        salvaged = load_trace_salvaged(empty)
+        assert salvaged.graph.segments == []
+        assert not salvaged.coverage.complete
+        assert salvaged.coverage.segments_total is None
+        assert analyze_trace(empty) == []
+
+    def test_lost_segment_chunk_drops_the_tail(self, traced, tmp_path):
+        """A gap in the dense id space makes everything after it
+        unrecoverable — the reader must not renumber across the hole."""
+        path, _ = traced
+        lines = open(path).read().splitlines()
+        kept = [line for line in lines
+                if json.loads(line)["kind"] != "segments"]
+        salvaged = load_trace_salvaged(_damaged(tmp_path, kept))
+        assert salvaged.coverage.segments_recovered == 0
+        assert salvaged.coverage.edges_recovered == 0
+
+    def test_strict_mode_raises(self, traced, tmp_path):
+        path, _ = traced
+        lines = open(path).read().splitlines()
+        trunc = _damaged(tmp_path, lines[:2])
+        with pytest.raises(TraceError):
+            analyze_trace(trunc, strict=True)
+
+    def test_coverage_block_in_stats(self, traced, tmp_path):
+        path, _ = traced
+        lines = open(path).read().splitlines()
+        trunc = _damaged(tmp_path, lines[:2])
+        _, stats = analyze_trace_with_stats(trunc)
+        assert stats["coverage"]["complete"] is False
+        assert stats["coverage"]["segments"]["recovered"] > 0
+
+
+class TestOfflineCli:
+    def test_damaged_trace_exits_cleanly(self, traced, tmp_path, capsys):
+        path, _ = traced
+        lines = open(path).read().splitlines()
+        trunc = _damaged(tmp_path, lines[:2])
+        rc = offline_main([trunc])
+        out = capsys.readouterr().out
+        assert rc in (0, 1)                  # 1 only when races survive
+        assert "WARNING: trace damaged" in out
+
+    def test_strict_flag_exits_nonzero(self, traced, tmp_path, capsys):
+        path, _ = traced
+        lines = open(path).read().splitlines()
+        trunc = _damaged(tmp_path, lines[:2])
+        assert offline_main([trunc, "--strict-trace"]) == 2
+        assert capsys.readouterr().err       # actionable message on stderr
+
+    def test_strict_flag_ok_on_intact_trace(self, traced, capsys):
+        path, _ = traced
+        assert offline_main([path, "--strict-trace"]) == 1   # races found
+        assert "WARNING: trace damaged" not in capsys.readouterr().out
+
+
+class TestAtomicSave:
+    def test_mid_stream_crash_leaves_no_partial_file(self, run_taskgrind,
+                                                     tmp_path):
+        tool, machine = run_taskgrind(racy_listing)
+        path = str(tmp_path / "crash.json")
+        with inject_plan(FaultPlan.single("save-crash", 1)):
+            with pytest.raises(InjectedFault):
+                save_trace(tool, machine, path)
+        assert not os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+    def test_mid_stream_crash_preserves_previous_trace(self, run_taskgrind,
+                                                       tmp_path):
+        tool, machine = run_taskgrind(racy_listing)
+        path = str(tmp_path / "run.json")
+        save_trace(tool, machine, path)
+        before = open(path, "rb").read()
+        with inject_plan(FaultPlan.single("save-crash", 1)):
+            with pytest.raises(InjectedFault):
+                save_trace(tool, machine, path)
+        assert open(path, "rb").read() == before
+        graph, _, _ = load_trace(path)       # and it still loads strict
+        assert graph.segments

@@ -1,0 +1,101 @@
+"""Injector hook semantics: firing indices, arming, cleanup."""
+
+import json
+
+import pytest
+
+from repro.errors import InjectedFault, OutOfMemory
+from repro.faults.inject import (_flip_payload, active_plan, get_injector,
+                                 inject_plan)
+from repro.faults.plan import FaultPlan
+
+
+class TestLifecycle:
+    def test_context_arms_and_disarms(self):
+        plan = FaultPlan.single("alloc-oom", 0)
+        assert active_plan() is None
+        with inject_plan(plan):
+            assert active_plan() is plan
+        assert active_plan() is None
+
+    def test_disarms_even_when_body_raises(self):
+        plan = FaultPlan.single("alloc-oom", 0)
+        with pytest.raises(RuntimeError):
+            with inject_plan(plan):
+                raise RuntimeError("boom")
+        assert active_plan() is None
+
+    def test_none_plan_is_a_noop(self):
+        with inject_plan(None):
+            assert active_plan() is None
+
+    def test_activation_resets_fired_counters(self):
+        plan = FaultPlan.single("alloc-oom", 0)
+        plan.points[0].fired = 7
+        with inject_plan(plan):
+            assert plan.points[0].fired == 0
+
+
+class TestAllocHook:
+    def test_fires_at_exact_op_index(self):
+        with inject_plan(FaultPlan.single("alloc-oom", 2)) as inj:
+            inj.on_alloc()                 # op 0
+            inj.on_alloc()                 # op 1
+            with pytest.raises(OutOfMemory, match="op 2"):
+                inj.on_alloc()             # op 2
+
+    def test_inert_without_plan(self):
+        inj = get_injector()
+        for _ in range(10):
+            inj.on_alloc()                 # must never raise
+
+
+class TestAnalysisHook:
+    def test_worker_exc_raises_on_its_chunk_only(self):
+        with inject_plan(FaultPlan.single("worker-exc", 1)) as inj:
+            inj.on_analysis_chunk(0)
+            with pytest.raises(InjectedFault):
+                inj.on_analysis_chunk(1)
+
+    def test_times_bounds_firing(self):
+        plan = FaultPlan.single("worker-exc", 0, times=1)
+        with inject_plan(plan) as inj:
+            with pytest.raises(InjectedFault):
+                inj.on_analysis_chunk(0)
+            inj.on_analysis_chunk(0)       # disarmed: retry succeeds
+        assert plan.points[0].fired == 1
+
+    def test_hang_sleeps_instead_of_raising(self):
+        plan = FaultPlan.single("worker-hang", 0, seconds=0.0)
+        with inject_plan(plan) as inj:
+            inj.on_analysis_chunk(0)       # no exception
+        assert plan.points[0].fired == 1
+
+
+class TestTraceHook:
+    LINE = b'{"seq": 3, "kind": "segments", "crc": 1, "payload": {"a": 1}}'
+
+    def test_truncate_stops_the_stream(self):
+        with inject_plan(FaultPlan.single("trace-truncate", 3)) as inj:
+            assert inj.on_trace_chunk(2, self.LINE) == self.LINE
+            assert inj.on_trace_chunk(3, self.LINE) is None
+
+    def test_save_crash_fires_after_its_chunk(self):
+        with inject_plan(FaultPlan.single("save-crash", 3)) as inj:
+            assert inj.on_trace_chunk(3, self.LINE) == self.LINE
+            with pytest.raises(InjectedFault):
+                inj.on_trace_chunk(4, self.LINE)
+
+    def test_corrupt_keeps_line_parseable(self):
+        """Bit-rot model: the reader must need the checksum, not a JSON
+        decode error, to notice."""
+        with inject_plan(FaultPlan.single("trace-corrupt", 3)) as inj:
+            out = inj.on_trace_chunk(3, self.LINE)
+        assert out != self.LINE
+        json.loads(out)                    # still framed JSON
+
+    def test_flip_payload_changes_payload_bytes_only(self):
+        out = _flip_payload(self.LINE)
+        marker = out.find(b'"payload"')
+        assert out[:marker] == self.LINE[:marker]
+        assert out != self.LINE

@@ -1,0 +1,103 @@
+"""Fault-plan document parsing, validation and bookkeeping."""
+
+import json
+
+import pytest
+
+from repro.faults.plan import (FAULT_KINDS, FAULT_PLAN_SCHEMA, FaultPlan,
+                               FaultPoint, builtin_matrix, builtin_plan,
+                               load_fault_plan)
+
+
+class TestRoundTrip:
+    def test_single_plan_roundtrips(self):
+        plan = FaultPlan.single("trace-truncate", 2)
+        again = FaultPlan.from_json(plan.to_json())
+        assert again.name == plan.name == "trace-truncate@2"
+        assert [p.to_dict() for p in again.points] \
+            == [p.to_dict() for p in plan.points]
+
+    def test_hang_seconds_survive(self):
+        plan = FaultPlan.single("worker-hang", 0, seconds=0.25)
+        again = FaultPlan.from_json(plan.to_json())
+        assert again.points[0].seconds == 0.25
+
+    def test_times_survives(self):
+        plan = FaultPlan.single("worker-exc", 3, times=1)
+        again = FaultPlan.from_json(plan.to_json())
+        assert again.points[0].times == 1
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        doc = {"schema": FAULT_PLAN_SCHEMA,
+               "faults": [{"kind": "disk-full", "at": 0}]}
+        with pytest.raises(ValueError, match="disk-full"):
+            FaultPlan.from_dict(doc)
+
+    def test_negative_trigger_rejected(self):
+        doc = {"schema": FAULT_PLAN_SCHEMA,
+               "faults": [{"kind": "alloc-oom", "at": -1}]}
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultPlan.from_dict(doc)
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            FaultPlan.from_dict({"schema": "nope/1", "faults": []})
+
+    def test_load_reports_path_on_bad_json(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="plan.json"):
+            load_fault_plan(str(path))
+
+    def test_load_valid_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(FaultPlan.single("alloc-oom", 1).to_json())
+        plan = load_fault_plan(str(path))
+        assert plan.points[0].kind == "alloc-oom"
+
+
+class TestBuiltins:
+    def test_matrix_covers_every_kind_once(self):
+        plans = builtin_matrix()
+        kinds = [p.points[0].kind for p in plans]
+        assert sorted(kinds) == sorted(FAULT_KINDS)
+        assert len({p.name for p in plans}) == len(plans)
+        for plan in plans:
+            assert plan.validate() == []
+
+    def test_lookup_by_name(self):
+        assert builtin_plan("alloc-oom@1").points[0].at == 1
+
+    def test_lookup_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown builtin"):
+            builtin_plan("alloc-oom@999")
+
+
+class TestFiredBookkeeping:
+    def test_armed_until_times_exhausted(self):
+        point = FaultPoint(kind="worker-exc", at=0, times=2)
+        assert point.armed
+        point.fired = 2
+        assert not point.armed
+
+    def test_unlimited_stays_armed(self):
+        point = FaultPoint(kind="worker-exc", at=0)
+        point.fired = 100
+        assert point.armed
+
+    def test_fired_summary_and_reset(self):
+        plan = FaultPlan.single("trace-corrupt", 1)
+        plan.points[0].fired = 3
+        assert plan.fired_summary() == {"trace-corrupt@1": 3}
+        plan.reset()
+        assert plan.fired_summary() == {"trace-corrupt@1": 0}
+
+    def test_plan_json_is_byte_stable(self):
+        """CI checks plans into the workflow verbatim — serialization must
+        be deterministic."""
+        a = FaultPlan.single("save-crash", 1).to_json()
+        b = FaultPlan.from_json(a).to_json()
+        assert a == b
+        assert json.loads(a)["schema"] == FAULT_PLAN_SCHEMA

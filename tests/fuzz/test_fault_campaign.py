@@ -1,0 +1,37 @@
+"""Fault-injection campaign mode: salvage must never invent evidence."""
+
+from repro.faults.plan import FaultPlan
+from repro.fuzz.diff import run_fault_differential
+from repro.fuzz.executors import (fault_fuzz_options, run_taskgrind,
+                                  run_taskgrind_salvaged)
+from repro.fuzz.gen import generate
+
+
+class TestFaultDifferential:
+    def test_builtin_matrix_is_clean_on_seed_batch(self):
+        """The standing promise the chaos-smoke CI job enforces."""
+        for seed in (1, 2, 3):
+            result = run_fault_differential(generate(seed), schedules=1)
+            assert result.ok, (f"seed {seed}: "
+                               f"{[str(d) for d in result.divergences]}")
+
+    def test_truncation_reports_are_a_subset(self):
+        program = generate(2)
+        options = fault_fuzz_options()
+        full = run_taskgrind(program, schedule_seed=2000, options=options)
+        assert not full.crashed
+        outcome, info = run_taskgrind_salvaged(
+            program, schedule_seed=2000,
+            plan=FaultPlan.single("trace-truncate", 2), options=options)
+        assert not outcome.crashed
+        assert info["fired"].get("trace-truncate@2", 0) >= 1
+        assert outcome.slots <= full.slots
+
+    def test_fault_runs_are_counted(self):
+        from repro.obs.metrics import get_registry
+        reg = get_registry()
+        before = reg.counter("fuzz.fault_runs").value
+        run_fault_differential(
+            generate(4), schedules=1,
+            plans=[FaultPlan.single("worker-exc", 0, times=1)])
+        assert reg.counter("fuzz.fault_runs").value > before

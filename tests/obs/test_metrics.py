@@ -242,7 +242,8 @@ class TestStatsDocuments:
         path = str(tmp_path / "trace.json")
         save_trace(result.tool_obj, result.machine, path)
         with open(path) as fh:
-            embedded = json.load(fh)["stats"]
+            embedded = next(json.loads(line)["payload"] for line in fh
+                            if json.loads(line)["kind"] == "stats")
         assert embedded["schema"] == "taskgrind-stats/1"
 
         reports, stats = analyze_trace_with_stats(path)
