@@ -163,10 +163,13 @@ def _analyze_once(graph: SegmentGraph, *, legacy: bool) -> List[RaceCandidate]:
             if ranges:
                 out.append(RaceCandidate(s1, s2, ranges))
         return out
-    return find_races_indexed(graph)
+    # the fast side is the full current stack: order-maintenance index +
+    # the batched numpy conflict kernel (degrades to python when absent)
+    return find_races_indexed(graph, kernel="numpy")
 
 
 def bench_analyze(graph: SegmentGraph, repeats: int) -> Dict[str, float]:
+    from repro.core.npkernel import HAVE_NUMPY
     for seg in graph.segments:
         seg.flush_accesses()
 
@@ -175,6 +178,7 @@ def bench_analyze(graph: SegmentGraph, repeats: int) -> Dict[str, float]:
         graph._reach = None                 # cold DP, like a fresh finalize
         for seg in graph.segments:
             seg._rset = seg._wset = None    # cold set caches too
+            seg._nparr = None               # ... and the kernel arrays
         t0 = time.perf_counter()
         cands = _analyze_once(graph, legacy=legacy)
         return time.perf_counter() - t0, cands
@@ -187,6 +191,7 @@ def bench_analyze(graph: SegmentGraph, repeats: int) -> Dict[str, float]:
     graph.hb_mode = "auto"
     return {"legacy_s": legacy, "fast_s": fast,
             "speedup": legacy / fast if fast else float("inf"),
+            "kernel": "numpy" if HAVE_NUMPY else "python",
             "candidates": len(a)}
 
 
@@ -258,11 +263,16 @@ def render(results: Dict) -> str:
 
 def compare_to_baseline(fresh: Dict, baseline: Dict,
                         tolerance: float) -> Tuple[bool, List[str]]:
-    """The CI regression gate: fresh vs committed ``combined_speedup``.
+    """The CI regression gate: fresh vs committed speedups.
 
     Only workloads present in both documents are compared (the quick CI
-    preset skips LULESH); a workload fails when its fresh combined speedup
-    fell more than ``tolerance`` (a fraction) below the baseline's.
+    preset skips LULESH).  Two checks per workload, both at the same
+    ``tolerance`` (a fraction) below the committed baseline:
+
+    * ``combined_speedup`` — the original record+analyze gate;
+    * ``analyze.speedup`` — the analyze-side target (the vectorized kernel
+      must keep heat/lulesh at their ≥2× baseline).
+
     Returns ``(ok, report_lines)``.
     """
     lines: List[str] = []
@@ -278,8 +288,18 @@ def compare_to_baseline(fresh: Dict, baseline: Dict,
         verdict = "ok" if got >= floor else "REGRESSION"
         if got < floor:
             ok = False
-        lines.append(f"{wl:<10} baseline {base:.2f}x  fresh {got:.2f}x  "
-                     f"floor {floor:.2f}x  {verdict}")
+        lines.append(f"{wl:<10} combined  baseline {base:.2f}x  "
+                     f"fresh {got:.2f}x  floor {floor:.2f}x  {verdict}")
+        base_a = baseline["workloads"][wl].get("analyze", {}).get("speedup")
+        if base_a is None:
+            continue
+        got_a = fresh["workloads"][wl]["analyze"]["speedup"]
+        floor_a = base_a * (1.0 - tolerance)
+        verdict = "ok" if got_a >= floor_a else "REGRESSION"
+        if got_a < floor_a:
+            ok = False
+        lines.append(f"{wl:<10} analyze   baseline {base_a:.2f}x  "
+                     f"fresh {got_a:.2f}x  floor {floor_a:.2f}x  {verdict}")
     return ok, lines
 
 

@@ -149,8 +149,26 @@ def _candidate_pairs(segs: Sequence[Segment]) -> Set[Tuple[int, int]]:
     return pairs
 
 
-def find_races_indexed(graph: SegmentGraph) -> List[RaceCandidate]:
-    """Address-indexed Algorithm 1 (same result set as the naive pass)."""
+def _resolve_kernel(reg, kernel: str, graph: SegmentGraph,
+                    n_pairs: int) -> str:
+    """Pick the pair-check kernel for this pass and publish the choice."""
+    from repro.core import npkernel
+    used = npkernel.resolve_kernel(kernel, graph, n_pairs)
+    if kernel == "numpy" and used == "python":
+        # requested but unavailable: degrade loudly, not fatally
+        reg.counter("analysis.kernel_fallbacks").inc()
+    reg.gauge("analysis.kernel").set(used)
+    return used
+
+
+def find_races_indexed(graph: SegmentGraph, *,
+                       kernel: str = "auto") -> List[RaceCandidate]:
+    """Address-indexed Algorithm 1 (same result set as the naive pass).
+
+    ``kernel`` selects the pair-check backend: ``python`` (the oracle loop),
+    ``numpy`` (batched array sweeps, :mod:`repro.core.npkernel`) or ``auto``.
+    Both kernels produce identical candidate lists.
+    """
     reg = get_registry()
     out: List[RaceCandidate] = []
     with reg.phase("analysis"):
@@ -161,19 +179,28 @@ def find_races_indexed(graph: SegmentGraph) -> List[RaceCandidate]:
             pairs = _candidate_pairs(segs)
         reg.counter("analysis.candidate_pairs").inc(len(pairs))
         ordered = 0
-        # iterate unsorted and sort only the (much smaller) surviving
-        # candidate list — segment ids increase with segs-list index, so
-        # sorting by key() yields the same deterministic order as sorting
-        # all pairs up front
-        with reg.phase("analysis.pairs"):
-            for i, j in pairs:
-                s1, s2 = segs[i], segs[j]
-                if graph.ordered(s1, s2):
-                    ordered += 1
-                    continue
-                ranges = _conflict_ranges(s1, s2)
-                if ranges:
-                    out.append(RaceCandidate(s1, s2, ranges))
+        used = _resolve_kernel(reg, kernel, graph, len(pairs))
+        if used == "numpy":
+            from repro.core.npkernel import KernelContext
+            with reg.phase("analysis.pairs"):
+                ctx = KernelContext(graph, segs)
+                found, ordered = ctx.check_pairs(list(pairs))
+                out = [RaceCandidate(segs[i], segs[j], ranges)
+                       for i, j, ranges in found]
+        else:
+            # iterate unsorted and sort only the (much smaller) surviving
+            # candidate list — segment ids increase with segs-list index, so
+            # sorting by key() yields the same deterministic order as sorting
+            # all pairs up front
+            with reg.phase("analysis.pairs"):
+                for i, j in pairs:
+                    s1, s2 = segs[i], segs[j]
+                    if graph.ordered(s1, s2):
+                        ordered += 1
+                        continue
+                    ranges = _conflict_ranges(s1, s2)
+                    if ranges:
+                        out.append(RaceCandidate(s1, s2, ranges))
         out.sort(key=lambda c: c.key())
         _record_pass(reg, "indexed", len(pairs), ordered, len(out))
     return out
@@ -253,7 +280,8 @@ def find_races_supervised(graph: SegmentGraph, *,
                           workers: Optional[int] = None,
                           deadline_s: Optional[float] = None,
                           max_retries: int = 2,
-                          backoff_s: float = 0.01) -> PartialAnalysis:
+                          backoff_s: float = 0.01,
+                          kernel: str = "auto") -> PartialAnalysis:
     """The parallel pass under supervision.
 
     Every chunk is attempted up to ``1 + max_retries`` times with
@@ -279,6 +307,13 @@ def find_races_supervised(graph: SegmentGraph, *,
             pairs = sorted(_candidate_pairs(segs))
         reg.counter("analysis.candidate_pairs").inc(len(pairs))
         result.pairs_total = len(pairs)
+        used = _resolve_kernel(reg, kernel, graph, len(pairs))
+        kctx = None
+        if used == "numpy":
+            from repro.core.npkernel import KernelContext
+            with reg.phase("analysis.prepare"):
+                # built single-threaded; chunk workers only read it
+                kctx = KernelContext(graph, segs)
 
         def check(index: int, chunk: Sequence[Tuple[int, int]]
                   ) -> Tuple[List[RaceCandidate], int]:
@@ -287,6 +322,11 @@ def find_races_supervised(graph: SegmentGraph, *,
             n_ordered = 0
             # per-worker-thread phase: wall seconds sum across workers
             with reg.phase("analysis.pairs"):
+                if kctx is not None:
+                    hits, n_ordered = kctx.check_pairs(chunk)
+                    found = [RaceCandidate(segs[i], segs[j], ranges)
+                             for i, j, ranges in hits]
+                    return found, n_ordered
                 for i, j in chunk:
                     s1, s2 = segs[i], segs[j]
                     if graph.ordered(s1, s2):
@@ -374,7 +414,8 @@ def find_races_supervised(graph: SegmentGraph, *,
 
 
 def find_races_parallel(graph: SegmentGraph, *,
-                        workers: Optional[int] = None) -> List[RaceCandidate]:
+                        workers: Optional[int] = None,
+                        kernel: str = "auto") -> List[RaceCandidate]:
     """Parallelized candidate verification (paper Section VII future work).
 
     Candidate generation stays sequential (it is a single cheap sweep); the
@@ -386,4 +427,5 @@ def find_races_parallel(graph: SegmentGraph, *,
     failing chunk, never the completed ones; callers that need the explicit
     coverage accounting should call :func:`find_races_supervised` directly.
     """
-    return find_races_supervised(graph, workers=workers).candidates
+    return find_races_supervised(graph, workers=workers,
+                                 kernel=kernel).candidates

@@ -36,6 +36,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--mode", default="indexed",
                         choices=["naive", "indexed", "parallel"])
     parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--analysis-kernel", default="auto",
+                        choices=["auto", "numpy", "python"],
+                        help="conflict kernel for the pair sweep (auto picks "
+                             "numpy when importable and profitable; python "
+                             "is the oracle)")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON")
     parser.add_argument("--suggest", action="store_true",
@@ -62,7 +67,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         reports, stats = analyze_trace_with_stats(
             args.trace, mode=args.mode, workers=args.workers,
-            explain=args.explain, strict=args.strict_trace)
+            explain=args.explain, strict=args.strict_trace,
+            kernel=args.analysis_kernel)
     except TraceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

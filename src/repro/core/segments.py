@@ -66,12 +66,21 @@ _WC_SLOTS = 16
 _WC_MASK = _WC_SLOTS - 1
 _WC_SHIFT = 6
 
+#: Adaptive activation threshold: a segment's pending buffer starts as a bare
+#: append list and only spins up the direct-mapped cell cache once this many
+#: accesses have arrived.  Workloads with thousands of tiny segments (deep
+#: task recursion à la fib: ~1.6 accesses per segment) never pay the
+#: ``[None] * _WC_SLOTS`` allocation + cell probing that a dense sweep
+#: amortizes over thousands of hits.
+_WC_ACTIVATE = 8
+
 #: prebound recorder counters — incremented only at drain/flush time (cold),
 #: never per access, so the write-combining hot loop stays registry-free
 _REG = get_registry()
 _TRACER = get_tracer()
 _WC_HITS = _REG.counter("record.wc_hits")
 _WC_SPILLS = _REG.counter("record.wc_spills")
+_WC_TINY_DRAINS = _REG.counter("record.wc_tiny_drains")
 _WC_FLUSHES = _REG.counter("record.wc_flushes")
 _WC_ACCESSES = _REG.counter("record.wc_accesses")
 _FLUSH_BULK_BUILD = _REG.counter("record.flush_bulk_build")
@@ -106,20 +115,40 @@ class _PendingAccesses:
     spill of evicted cells.  Nothing is sorted or tree-shaped until
     :meth:`drain`, which sorts + coalesces once and hands the result to
     :meth:`repro.util.itree.IntervalTree.build_from_sorted`.
+
+    The cell cache is *adaptive*: the first ``_WC_ACTIVATE`` accesses go to a
+    plain append list (with a last-entry hull-extend for the sequential
+    case), and the direct-mapped cells only materialize past that threshold.
     """
 
     __slots__ = ("cells", "spill", "count", "hits")
 
     def __init__(self) -> None:
-        self.cells: List[Optional[List[int]]] = [None] * _WC_SLOTS
+        #: allocated lazily once the access count clears ``_WC_ACTIVATE`` —
+        #: tiny segments stay in plain-append mode end to end
+        self.cells: Optional[List[Optional[List[int]]]] = None
         self.spill: List[Tuple[int, int]] = []
         self.count = 0
         self.hits = 0
 
     def add(self, lo: int, hi: int) -> None:
         self.count += 1
+        cells = self.cells
+        if cells is None:
+            if self.count <= _WC_ACTIVATE:
+                spill = self.spill
+                if spill:
+                    plo, phi = spill[-1]
+                    if lo <= phi and plo <= hi:     # overlap or adjacency
+                        self.hits += 1
+                        if lo < plo or hi > phi:
+                            spill[-1] = (min(lo, plo), max(hi, phi))
+                        return
+                spill.append((lo, hi))
+                return
+            cells = self.cells = [None] * _WC_SLOTS
         slot = (lo >> _WC_SHIFT) & _WC_MASK
-        cell = self.cells[slot]
+        cell = cells[slot]
         if cell is not None:
             if lo <= cell[1] and cell[0] <= hi:     # overlap or adjacency
                 if lo < cell[0]:
@@ -129,19 +158,22 @@ class _PendingAccesses:
                 self.hits += 1
                 return
             self.spill.append((cell[0], cell[1]))
-        self.cells[slot] = [lo, hi]
+        cells[slot] = [lo, hi]
 
     def drain(self) -> List[Tuple[int, int]]:
         """All buffered ranges, sorted and coalesced; resets the buffer."""
         pairs = self.spill
-        _WC_SPILLS.inc(len(pairs))
-        for cell in self.cells:
-            if cell is not None:
-                pairs.append((cell[0], cell[1]))
+        if self.cells is not None:
+            _WC_SPILLS.inc(len(pairs))
+            for cell in self.cells:
+                if cell is not None:
+                    pairs.append((cell[0], cell[1]))
+            self.cells = None
+        else:
+            _WC_TINY_DRAINS.inc()
         _WC_ACCESSES.inc(self.count)
         _WC_HITS.inc(self.hits)
         _WC_FLUSHES.inc()
-        self.cells = [None] * _WC_SLOTS
         self.spill = []
         self.count = 0
         self.hits = 0
@@ -154,7 +186,7 @@ class Segment:
 
     __slots__ = ("id", "thread_id", "task", "kind", "virtual", "open",
                  "_reads", "_writes", "_pend_r", "_pend_w", "_rset", "_wset",
-                 "loc_samples", "sp_at_start",
+                 "_nparr", "loc_samples", "sp_at_start",
                  "stack_bounds", "tls_snapshot", "label_loc", "seq_opened",
                  "seq_closed")
 
@@ -175,6 +207,7 @@ class Segment:
         self._pend_w: Optional[_PendingAccesses] = None
         self._rset: Optional[Tuple[Tuple[int, int], IntervalSet]] = None
         self._wset: Optional[Tuple[Tuple[int, int], IntervalSet]] = None
+        self._nparr: Optional[Tuple[Tuple[int, int, int, int], tuple]] = None
         #: (lo, hi, is_write, loc) samples for report rendering
         self.loc_samples: List[Tuple[int, int, bool, Optional[SourceLocation]]] = []
         self.sp_at_start = sp_at_start
@@ -283,6 +316,26 @@ class Segment:
                 s._los.append(lo)
                 s._his.append(hi)
             cached = self._wset = (key, s)
+        return cached[1]
+
+    def np_arrays(self) -> tuple:
+        """The access sets as cached sorted ``int64`` numpy arrays.
+
+        ``(w_los, w_his, r_los, r_his, rw_los, rw_his)`` in the canonical
+        normalized form — the operand layout of the ``analysis_kernel=numpy``
+        backend (see :mod:`repro.core.npkernel`).  Built once per segment
+        alongside the interval trees and invalidated by the same
+        ``(len, total_bytes)`` key as the flat set views.  Only callable when
+        numpy is available (the kernel resolver guarantees that).
+        """
+        rt, wt = self.reads, self.writes
+        key = (len(rt), rt.total_bytes, len(wt), wt.total_bytes)
+        cached = self._nparr
+        if cached is None or cached[0] != key:
+            from repro.core.npkernel import build_segment_arrays
+            cached = self._nparr = (
+                key, build_segment_arrays(self.reads_set(),
+                                          self.writes_set()))
         return cached[1]
 
     def sample_loc(self, lo: int, hi: int,

@@ -89,6 +89,20 @@ class SuppressionEngine:
             return True
         return DebugInfo.matches_any(symbol_name, cfg.ignore_list)
 
+    # -- ahead-of-time elision gate (see repro.vex.elide) ---------------------
+
+    def site_elidable(self, klass: str) -> bool:
+        """Would this engine suppress every conflict of a provably private
+        site of lattice class ``klass``?
+
+        The per-site decision the compile-time pre-pass takes *instead of*
+        the per-access ``filter_candidate`` path below — gated on the same
+        per-class toggles, so elision is always a subset of what the
+        runtime filters would have removed.
+        """
+        from repro.vex.elide import ElisionPlan
+        return ElisionPlan(self.config).site_elidable(klass)
+
     # -- analysis-time filters -------------------------------------------------
 
     def filter_candidate(self, cand: RaceCandidate) -> Optional[RaceCandidate]:

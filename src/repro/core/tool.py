@@ -43,6 +43,7 @@ from repro.core.suppress import SuppressionConfig, SuppressionEngine
 from repro.machine.cost import ToolCost
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import get_tracer
+from repro.vex.elide import ElisionPlan
 from repro.vex.events import AccessEvent
 from repro.vex.tool import Tool
 
@@ -56,6 +57,10 @@ class TaskgrindOptions:
     #: 'indexed' (default), 'naive' (faithful Algorithm 1) or 'parallel'
     analysis: str = "indexed"
     analysis_workers: int = 4
+    #: conflict kernel for the pair sweep: 'auto' (numpy when importable and
+    #: the pair count justifies it), 'numpy' or 'python' (the oracle; also
+    #: the graceful fallback when numpy is absent)
+    analysis_kernel: str = "auto"
     #: collapse reports with identical segment-label pairs
     dedupe: bool = False
     #: model the multi-thread cross-thread-confirmation lock-up (Table II)
@@ -65,6 +70,9 @@ class TaskgrindOptions:
     #: route accesses through the write-combining recorder + raw dispatch
     #: (False restores the legacy per-access tree inserts + event objects)
     fast_record: bool = True
+    #: honor ``private=True`` site declarations with compile-time elision
+    #: (no-op instrumentation); False records every declared site normally
+    elide_sites: bool = True
     #: happens-before query path: 'auto' (O(1) index with bitmask fallback),
     #: 'bitmask' (legacy DP only) or 'checked' (index cross-checked vs DP)
     hb_mode: str = "auto"
@@ -107,6 +115,9 @@ class TaskgrindTool(Tool):
         self.fast_path = self.options.fast_record
         self.builder: Optional[SegmentBuilder] = None
         self.suppressor: Optional[SuppressionEngine] = None
+        #: ahead-of-time per-site elision decisions (tg_static_site)
+        self.elision = ElisionPlan(self.options.suppression,
+                                   enabled=self.options.elide_sites)
         self.reports: List[RaceReport] = []
         self.raw_candidates: int = 0
         self.filtered_accesses = 0
@@ -159,6 +170,18 @@ class TaskgrindTool(Tool):
                       lambda p: self.builder.on_sync_end(*p))
         req.subscribe("taskgrind_deferrable",
                       lambda task: self.builder.on_task_annotate_deferrable(task))
+        req.subscribe("tg_static_site", self._on_static_site)
+
+    def _on_static_site(self, payload):
+        """A ``private=True`` declaration: decide elision for the site.
+
+        Returns the :class:`~repro.vex.elide.StaticSite` token only when the
+        site is elided — the guest attaches it to the handle and the hub
+        carries it back on every access, so the hot path is one None test.
+        """
+        name, klass, symbol, file, line = payload
+        return self.elision.declare(name, klass, symbol=symbol,
+                                    file=file, line=line)
 
     def make_ompt_shim(self) -> TaskgrindOmptShim:
         """The OMPT tool Taskgrind injects into the client (register it on
@@ -195,6 +218,11 @@ class TaskgrindTool(Tool):
     # -- access recording ------------------------------------------------------------
 
     def on_access(self, event: AccessEvent) -> None:
+        if event.site is not None:
+            # statically elided: the declaration already proved the runtime
+            # suppression verdict, so the access never enters the trees
+            self.elision.note(event.site)
+            return
         if self.suppressor.symbol_filtered(event.symbol.name):
             self.filtered_accesses += 1
             return
@@ -206,7 +234,10 @@ class TaskgrindTool(Tool):
                                    event.is_write, event.loc)
 
     def on_access_raw(self, thread_id: int, addr: int, size: int,
-                      is_write: bool, symbol, loc) -> None:
+                      is_write: bool, symbol, loc, site=None) -> None:
+        if site is not None:
+            self.elision.note(site)
+            return
         # memoized ignore/instrument-list decision (one lookup per symbol
         # name instead of re-running the pattern match per access)
         filtered = self._symbol_filtered.get(symbol.name)
@@ -256,10 +287,12 @@ class TaskgrindTool(Tool):
                 self.partial_analysis = find_races_supervised(
                     graph, workers=self.options.analysis_workers,
                     deadline_s=self.options.analysis_deadline_s,
-                    max_retries=self.options.analysis_max_retries)
+                    max_retries=self.options.analysis_max_retries,
+                    kernel=self.options.analysis_kernel)
                 candidates = self.partial_analysis.candidates
             else:
-                candidates = find_races_indexed(graph)
+                candidates = find_races_indexed(
+                    graph, kernel=self.options.analysis_kernel)
             self.raw_candidates = len(candidates)
             surviving = self.suppressor.filter_all(candidates)
             with reg.phase("report"):
@@ -334,6 +367,7 @@ class TaskgrindTool(Tool):
             doc["graph"] = graph.stats()
         doc["analysis"] = {
             "mode": self.options.analysis,
+            "kernel": self.options.analysis_kernel,
             "raw_candidates": self.raw_candidates,
             "reports": len(self.reports),
         }
@@ -354,6 +388,9 @@ class TaskgrindTool(Tool):
                 if getattr(b, "retained", False))
         if self.suppressor is not None:
             supp.update(self.suppressor.stats_doc())
+        supp["elided_sites"] = self.elision.elided_sites
+        supp["elided_accesses"] = self.elision.elided_accesses
+        supp["elision"] = self.elision.stats_doc()
         doc["suppress"] = supp
         return doc
 

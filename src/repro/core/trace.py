@@ -737,18 +737,20 @@ def load_trace_full(path: str) -> Tuple[SegmentGraph, OfflineMachineView,
 def analyze_trace(path: str, *, mode: str = "indexed",
                   workers: int = 4,
                   explain: bool = False,
-                  strict: bool = False) -> List[RaceReport]:
+                  strict: bool = False,
+                  kernel: str = "auto") -> List[RaceReport]:
     """The full offline pipeline: load, Algorithm 1, suppress, report."""
     reports, _stats = analyze_trace_with_stats(path, mode=mode,
                                                workers=workers,
                                                explain=explain,
-                                               strict=strict)
+                                               strict=strict,
+                                               kernel=kernel)
     return reports
 
 
 def analyze_trace_with_stats(path: str, *, mode: str = "indexed",
                              workers: int = 4, explain: bool = False,
-                             strict: bool = False
+                             strict: bool = False, kernel: str = "auto"
                              ) -> Tuple[List[RaceReport], dict]:
     """The offline pipeline with a per-phase stats document.
 
@@ -788,10 +790,11 @@ def analyze_trace_with_stats(path: str, *, mode: str = "indexed",
         if mode == "naive":
             candidates = find_races_naive(graph)
         elif mode == "parallel":
-            partial = find_races_supervised(graph, workers=workers)
+            partial = find_races_supervised(graph, workers=workers,
+                                            kernel=kernel)
             candidates = partial.candidates
         else:
-            candidates = find_races_indexed(graph)
+            candidates = find_races_indexed(graph, kernel=kernel)
         config = SuppressionConfig(
             suppress_tls=supp_flags.get("suppress_tls", True),
             suppress_stack=supp_flags.get("suppress_stack", True))

@@ -53,6 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write a machine-readable campaign report here")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report divergences without minimizing them")
+    parser.add_argument("--analysis-kernel", default="auto",
+                        choices=["auto", "numpy", "python"],
+                        help="conflict kernel for Taskgrind's pair sweep "
+                             "(the baselines always use the python oracle, "
+                             "so 'numpy' differentially tests the kernel)")
     parser.add_argument("--break-suppression", choices=sorted(BREAKABLE),
                         default=None,
                         help="intentionally disable one suppression class "
@@ -75,8 +80,10 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
 
-    overrides = BREAKABLE[args.break_suppression] \
+    overrides = dict(BREAKABLE[args.break_suppression]) \
         if args.break_suppression else {}
+    if args.analysis_kernel != "auto":
+        overrides["analysis_kernel"] = args.analysis_kernel
     options = fuzz_options(**overrides)
     registry = get_registry()
     deadline = time.monotonic() + args.budget if args.budget > 0 else None
@@ -88,6 +95,7 @@ def main(argv: Optional[List[str]] = None) -> int:
               "seeds": [], "divergent": [], "config": {
                   "schedules": args.schedules, "families": families,
                   "base_seed": args.base_seed,
+                  "analysis_kernel": args.analysis_kernel,
                   "break_suppression": args.break_suppression,
                   "faults": args.faults}}
     ran = 0

@@ -225,19 +225,23 @@ def _exec_openmp(program: FuzzProgram, seed: int,
         return line_counter[0]
 
     def do_noise(op, k: int) -> None:
+        # noise vars are private by construction (never escape their task),
+        # so they carry the compiler's private=True assertion — the elision
+        # pre-pass may compile their instrumentation away entirely
         kind = op[0]
         if kind == "tls":
             tls = ctx.tls_var(f"fuzz_tls{op[1]}", SLOT_BYTES,
-                              elem=SLOT_BYTES)
+                              elem=SLOT_BYTES, private=True)
             tls.write(0, line=next_line())
         elif kind == "stack":
             local = ctx.stack_var(f"fuzz_local{k}", SLOT_BYTES,
-                                  elem=SLOT_BYTES)
+                                  elem=SLOT_BYTES, private=True)
             local.write(0, line=next_line())
             local.read(0)
         elif kind == "scratch":
             scratch = ctx.malloc(SCRATCH_BYTES, elem=SLOT_BYTES,
-                                 name="scratch", line=next_line())
+                                 name="scratch", line=next_line(),
+                                 private=True)
             scratch.write(0)
             scratch.write(1)
             ctx.free(scratch)
@@ -368,16 +372,16 @@ def _exec_qthreads(program: FuzzProgram, seed: int,
                         env.readFE(words.index_addr(op[1]))
                     elif kind == "tls":
                         tls = ctx.tls_var(f"fuzz_tls{op[1]}", SLOT_BYTES,
-                                          elem=SLOT_BYTES)
+                                          elem=SLOT_BYTES, private=True)
                         tls.write(0)
                     elif kind == "stack":
                         local = ctx.stack_var(f"fuzz_local{k}", SLOT_BYTES,
-                                              elem=SLOT_BYTES)
+                                              elem=SLOT_BYTES, private=True)
                         local.write(0)
                         local.read(0)
                     elif kind == "scratch":
                         scratch = ctx.malloc(SCRATCH_BYTES, elem=SLOT_BYTES,
-                                             name="scratch")
+                                             name="scratch", private=True)
                         scratch.write(0)
                         scratch.write(1)
                         ctx.free(scratch)

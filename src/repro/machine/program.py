@@ -48,15 +48,16 @@ class GuestProgram:
 class Buffer:
     """A handle on ``[addr, addr+size)`` of simulated memory."""
 
-    __slots__ = ("ctx", "addr", "size", "name", "elem")
+    __slots__ = ("ctx", "addr", "size", "name", "elem", "site")
 
     def __init__(self, ctx: "GuestContext", addr: int, size: int,
-                 name: str = "", elem: int = 4) -> None:
+                 name: str = "", elem: int = 4, site=None) -> None:
         self.ctx = ctx
         self.addr = addr
         self.size = size
         self.name = name
         self.elem = elem           # element width for index-based access
+        self.site = site           # StaticSite token when statically elided
 
     @property
     def end(self) -> int:
@@ -70,14 +71,16 @@ class Buffer:
     def write(self, index: int = 0, value: object = None, *,
               line: Optional[int] = None, atomic: bool = False) -> None:
         addr = self.index_addr(index)
-        self.ctx.write_mem(addr, self.elem, line=line, atomic=atomic)
+        self.ctx.write_mem(addr, self.elem, line=line, atomic=atomic,
+                           site=self.site)
         if value is not None:
             self.ctx.machine.space.store(addr, self.elem, value)
 
     def read(self, index: int = 0, *, line: Optional[int] = None,
              atomic: bool = False) -> object:
         addr = self.index_addr(index)
-        self.ctx.read_mem(addr, self.elem, line=line, atomic=atomic)
+        self.ctx.read_mem(addr, self.elem, line=line, atomic=atomic,
+                          site=self.site)
         return self.ctx.machine.space.load(addr, self.elem)
 
     # -- bulk interval access ----------------------------------------------------
@@ -88,14 +91,16 @@ class Buffer:
         if hi_index <= lo_index:
             return
         self.ctx.write_mem(self.index_addr(lo_index),
-                           (hi_index - lo_index) * self.elem, line=line)
+                           (hi_index - lo_index) * self.elem, line=line,
+                           site=self.site)
 
     def read_range(self, lo_index: int, hi_index: int, *,
                    line: Optional[int] = None) -> None:
         if hi_index <= lo_index:
             return
         self.ctx.read_mem(self.index_addr(lo_index),
-                          (hi_index - lo_index) * self.elem, line=line)
+                          (hi_index - lo_index) * self.elem, line=line,
+                          site=self.site)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         label = self.name or "buf"
@@ -160,16 +165,38 @@ class GuestContext:
 
     # -- memory: variables ---------------------------------------------------------
 
+    def _declare_site(self, name: str, klass: str) -> Optional[object]:
+        """Hand a ``private=True`` declaration to the tool (tg_static_site).
+
+        Returns the :class:`~repro.vex.elide.StaticSite` token iff some tool
+        decided to elide the site; ``None`` (no subscriber, or elision
+        gated off) keeps the normal recording path.
+        """
+        tctx = self._tctx()
+        loc = tctx.location
+        return self.machine.client_requests.request(
+            "tg_static_site",
+            (name, klass, tctx.symbol.name,
+             loc.file if loc else "", loc.line if loc else 0))
+
     def malloc(self, size: int, *, name: str = "", elem: int = 4,
-               line: Optional[int] = None) -> Buffer:
-        """Heap-allocate ``size`` bytes (records the allocation call stack)."""
+               line: Optional[int] = None, private: bool = False) -> Buffer:
+        """Heap-allocate ``size`` bytes (records the allocation call stack).
+
+        ``private=True`` asserts the allocation provably never escapes its
+        creating scope (compiler-proved): its access site may be statically
+        elided (class ``alloc`` of the elision lattice).
+        """
         tctx = self._tctx()
         if line is not None:
             self.line(line)
         block = self.machine.allocator.malloc(
             size, site=tctx.location, stack=tctx.call_stack(),
             thread=tctx.thread_id)
-        return Buffer(self, block.addr, size, name=name, elem=elem)
+        site = self._declare_site(name or "malloc", "alloc") if private \
+            else None
+        return Buffer(self, block.addr, size, name=name, elem=elem,
+                      site=site)
 
     def free(self, buf: Buffer) -> None:
         self.machine.allocator.free(buf.addr)
@@ -179,37 +206,49 @@ class GuestContext:
         addr = self.machine.global_var(name, size)
         return Buffer(self, addr, size, name=name, elem=elem)
 
-    def stack_var(self, name: str, size: int = 4, *, elem: int = 4) -> Buffer:
-        """A local variable in the current frame (aliases across reuse!)."""
+    def stack_var(self, name: str, size: int = 4, *, elem: int = 4,
+                  private: bool = False) -> Buffer:
+        """A local variable in the current frame (aliases across reuse!).
+
+        ``private=True`` asserts the address provably never escapes the
+        frame: the site may be statically elided (class ``stack``).
+        """
         tctx = self._tctx()
         addr = tctx.stack.alloca(size, name=name)
-        return Buffer(self, addr, size, name=name, elem=elem)
+        site = self._declare_site(name, "stack") if private else None
+        return Buffer(self, addr, size, name=name, elem=elem, site=site)
 
-    def tls_var(self, name: str, size: int = 4, *, elem: int = 4) -> Buffer:
-        """A ``_Thread_local`` variable resolved for the *current* thread."""
+    def tls_var(self, name: str, size: int = 4, *, elem: int = 4,
+                private: bool = False) -> Buffer:
+        """A ``_Thread_local`` variable resolved for the *current* thread.
+
+        ``private=True`` asserts no cross-thread aliasing of the slot: the
+        site may be statically elided (class ``tls``).
+        """
         self.machine.tls.declare_static_var(name, size)
         addr = self.machine.tls.resolve(name, self._tctx().thread_id)
-        return Buffer(self, addr, size, name=name, elem=elem)
+        site = self._declare_site(name, "tls") if private else None
+        return Buffer(self, addr, size, name=name, elem=elem, site=site)
 
     # -- memory: raw access ------------------------------------------------------------
 
     def read_mem(self, addr: int, size: int, *, line: Optional[int] = None,
-                 atomic: bool = False) -> None:
+                 atomic: bool = False, site=None) -> None:
         if line is not None:
             self.line(line)
         tctx = self._tctx()
         self.machine.instrumentation.access(
             addr, size, False, thread=self.machine.scheduler.current(),
-            symbol=tctx.symbol, loc=tctx.location, atomic=atomic)
+            symbol=tctx.symbol, loc=tctx.location, atomic=atomic, site=site)
 
     def write_mem(self, addr: int, size: int, *, line: Optional[int] = None,
-                  atomic: bool = False) -> None:
+                  atomic: bool = False, site=None) -> None:
         if line is not None:
             self.line(line)
         tctx = self._tctx()
         self.machine.instrumentation.access(
             addr, size, True, thread=self.machine.scheduler.current(),
-            symbol=tctx.symbol, loc=tctx.location, atomic=atomic)
+            symbol=tctx.symbol, loc=tctx.location, atomic=atomic, site=site)
 
     # -- misc -------------------------------------------------------------------------
 

@@ -26,6 +26,8 @@ class AccessEvent:
     symbol: Symbol                      # enclosing guest function
     loc: Optional[SourceLocation]       # precise file:line, if any
     atomic: bool = False                # issued via an atomic construct
+    site: Optional[object] = None       # StaticSite when the access flows
+                                        # through an elided declared handle
 
     @property
     def end(self) -> int:

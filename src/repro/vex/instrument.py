@@ -51,8 +51,14 @@ class Instrumentation:
 
     def access(self, addr: int, size: int, is_write: bool, *,
                thread, symbol: Symbol, loc: Optional[SourceLocation],
-               atomic: bool = False) -> None:
-        """Record one guest access of ``size`` bytes at ``addr``."""
+               atomic: bool = False, site=None) -> None:
+        """Record one guest access of ``size`` bytes at ``addr``.
+
+        ``site`` is the :class:`~repro.vex.elide.StaticSite` token attached
+        to statically-elided access handles; it rides through to the tools,
+        which drop the access before recording (the declaration already
+        proved the runtime suppression verdict).
+        """
         self.space.check_mapped(addr, size, "write" if is_write else "read")
         self.access_count += 1
         if not self.enabled:
@@ -68,7 +74,7 @@ class Instrumentation:
                     if tool.is_dbi:
                         self.cost.charge_translation(thread, symbol.name)
                     tool.on_access_raw(thread_id, addr, size, is_write,
-                                       symbol, loc)
+                                       symbol, loc, site)
             if observed:
                 self.raw_dispatched += 1
             else:
@@ -78,7 +84,8 @@ class Instrumentation:
             return
         event = AccessEvent(addr=addr, size=size, is_write=is_write,
                             thread_id=getattr(thread, "id", -1),
-                            symbol=symbol, loc=loc, atomic=atomic)
+                            symbol=symbol, loc=loc, atomic=atomic,
+                            site=site)
         observed = False
         for tool in self.tools:
             if tool.sees(event):

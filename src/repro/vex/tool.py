@@ -81,12 +81,14 @@ class Tool:
         """Called for every access the tool *sees* (per :meth:`sees`)."""
 
     def on_access_raw(self, thread_id: int, addr: int, size: int,
-                      is_write: bool, symbol, loc) -> None:
+                      is_write: bool, symbol, loc, site=None) -> None:
         """Raw fast-path observation (only when ``fast_path`` is True).
 
         Semantically identical to :meth:`on_access` but the hub passes the
         fields directly instead of allocating an :class:`AccessEvent` per
-        access — the dominant Python-side cost of the hot loop.
+        access — the dominant Python-side cost of the hot loop.  ``site``
+        carries the static-elision token of declared private handles (see
+        :mod:`repro.vex.elide`).
         """
 
     def on_alloc(self, event: AllocEvent) -> None:

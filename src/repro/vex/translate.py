@@ -220,13 +220,24 @@ def translate_block(block: List[Instr]) -> SuperBlock:
 # ---------------------------------------------------------------------------
 
 def instrument_block(sb: SuperBlock,
-                     on_access: Callable[[int, int, bool], None]
-                     ) -> SuperBlock:
-    """Insert a Dirty call before every memory access (the plugin pass)."""
+                     on_access: Callable[[int, int, bool], None],
+                     elider=None) -> SuperBlock:
+    """Insert a Dirty call before every memory access (the plugin pass).
+
+    With an ``elider`` (:class:`repro.vex.elide.StaticElider`), accesses the
+    static pre-pass proves private get a counting **no-op** hook instead of
+    the tracking call — the site never reaches the tool's recording path.
+    """
+    decisions = elider.classify_block(sb) if elider is not None else {}
     out = SuperBlock(guest_addr=sb.guest_addr, next_addr=sb.next_addr,
                      n_tmps=sb.n_tmps)
-    for stmt in sb.stmts:
-        if isinstance(stmt, WrTmp) and isinstance(stmt.expr, Load):
+    for k, stmt in enumerate(sb.stmts):
+        site = decisions.get(k)
+        if site is not None:
+            out.stmts.append(Dirty("elided_access",
+                                   lambda site=site: elider.plan.note(site),
+                                   ()))
+        elif isinstance(stmt, WrTmp) and isinstance(stmt.expr, Load):
             out.stmts.append(Dirty("track_load", on_access,
                                    (stmt.expr.addr, Const(stmt.expr.size),
                                     Const(0))))
@@ -252,11 +263,13 @@ class GuestVM:
 
     def __init__(self, ctx, binary: GuestBinary, *,
                  symbol: str = "binary_blob",
-                 library: str = "libvendor.so") -> None:
+                 library: str = "libvendor.so",
+                 elider=None) -> None:
         self.ctx = ctx
         self.binary = binary
         self.symbol = symbol
         self.library = library
+        self.elider = elider
         self.regs = [0] * N_REGS
         self._cache: Dict[int, SuperBlock] = {}
         self.translations = 0
@@ -270,7 +283,8 @@ class GuestVM:
             reg = get_registry()
             with reg.phase("vex.translate"):
                 sb = translate_block(self.binary.block_at(addr))
-                sb = instrument_block(sb, self._track_access)
+                sb = instrument_block(sb, self._track_access,
+                                      elider=self.elider)
             reg.counter("vex.translations").inc()
             reg.histogram("vex.block_stmts").observe(len(sb.stmts))
             self._cache[addr] = sb

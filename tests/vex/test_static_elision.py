@@ -1,0 +1,151 @@
+"""Tests for the static IR pre-pass (:class:`repro.vex.elide.StaticElider`).
+
+The binary-path half of compile-time elision: const-propagation over a
+translated SuperBlock, classifying provably in-range accesses, and the
+instrumenter swapping their tracking hooks for counting no-ops.
+"""
+
+from repro.core.suppress import SuppressionConfig
+from repro.machine.machine import Machine
+from repro.machine.program import GuestContext
+from repro.vex.elide import ALLOC_LOCAL, STACK_LOCAL, ElisionPlan, StaticElider
+from repro.vex.ir import Dirty, Load, Store, WrTmp
+from repro.vex.translate import Assembler, GuestVM, instrument_block, \
+    translate_block
+
+
+def make_elider(lo=0x1000, hi=0x1100, klass=STACK_LOCAL, **cfg):
+    plan = ElisionPlan(SuppressionConfig(**cfg))
+    elider = StaticElider(plan, symbol="blob")
+    elider.declare_range(lo, hi, klass, name="buf")
+    return elider
+
+
+def translate(src):
+    binary = Assembler().assemble(src)
+    return translate_block(binary.block_at(binary.base))
+
+
+def dirty_names(sb):
+    return [s.name for s in sb.stmts if isinstance(s, Dirty)]
+
+
+class TestClassifyBlock:
+    def test_li_materialized_store_classified(self):
+        sb = translate("li r1, 0x1000\nst [r1], r2\nhalt")
+        elider = make_elider()
+        decisions = elider.classify_block(sb)
+        store_idx = next(k for k, s in enumerate(sb.stmts)
+                         if isinstance(s, Store))
+        assert list(decisions) == [store_idx]
+        assert decisions[store_idx].klass == STACK_LOCAL
+        assert decisions[store_idx].name == "buf"
+
+    def test_offset_arithmetic_propagates(self):
+        # addr = (0x1000 + 0x20) + 0x18 via addi and memref offset
+        sb = translate("li r1, 0x1000\naddi r1, r1, 0x20\n"
+                       "ld r2, [r1+0x18]\nhalt")
+        decisions = make_elider().classify_block(sb)
+        load_idx = next(k for k, s in enumerate(sb.stmts)
+                        if isinstance(s, WrTmp) and isinstance(s.expr, Load))
+        assert list(decisions) == [load_idx]
+
+    def test_unknown_base_register_stays_tracked(self):
+        sb = translate("st [r9], r2\nhalt")
+        assert make_elider().classify_block(sb) == {}
+
+    def test_address_outside_declared_range_stays_tracked(self):
+        sb = translate("li r1, 0x2000\nst [r1], r2\nhalt")
+        assert make_elider().classify_block(sb) == {}
+
+    def test_range_straddle_stays_tracked(self):
+        # 8-byte access ending past the declared hi is not provably inside
+        sb = translate("li r1, 0x10fc\nst [r1], r2\nhalt")
+        assert make_elider().classify_block(sb) == {}
+
+    def test_loaded_value_is_not_constant(self):
+        # r1 = *(0x1000) is runtime data: the second access is unprovable
+        sb = translate("li r1, 0x1000\nld r1, [r1]\nst [r1], r2\nhalt")
+        decisions = make_elider().classify_block(sb)
+        assert len(decisions) == 1        # only the load itself is provable
+        (k,) = decisions
+        assert isinstance(sb.stmts[k], WrTmp)
+
+    def test_runtime_toggle_gates_the_class(self):
+        sb = translate("li r1, 0x1000\nst [r1], r2\nhalt")
+        elider = make_elider(suppress_stack=False)
+        assert elider.classify_block(sb) == {}
+        # the declaration is still on the books, just not elided
+        assert elider.plan.sites and elider.plan.elided_sites == 0
+
+
+class TestInstrumentBlock:
+    SRC = "li r1, 0x1000\nst [r1], r2\nld r3, [r9]\nhalt"
+
+    def test_elided_site_gets_noop_hook(self):
+        hooked = instrument_block(translate(self.SRC), lambda *a: None,
+                                  elider=make_elider())
+        names = dirty_names(hooked)
+        assert names == ["elided_access", "track_load"]
+
+    def test_no_elider_keeps_all_tracking_hooks(self):
+        hooked = instrument_block(translate(self.SRC), lambda *a: None)
+        assert dirty_names(hooked) == ["track_store", "track_load"]
+
+    def test_noop_hook_counts_into_plan(self):
+        elider = make_elider()
+        hooked = instrument_block(translate(self.SRC), lambda *a: None,
+                                  elider=elider)
+        noop = next(s for s in hooked.stmts
+                    if isinstance(s, Dirty) and s.name == "elided_access")
+        noop.callback()
+        noop.callback()
+        assert elider.plan.elided_accesses == 2
+
+
+class TestGuestVMEndToEnd:
+    def run_blob(self, *, elide=True, **cfg):
+        machine = Machine(seed=0)
+        ctx = GuestContext(machine)
+        results = {}
+
+        def main():
+            with ctx.function("main", line=1):
+                buf = ctx.malloc(32, elem=8, name="buf")
+                out = ctx.malloc(8, elem=8, name="out")
+                src = f"""
+                    li  r1, {buf.addr:#x}
+                    li  r2, 7
+                    st  [r1], r2        ; provably inside buf
+                    ld  r3, [r1+8]      ; provably inside buf
+                    st  [r4], r2        ; r4 set at runtime: tracked
+                    halt
+                """
+                plan = ElisionPlan(SuppressionConfig(**cfg), enabled=elide)
+                elider = StaticElider(plan, symbol="blob")
+                elider.declare_range(buf.addr, buf.addr + 32, ALLOC_LOCAL,
+                                     name="buf")
+                vm = GuestVM(ctx, Assembler().assemble(src), elider=elider)
+                vm.regs[4] = out.addr
+                before = machine.cost.counters["accesses"]
+                vm.run()
+                results["plan"] = plan
+                results["tracked"] = machine.cost.counters["accesses"] - before
+        machine.run(main)
+        return results
+
+    def test_elided_counts_and_tracked_residue(self):
+        results = self.run_blob()
+        assert results["plan"].elided_accesses == 2
+        assert results["plan"].elided_sites == 2
+        assert results["tracked"] == 1     # only the runtime-addressed store
+
+    def test_disabled_plan_tracks_everything(self):
+        results = self.run_blob(elide=False)
+        assert results["plan"].elided_accesses == 0
+        assert results["tracked"] == 3
+
+    def test_broken_recycling_toggle_tracks_alloc_sites(self):
+        results = self.run_blob(suppress_recycling=False)
+        assert results["plan"].elided_accesses == 0
+        assert results["tracked"] == 3
