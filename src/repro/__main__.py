@@ -10,6 +10,7 @@ Subcommands map one-to-one to the paper's artifacts::
     python -m repro stability         # verdict stability across seeds
     python -m repro offline TRACE     # offline analysis of a saved trace
     python -m repro run PROGRAM       # one program under one tool
+    python -m repro replay SCHEDULE   # deterministic two-phase replay
     python -m repro perf              # record/analyze fast-path bench
     python -m repro fuzz              # differential schedule-fuzzing
     python -m repro faults            # resilience self-test (fault matrix)
@@ -38,6 +39,7 @@ COMMANDS = {
     "stability": "repro.bench.stability",
     "offline": "repro.core.offline",
     "run": "repro.bench.runner",
+    "replay": "repro.replay.cli",
     "perf": "repro.bench.perf",
     "fuzz": "repro.fuzz.cli",
     "faults": "repro.faults.selftest",

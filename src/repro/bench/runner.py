@@ -79,13 +79,18 @@ def run_benchmark(program: BenchProgram, tool_name: str, *,
                   nthreads: int = 4, seed: int = 0,
                   taskgrind_options: Optional[TaskgrindOptions] = None,
                   keep_machine: bool = False,
-                  fault_plan: Optional[FaultPlan] = None) -> RunResult:
+                  fault_plan: Optional[FaultPlan] = None,
+                  on_machine: Optional[Callable] = None) -> RunResult:
     """Execute ``program`` under ``tool_name`` and classify the outcome.
 
     The result's stats document carries a ``"registry"`` block with the
     *per-run* metrics delta (counters/phases scoped to this call), so two
     back-to-back runs in one process report independent numbers instead of
     the process-lifetime cumulative registry state.
+
+    ``on_machine(machine, tool)`` is called after the environment is wired
+    but before the run starts — the attachment point for the two-phase
+    schedule recorder and replayer (:mod:`repro.replay`).
 
     ``fault_plan`` arms the fault injector for the duration of the run
     (resilience testing).  A faulted run that crashes mid-execution is
@@ -124,6 +129,8 @@ def run_benchmark(program: BenchProgram, tool_name: str, *,
 
     result = RunResult(program.name, tool_name, nthreads, seed,
                        Verdict.TN, tool_obj=tool)
+    if on_machine is not None:
+        on_machine(machine, tool)
 
     def salvage_finalize() -> None:
         """Best-effort post-crash analysis of the recorded prefix."""
@@ -177,8 +184,8 @@ def run_benchmark(program: BenchProgram, tool_name: str, *,
 # ---------------------------------------------------------------------------
 
 def _find_program(name: str) -> Optional[BenchProgram]:
-    from repro.bench import drb, tmb
-    for registry in (drb.REGISTRY, tmb.REGISTRY):
+    from repro.bench import drb, synth, tmb
+    for registry in (drb.REGISTRY, tmb.REGISTRY, synth.REGISTRY):
         for program in registry:
             if program.name == name:
                 return program
@@ -186,8 +193,9 @@ def _find_program(name: str) -> Optional[BenchProgram]:
 
 
 def _all_program_names() -> List[str]:
-    from repro.bench import drb, tmb
-    return [p.name for p in drb.REGISTRY] + [p.name for p in tmb.REGISTRY]
+    from repro.bench import drb, synth, tmb
+    return [p.name for p in drb.REGISTRY] + [p.name for p in tmb.REGISTRY] \
+        + [p.name for p in synth.REGISTRY]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -202,6 +210,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--save-trace", metavar="PATH", default=None,
                         help="dump the run as a trace for offline analysis "
                              "(taskgrind only)")
+    parser.add_argument("--record", default="full",
+                        choices=["full", "sync"],
+                        help="access recording mode (taskgrind only): "
+                             "'sync' is the cheap two-phase first pass — "
+                             "accesses observed but not recorded, no "
+                             "analysis; pair with --save-schedule")
+    parser.add_argument("--save-schedule", metavar="PATH", default=None,
+                        help="save the run's schedule as a "
+                             "taskgrind-schedule/1 document for "
+                             "'repro replay' (taskgrind only)")
     parser.add_argument("--explain", action="store_true",
                         help="append a provenance witness to each report "
                              "(task ancestry, common ancestor, hb evidence; "
@@ -240,6 +258,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.explain and args.tool != "taskgrind":
         print("--explain requires --tool taskgrind", file=sys.stderr)
         return 2
+    if (args.record != "full" or args.save_schedule) \
+            and args.tool != "taskgrind":
+        print("--record/--save-schedule require --tool taskgrind",
+              file=sys.stderr)
+        return 2
+    if args.record == "sync" and args.save_trace:
+        print("--record sync keeps no access evidence; there is no trace "
+              "to save (use --save-schedule)", file=sys.stderr)
+        return 2
 
     plan: Optional[FaultPlan] = None
     if args.fault_plan is not None:
@@ -259,14 +286,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         tracer = get_tracer()
         tracer.enable()
     options = None
-    if args.explain or args.analysis is not None:
-        options = TaskgrindOptions(explain=args.explain)
+    if args.explain or args.analysis is not None or args.record != "full":
+        options = TaskgrindOptions(explain=args.explain,
+                                   record_mode=args.record)
         if args.analysis is not None:
             options.analysis = args.analysis
+    recorder = None
+    on_machine = None
+    if args.save_schedule is not None:
+        from repro.replay.record import ScheduleRecorder
+        if options is None:
+            options = TaskgrindOptions(record_mode=args.record)
+        recorder = ScheduleRecorder({
+            "kind": "bench", "name": program.name,
+            "nthreads": args.threads, "seed": args.seed,
+            "record_mode": args.record,
+            "options": {
+                "analysis": options.analysis,
+                "analysis_kernel": options.analysis_kernel,
+                "model_multithread_lockup":
+                    options.model_multithread_lockup,
+            }})
+        on_machine = recorder.attach
     result = run_benchmark(program, args.tool, nthreads=args.threads,
                            seed=args.seed, taskgrind_options=options,
                            keep_machine=args.save_trace is not None,
-                           fault_plan=plan)
+                           fault_plan=plan, on_machine=on_machine)
     # re-arming the plan for the trace save resets its fired counters, so
     # bank the run-phase firings now for the summary line
     run_fired = dict(plan.fired_summary()) if plan is not None else {}
@@ -303,6 +348,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"{args.save_trace} is intact", file=sys.stderr)
         else:
             print(f"\nwrote trace to {args.save_trace}")
+    if args.save_schedule is not None:
+        if result.verdict.name in ("NCS", "SEGV", "DEADLOCK"):
+            print("run did not finish cleanly; a partial schedule would "
+                  "pin the wrong interleaving — nothing written",
+                  file=sys.stderr)
+            return 1
+        from repro.errors import InjectedFault
+        from repro.replay.schedule import save_schedule
+        doc = recorder.finish()
+        try:
+            with inject_plan(plan):
+                save_schedule(doc, args.save_schedule)
+        except (InjectedFault, OSError) as exc:
+            print(f"schedule save failed ({exc}); any pre-existing "
+                  f"schedule at {args.save_schedule} is intact",
+                  file=sys.stderr)
+        else:
+            print(f"\nwrote schedule to {args.save_schedule} "
+                  f"({doc.summary()})")
     if plan is not None:
         fired = {name: count + run_fired.get(name, 0)
                  for name, count in plan.fired_summary().items()}

@@ -1,0 +1,41 @@
+"""Synthetic workloads as runnable benchmark programs.
+
+The perf bench drives ``omp_fib``/``omp_heat`` directly; registering them
+here additionally makes them addressable by name from the launcher
+(``repro run fib``) — which the two-phase replay pipeline needs: the
+schedule document records a *program name*, and the replayer re-creates
+the run from the registry.
+"""
+
+from __future__ import annotations
+
+from repro.bench.programs import BenchProgram
+from repro.workloads.synthetic import omp_fib, omp_heat
+
+REGISTRY = [
+    BenchProgram(
+        name="fib",
+        racy=False,
+        entry=lambda env: omp_fib(env, 12),
+        description="task-recursive fibonacci (taskwait joins), race-free",
+        source_file="fib.c",
+        features=frozenset({"task", "taskwait"}),
+    ),
+    BenchProgram(
+        name="heat",
+        racy=False,
+        entry=lambda env: omp_heat(env, n=64, steps=4, chunks=4),
+        description="1-D heat diffusion, halo dependences intact",
+        source_file="heat.c",
+        features=frozenset({"task", "depend"}),
+    ),
+    BenchProgram(
+        name="heat-racy",
+        racy=True,
+        entry=lambda env: omp_heat(env, n=64, steps=4, chunks=4, racy=True),
+        description="1-D heat diffusion with the halo dependences dropped "
+                    "— boundary reads race with neighbour writes",
+        source_file="heat.c",
+        features=frozenset({"task", "depend"}),
+    ),
+]

@@ -81,6 +81,10 @@ class SpawnHandle:
 class CilkEnv:
     """The Cilk runtime instance bound to one guest run."""
 
+    #: rng streams the work-stealing path consumes — see
+    #: :attr:`repro.openmp.runtime.OmpRuntime.SCHED_STREAMS`
+    SCHED_STREAMS = ("cilk.steal",)
+
     def __init__(self, ctx: GuestContext, *, nworkers: int = 4,
                  serial_elision: bool = False) -> None:
         self.ctx = ctx

@@ -393,6 +393,10 @@ class SegmentGraph:
         self.q_index = 0           # answered by an HbIndex hint
         self.q_dp = 0              # answered by the bitmask DP
         self.dp_rebuilds = 0       # full reachability DP materializations
+        #: replay hook (repro.replay): an object with ``on_segment(seg)``
+        #: and ``on_edge(src_id, dst_id)``, notified in creation order —
+        #: ``_succ`` loses that order, so recording must observe it live
+        self.observer = None
 
     def new_segment(self, **kwargs) -> Segment:
         seg = Segment(len(self.segments), **kwargs)
@@ -400,6 +404,8 @@ class SegmentGraph:
         self._succ.append([])
         self._reach = None
         self._hb_labels = None
+        if self.observer is not None:
+            self.observer.on_segment(seg)
         return seg
 
     def add_edge(self, src: Optional[Segment], dst: Optional[Segment]) -> None:
@@ -409,6 +415,8 @@ class SegmentGraph:
         self.edge_count += 1
         self._reach = None
         self._hb_labels = None
+        if self.observer is not None:
+            self.observer.on_edge(src.id, dst.id)
         if self.hb_index is not None:
             self.hb_index.on_edge(src.id, dst.id)
         if _TRACER.enabled and (src.thread_id != dst.thread_id

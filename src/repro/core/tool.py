@@ -89,6 +89,15 @@ class TaskgrindOptions:
     #: and retry budget before a failing chunk is quarantined
     analysis_deadline_s: Optional[float] = None
     analysis_max_retries: int = 2
+    #: two-phase detection (repro.replay): ``"full"`` records accesses and
+    #: analyzes as usual; ``"sync"`` is the cheap first pass — accesses are
+    #: observed (so virtual time, and therefore the schedule, is identical
+    #: to a full run's) but never recorded, and finalize skips analysis
+    record_mode: str = "full"
+    #: partial replay scope (a :class:`repro.replay.filter.ReplayFilter`):
+    #: accesses are clipped to its address ranges at record time and race
+    #: candidates outside its segment pairs are dropped before suppression
+    replay_filter: Optional[object] = None
 
 
 class TaskgrindTool(Tool):
@@ -132,6 +141,24 @@ class TaskgrindTool(Tool):
         self.budget_tripped_at: Optional[int] = None
         self._budget_check_every = 2048
         self._budget_active = self.options.memory_budget is not None
+        #: sync-only recording (two-phase first pass): the hub still
+        #: dispatches every access here — keeping the cost-model charges,
+        #: and therefore the schedule, identical to a full run — but the
+        #: handlers are rebound to a counter bump, skipping the symbol
+        #: memo, budget check and tree insert entirely
+        self.sync_only = self.options.record_mode == "sync"
+        self.sync_skipped = 0
+        if self.options.record_mode not in ("full", "sync"):
+            raise ValueError(
+                f"unknown record_mode {self.options.record_mode!r}")
+        if self.sync_only:
+            self.on_access = self._on_access_sync
+            self.on_access_raw = self._on_access_raw_sync
+        #: partial-replay scope + its accounting
+        self.replay_filter = self.options.replay_filter
+        self.filter_recorded = 0        # accesses recorded (possibly clipped)
+        self.filter_dropped = 0         # accesses fully outside the scope
+        self.filter_pair_dropped = 0    # candidates dropped by pair scope
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -226,6 +253,11 @@ class TaskgrindTool(Tool):
         if self.suppressor.symbol_filtered(event.symbol.name):
             self.filtered_accesses += 1
             return
+        if self.replay_filter is not None \
+                and self.replay_filter.filters_addresses:
+            self._record_clipped(event.thread_id, event.addr, event.size,
+                                 event.is_write, event.loc, legacy=True)
+            return
         self.recorded_accesses += 1
         self.legacy_accesses += 1
         if self._budget_active:
@@ -247,11 +279,49 @@ class TaskgrindTool(Tool):
         if filtered:
             self.filtered_accesses += 1
             return
+        if self.replay_filter is not None \
+                and self.replay_filter.filters_addresses:
+            self._record_clipped(thread_id, addr, size, is_write, loc)
+            return
         self.recorded_accesses += 1
         self.fast_accesses += 1
         if self._budget_active:
             self._check_memory_budget()
         self.builder.record_access(thread_id, addr, size, is_write, loc)
+
+    def _record_clipped(self, thread_id: int, addr: int, size: int,
+                        is_write: bool, loc, legacy: bool = False) -> None:
+        """Partial replay: record only the bytes inside the filter scope.
+
+        Clipping (rather than dropping whole accesses) keeps the recorded
+        evidence inside the scope *identical* to a full recording's — the
+        invariant the --verify-single-pass parity check rests on.
+        """
+        spans = self.replay_filter.clip(addr, addr + size)
+        if not spans:
+            self.filter_dropped += 1
+            return
+        self.recorded_accesses += 1
+        self.filter_recorded += 1
+        if legacy:
+            self.legacy_accesses += 1
+        else:
+            self.fast_accesses += 1
+        if self._budget_active:
+            self._check_memory_budget()
+        for lo, hi in spans:
+            self.builder.record_access(thread_id, lo, hi - lo, is_write,
+                                       loc)
+
+    # -- sync-only recording (two-phase first pass) -----------------------------
+
+    def _on_access_sync(self, event: AccessEvent) -> None:
+        self.sync_skipped += 1
+
+    def _on_access_raw_sync(self, thread_id: int, addr: int, size: int,
+                            is_write: bool, symbol, loc,
+                            site=None) -> None:
+        self.sync_skipped += 1
 
     def _check_memory_budget(self) -> None:
         """Trip into coarse recording when the footprint crosses the budget.
@@ -278,6 +348,13 @@ class TaskgrindTool(Tool):
 
     def finalize(self) -> List[RaceReport]:
         reg = get_registry()
+        if self.sync_only:
+            # sync-only pass: there is no access evidence to analyze — the
+            # run exists to produce a schedule document, not verdicts
+            self.reports = []
+            reg.counter("replay.sync_runs").inc()
+            reg.publish("taskgrind", self.stats())
+            return self.reports
         with reg.phase("finalize"):
             graph = self.builder.graph
             mode = self.options.analysis
@@ -294,6 +371,12 @@ class TaskgrindTool(Tool):
                 candidates = find_races_indexed(
                     graph, kernel=self.options.analysis_kernel)
             self.raw_candidates = len(candidates)
+            flt = self.replay_filter
+            if flt is not None and flt.pairs:
+                kept = [c for c in candidates
+                        if flt.admits_pair(c.s1.id, c.s2.id)]
+                self.filter_pair_dropped = len(candidates) - len(kept)
+                candidates = kept
             surviving = self.suppressor.filter_all(candidates)
             with reg.phase("report"):
                 reports = [build_report(self.machine, c) for c in surviving]
@@ -354,12 +437,21 @@ class TaskgrindTool(Tool):
             "schema": "taskgrind-stats/1",
             "record": {
                 "fast_path": self.fast_path,
+                "mode": self.options.record_mode,
                 "recorded_accesses": self.recorded_accesses,
                 "filtered_accesses": self.filtered_accesses,
                 "fast_accesses": self.fast_accesses,
                 "legacy_accesses": self.legacy_accesses,
+                "sync_skipped_accesses": self.sync_skipped,
             },
         }
+        if self.replay_filter is not None:
+            doc["replay"] = {
+                "filter": self.replay_filter.describe(),
+                "recorded_accesses": self.filter_recorded,
+                "dropped_accesses": self.filter_dropped,
+                "pair_dropped_candidates": self.filter_pair_dropped,
+            }
         if machine is not None:
             doc["record"]["hub"] = machine.instrumentation.stats()
             doc["virtual"] = machine.cost.stats()

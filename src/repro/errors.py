@@ -142,6 +142,96 @@ class TraceCorruptionError(TraceError):
         self.reason = reason
 
 
+# ---------------------------------------------------------------------------
+# schedule-document + replay taxonomy (repro.replay, two-phase detection)
+# ---------------------------------------------------------------------------
+
+class ScheduleError(ReproError):
+    """Base class for ``taskgrind-schedule/1`` save/load/replay failures.
+
+    Unlike traces, schedule documents have **no salvage mode**: replaying a
+    guessed prefix of a schedule would silently pin the wrong interleaving
+    and every downstream verdict would be about a different execution.  All
+    loaders are strict and fail fast.
+    """
+
+
+class ScheduleFormatError(ScheduleError, ValueError):
+    """The file is not a Taskgrind schedule document at all."""
+
+    def __init__(self, path: str, reason: str) -> None:
+        super().__init__(
+            f"{path}: not a readable taskgrind schedule: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+class ScheduleVersionError(ScheduleFormatError):
+    """The schedule declares a version this replayer does not speak."""
+
+    def __init__(self, path: str, found, expected) -> None:
+        ValueError.__init__(
+            self,
+            f"{path}: unsupported schedule version {found!r} "
+            f"(this replayer speaks {expected}); re-record with a matching "
+            "repro checkout")
+        self.path = path
+        self.found = found
+        self.expected = expected
+
+
+class ScheduleCorruptionError(ScheduleError):
+    """A schedule chunk failed its checksum or the stream is truncated.
+
+    There is deliberately no salvage counterpart: a schedule is only usable
+    whole, so corruption always refuses to replay.
+    """
+
+    def __init__(self, path: str, *, byte_offset: int,
+                 chunk_seq: Optional[int], reason: str) -> None:
+        where = f"chunk {chunk_seq} " if chunk_seq is not None else ""
+        super().__init__(
+            f"{path}: corrupt schedule: {where}at byte offset "
+            f"{byte_offset}: {reason} (re-record the schedule; partial "
+            "replay of a damaged schedule is never attempted)")
+        self.path = path
+        self.byte_offset = byte_offset
+        self.chunk_seq = chunk_seq
+        self.reason = reason
+
+
+class ReplayDivergenceError(ScheduleError):
+    """The replayed execution departed from the recorded schedule.
+
+    Carries the first point of disagreement in structured form so a CI log
+    (or the fuzz oracle) can print exactly where determinism broke:
+
+    * ``what`` — ``"pick"`` / ``"segment"`` / ``"edge"`` / ``"alloc"`` /
+      ``"vclock"`` / ``"count"`` / ``"rng"``;
+    * ``index`` — position in the recorded event stream of that kind;
+    * ``expected`` / ``actual`` — recorded vs replayed value (for ``edge``
+      this is the first mismatched ``[src, dst]`` pair).
+    """
+
+    def __init__(self, what: str, index: int, expected, actual,
+                 detail: str = "") -> None:
+        msg = (f"replay diverged at {what}[{index}]: "
+               f"expected {expected!r}, got {actual!r}")
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+        self.what = what
+        self.index = index
+        self.expected = expected
+        self.actual = actual
+        self.detail = detail
+
+    def to_dict(self) -> dict:
+        return {"what": self.what, "index": self.index,
+                "expected": self.expected, "actual": self.actual,
+                "detail": self.detail}
+
+
 class InjectedFault(ReproError):
     """An error raised on purpose by the fault-injection framework.
 

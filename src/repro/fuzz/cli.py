@@ -13,10 +13,11 @@ import time
 from typing import List, Optional
 
 from repro.fuzz.diff import (DiffResult, run_differential,
-                             run_fault_differential)
+                             run_fault_differential,
+                             run_two_phase_differential)
 from repro.fuzz.executors import fuzz_options
 from repro.fuzz.gen import generate
-from repro.fuzz.shrink import shrink, write_reproducer
+from repro.fuzz.shrink import load_reproducer, shrink, write_reproducer
 from repro.fuzz.spec import FAMILIES
 from repro.obs.metrics import get_registry
 
@@ -68,11 +69,25 @@ def build_parser() -> argparse.ArgumentParser:
                              "builtin fault plan and assert the salvaged "
                              "report set is a subset of the fault-free "
                              "run's (no shrinking in this mode)")
+    parser.add_argument("--two-phase", action="store_true",
+                        help="two-phase campaign: for each schedule seed, "
+                             "record sync-only, round-trip the schedule "
+                             "document, replay with full instrumentation, "
+                             "and assert the replayed verdict equals the "
+                             "single-pass verdict (no shrinking)")
+    parser.add_argument("--reproducer", default=None, metavar="FILE",
+                        help="run one corpus reproducer instead of "
+                             "generating seeds (combines with --two-phase "
+                             "to replay-check a pinned program)")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.faults and args.two_phase:
+        print("--faults and --two-phase are separate campaigns; pick one",
+              file=sys.stderr)
+        return 2
     families = [f.strip() for f in args.families.split(",") if f.strip()]
     unknown = [f for f in families if f not in FAMILIES]
     if unknown:
@@ -84,12 +99,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.break_suppression else {}
     if args.analysis_kernel != "auto":
         overrides["analysis_kernel"] = args.analysis_kernel
+
+    pinned = None
+    if args.reproducer is not None:
+        try:
+            pinned, _expect, repro_options, note = \
+                load_reproducer(args.reproducer)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load reproducer: {exc}", file=sys.stderr)
+            return 2
+        overrides.update(repro_options)
+        print(f"reproducer {args.reproducer}: {pinned.family} "
+              f"seed={pinned.seed} ({note or 'no note'})")
     options = fuzz_options(**overrides)
     registry = get_registry()
     deadline = time.monotonic() + args.budget if args.budget > 0 else None
 
     divergent: List[DiffResult] = []
     schema = ("taskgrind-fault-campaign/1" if args.faults
+              else "taskgrind-two-phase-campaign/1" if args.two_phase
               else "taskgrind-fuzz-campaign/1")
     report = {"schema": schema,
               "seeds": [], "divergent": [], "config": {
@@ -97,20 +125,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                   "base_seed": args.base_seed,
                   "analysis_kernel": args.analysis_kernel,
                   "break_suppression": args.break_suppression,
-                  "faults": args.faults}}
+                  "faults": args.faults, "two_phase": args.two_phase,
+                  "reproducer": args.reproducer}}
     ran = 0
     stopped_early = False
+    total = 1 if pinned is not None else args.seeds
     with registry.phase("fuzz.campaign"):
-        for i in range(args.seeds):
+        for i in range(total):
             if deadline is not None and time.monotonic() > deadline:
                 stopped_early = True
                 break
-            seed = args.base_seed + i
-            family = families[seed % len(families)]
-            program = generate(seed, family=family)
+            if pinned is not None:
+                seed, program = pinned.seed, pinned
+            else:
+                seed = args.base_seed + i
+                family = families[seed % len(families)]
+                program = generate(seed, family=family)
             if args.faults:
                 result = run_fault_differential(program,
                                                 schedules=args.schedules)
+            elif args.two_phase:
+                result = run_two_phase_differential(
+                    program, schedules=args.schedules,
+                    taskgrind_options=options)
             else:
                 result = run_differential(program, schedules=args.schedules,
                                           taskgrind_options=options)
@@ -129,7 +166,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                      "kinds": result.kinds(),
                      "divergences": [str(d) for d in result.divergences],
                      "program": json.loads(program.to_json())}
-            if not args.no_shrink and not args.faults:
+            if not args.no_shrink and not args.faults \
+                    and not args.two_phase and pinned is None:
                 kinds = set(result.kinds())
 
                 def still_fails(candidate) -> bool:
@@ -158,8 +196,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     status = "FAIL" if divergent else "ok"
     if stopped_early:
-        print(f"budget exhausted after {ran}/{args.seeds} seeds")
-    print(f"fuzz campaign: {ran} programs x {args.schedules} schedules, "
+        print(f"budget exhausted after {ran}/{total} seeds")
+    mode = ("fault" if args.faults else "two-phase" if args.two_phase
+            else "fuzz")
+    print(f"{mode} campaign: {ran} programs x {args.schedules} schedules, "
           f"{len(divergent)} divergent -> {status}")
     if args.json_out:
         with open(args.json_out, "w") as fh:

@@ -42,6 +42,7 @@ from repro.obs.metrics import get_registry
 DIVERGENCE_KINDS = (
     "missed-race", "spurious-race", "schedule-nondeterminism",
     "suppression", "vclock-disagreement", "spbags-disagreement", "crash",
+    "replay-divergence", "two-phase-mismatch",
 )
 
 
@@ -158,6 +159,86 @@ def run_differential(program: FuzzProgram, *, schedules: int = 4,
                     "suppression",
                     "reported off-surface ranges "
                     f"{list(outcome.noise)[:4]}", outcome.schedule_seed))
+
+    _dedup(result)
+    if not result.ok:
+        registry.counter("fuzz.divergences").inc()
+        for kind in result.kinds():
+            registry.counter(f"fuzz.divergence.{kind}").inc()
+    return result
+
+
+def run_two_phase_differential(program: FuzzProgram, *, schedules: int = 4,
+                               taskgrind_options: Optional[TaskgrindOptions]
+                               = None) -> DiffResult:
+    """Two-phase oracle: record-then-replay must equal single-pass.
+
+    For each schedule seed the program runs twice through Taskgrind — the
+    classic single-pass full recording, and the two-phase pipeline
+    (sync-only record → schedule document round-trip → pinned replay with
+    full instrumentation).  Divergence kinds on top of the base taxonomy:
+
+    * ``replay-divergence`` — the pinned re-execution departed from the
+      recorded schedule (determinism broke);
+    * ``two-phase-mismatch`` — the replayed verdict differs from the
+      single-pass verdict for the *same* seed (the two pipelines saw the
+      same interleaving, so any report delta is a soundness bug).
+
+    The replayed outcomes are also judged against ground truth, keeping
+    the missed/spurious backstop on the two-phase path itself.
+    """
+    from repro.fuzz.executors import run_taskgrind_two_phase
+    registry = get_registry()
+    result = DiffResult(program=program)
+    div = result.divergences.append
+    options = taskgrind_options if taskgrind_options is not None \
+        else fuzz_options()
+    registry.counter("fuzz.two_phase_programs").inc()
+
+    with registry.phase("fuzz.two_phase"):
+        result.truth = ground_truth(program)
+        for k in range(schedules):
+            schedule_seed = program.seed * 1000 + k
+            single = run_taskgrind(program, schedule_seed=schedule_seed,
+                                   options=options)
+            two, divergence = run_taskgrind_two_phase(
+                program, schedule_seed=schedule_seed, options=options)
+            result.outcomes.append(two)
+            registry.counter("fuzz.schedule_runs").inc(2)
+            if two.crashed == "ReplayDivergenceError":
+                div(Divergence("replay-divergence", divergence,
+                               schedule_seed))
+                continue
+            if single.crashed or two.crashed:
+                # both pipelines must crash identically or not at all —
+                # e.g. a sync-pass deadlock must reproduce single-pass
+                if single.crashed != two.crashed.split(":")[-1]:
+                    div(Divergence(
+                        "two-phase-mismatch",
+                        f"single-pass crashed={single.crashed!r} but "
+                        f"two-phase crashed={two.crashed!r}",
+                        schedule_seed))
+                continue
+            if single.slots != two.slots or single.noise != two.noise \
+                    or single.report_count != two.report_count:
+                div(Divergence(
+                    "two-phase-mismatch",
+                    f"single-pass {sorted(single.slots)} "
+                    f"({single.report_count} reports, noise "
+                    f"{list(single.noise)[:3]}) vs replayed "
+                    f"{sorted(two.slots)} ({two.report_count} reports, "
+                    f"noise {list(two.noise)[:3]})", schedule_seed))
+            missed = result.truth - two.slots
+            spurious = frozenset(s for s in two.slots - result.truth
+                                 if not s.startswith("feb"))
+            if missed:
+                div(Divergence("missed-race",
+                               f"two-phase never reported {sorted(missed)}",
+                               schedule_seed))
+            if spurious:
+                div(Divergence("spurious-race",
+                               f"two-phase reported ordered slots "
+                               f"{sorted(spurious)}", schedule_seed))
 
     _dedup(result)
     if not result.ok:

@@ -115,6 +115,66 @@ def run_taskgrind(program: FuzzProgram, *, schedule_seed: int,
                       report_count=len(reports))
 
 
+def run_taskgrind_two_phase(program: FuzzProgram, *, schedule_seed: int,
+                            options: Optional[TaskgrindOptions] = None
+                            ) -> Tuple[RunOutcome, str]:
+    """The full two-phase pipeline: sync-record, then pinned replay.
+
+    Phase one executes with ``record_mode="sync"`` (access recording off)
+    while a :class:`~repro.replay.record.ScheduleRecorder` captures the
+    schedule; the document is round-tripped through its serialized form to
+    prove the on-disk format loses nothing.  Phase two re-executes with
+    full instrumentation pinned to the recording and finalizes normally.
+
+    Returns ``(outcome, divergence)`` — ``divergence`` is a non-empty
+    description when the replay departed from the recording (the outcome
+    is then marked crashed), and ``""`` when the schedule held.
+    """
+    import dataclasses
+
+    from repro.errors import ReplayDivergenceError
+    from repro.replay.record import ScheduleRecorder
+    from repro.replay.replay import ReplaySession
+    from repro.replay.schedule import ScheduleDoc
+
+    base = options if options is not None else fuzz_options()
+    exec_fn = _exec_qthreads if program.family == "feb" else _exec_openmp
+
+    sync_opts = dataclasses.replace(base, record_mode="sync")
+    machine, tool, _amap, entry = exec_fn(program, schedule_seed, sync_opts)
+    recorder = ScheduleRecorder({
+        "kind": "fuzz", "seed": schedule_seed,
+        "nthreads": program.nthreads,
+        "spec_digest": program.digest()})
+    recorder.attach(machine, tool)
+    try:
+        machine.run(entry)
+    except (SimDeadlock, GuestCrash, OutOfMemory) as exc:
+        return (RunOutcome(schedule_seed,
+                           crashed=f"sync:{type(exc).__name__}"), "")
+    tool.finalize()
+    doc = ScheduleDoc.from_dict(recorder.finish().to_dict())
+
+    full_opts = dataclasses.replace(base, record_mode="full")
+    machine2, tool2, addr_map, entry2 = exec_fn(program, schedule_seed,
+                                                full_opts)
+    session = ReplaySession(doc)
+    session.attach(machine2, tool2)
+    try:
+        machine2.run(entry2)
+        reports = tool2.finalize()
+        session.verify_complete()
+    except ReplayDivergenceError as exc:
+        return (RunOutcome(schedule_seed, crashed="ReplayDivergenceError"),
+                str(exc))
+    except (SimDeadlock, GuestCrash, OutOfMemory) as exc:
+        return (RunOutcome(schedule_seed,
+                           crashed=f"replay:{type(exc).__name__}"), "")
+    slots, noise = normalize(reports, addr_map)
+    return (RunOutcome(schedule_seed, slots=slots, noise=noise,
+                       report_count=len(reports)), "")
+
+
 def fault_fuzz_options() -> TaskgrindOptions:
     """Fuzz options for fault campaigns: supervised parallel analysis with a
     short per-chunk deadline so planted hangs quarantine instead of

@@ -118,6 +118,14 @@ class Scheduler:
         self.threads: List[SimThread] = []
         self.now = 0.0                       # vtime of the last-run slice
         self.switches = 0
+        #: replay hooks (repro.replay).  ``pick_observer(tid)`` is called
+        #: after every scheduling decision; ``pick_override(ready)`` — when
+        #: set — *makes* the decision instead of the seeded policy (and the
+        #: sched.* rng streams are not drawn, which is safe because every
+        #: stream is independent).
+        self.pick_observer: Optional[Callable[[int], None]] = None
+        self.pick_override: Optional[
+            Callable[[List["SimThread"]], "SimThread"]] = None
         self.peak_live = 0                   # max concurrently-live threads
         self._master = threading.Event()
         self._aborting = False
@@ -233,16 +241,27 @@ class Scheduler:
                     ready.append(t)
         if not ready:
             return None
+        if self.pick_override is not None:
+            chosen = self.pick_override(ready)
+            if self.pick_observer is not None:
+                self.pick_observer(chosen.id)
+            return chosen
+        chosen = None
         if len(ready) > 1 and self.policy == "min_vtime":
             if self.rng.randint("sched.jitter", 0, 100) < self.JITTER * 100:
-                return ready[self.rng.choice("sched.jitterpick", len(ready))]
-            best = min(t.vtime for t in ready)
-            ready = [t for t in ready if t.vtime == best]
-        if len(ready) > 1:
-            idx = self.rng.choice("sched.tiebreak", len(ready))
-        else:
-            idx = 0
-        return ready[idx]
+                chosen = ready[self.rng.choice("sched.jitterpick",
+                                               len(ready))]
+            else:
+                best = min(t.vtime for t in ready)
+                ready = [t for t in ready if t.vtime == best]
+        if chosen is None:
+            if len(ready) > 1:
+                chosen = ready[self.rng.choice("sched.tiebreak", len(ready))]
+            else:
+                chosen = ready[0]
+        if self.pick_observer is not None:
+            self.pick_observer(chosen.id)
+        return chosen
 
     def _run_slice(self, t: SimThread) -> None:
         if t.state == ThreadState.BLOCKED:

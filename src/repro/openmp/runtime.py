@@ -113,6 +113,12 @@ class TaskView:
 class OmpRuntime:
     """The runtime instance bound to one guest program run."""
 
+    #: named rng streams this runtime's scheduler consumes (work-stealing
+    #: victim order).  The schedule recorder (repro.replay) snapshots the
+    #: per-stream draw counts and the replayer cross-checks them: a replayed
+    #: run must steal in exactly the recorded pattern.
+    SCHED_STREAMS = ("omp.steal",)
+
     def __init__(self, ctx: GuestContext, *, max_threads: int = 4) -> None:
         self.ctx = ctx
         self.machine = ctx.machine

@@ -50,6 +50,10 @@ class QTask:
 class QthreadsEnv:
     """The runtime instance bound to one guest run."""
 
+    #: the shepherd queue is strict FIFO — no scheduler randomness beyond
+    #: the simulator's own sched.* streams (see OmpRuntime.SCHED_STREAMS)
+    SCHED_STREAMS: tuple = ()
+
     def __init__(self, ctx: GuestContext, *, nworkers: int = 4) -> None:
         self.ctx = ctx
         self.machine = ctx.machine

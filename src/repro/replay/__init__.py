@@ -1,0 +1,28 @@
+"""Two-phase race detection: sync-only recording + deterministic replay.
+
+The RecPlay idea (Ronsse & De Bosschere, PAPERS.md) adapted to Taskgrind:
+a first pass records only the synchronization order — scheduler picks,
+segment/HB-edge creation, allocator event order, cost-model vclock
+checkpoints — into a tiny ``taskgrind-schedule/1`` document while the
+access recorder is off; a second pass re-executes the program *pinned* to
+that schedule with full access instrumentation, cross-checking the graph
+at every segment boundary.  Divergence raises
+:class:`repro.errors.ReplayDivergenceError` with the first mismatch.
+
+Partial replay (:class:`~repro.replay.filter.ReplayFilter`) narrows the
+second pass to caller-chosen address ranges and/or segment pairs; on the
+filtered scope the verdicts are identical to a full recording's.
+"""
+
+from repro.replay.filter import ReplayFilter
+from repro.replay.record import ScheduleRecorder, record_bench
+from repro.replay.replay import ReplaySession, replay_bench
+from repro.replay.schedule import (SCHEDULE_SCHEMA, ScheduleDoc,
+                                   load_schedule, save_schedule)
+
+__all__ = [
+    "SCHEDULE_SCHEMA", "ScheduleDoc", "load_schedule", "save_schedule",
+    "ScheduleRecorder", "record_bench",
+    "ReplaySession", "replay_bench",
+    "ReplayFilter",
+]

@@ -1,0 +1,278 @@
+"""The ``taskgrind-schedule/1`` document: a pinned schedule, nothing more.
+
+Layout mirrors the ``taskgrind-trace/2`` chunk stream (one checksummed
+JSON line per chunk, atomic tmp+rename save, the writer consults the fault
+injector) but the *content* is orders of magnitude smaller: no access
+trees, no byte ranges — only what is needed to re-execute the same
+interleaving and prove it stayed the same.
+
+Chunk kinds, in stream order::
+
+    header    schema/version + element counts (the loader's ground truth)
+    program   how to re-create the run (program ref, nthreads, seed, opts)
+    picks     scheduler decisions, thread id per slice, chunked
+    segments  [thread, kind, virtual, vclock] per segment in creation order
+    edges     [src, dst] per HB edge in creation order
+    allocs    [seq, thread, size] per heap allocation in event order
+    rng       draw-call count per named rng stream
+    end       footer: total chunk count
+
+Loading is **strict only** — there is deliberately no salvage reader.  A
+trace missing its tail still describes real prefix evidence; a schedule
+missing its tail would pin a *different execution* and silently change
+every downstream verdict.  Truncation, bad checksums, or count mismatches
+raise the :mod:`repro.errors` schedule taxonomy instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.trace import _ChunkWriter, _payload_crc
+from repro.errors import (ScheduleCorruptionError, ScheduleFormatError,
+                          ScheduleVersionError)
+
+SCHEDULE_SCHEMA = "taskgrind-schedule/1"
+SCHEDULE_VERSION = 1
+
+#: picks/edges/allocs per chunk (small ints), segments per chunk (wider rows)
+CHUNK_PICKS = 4096
+CHUNK_SEGMENTS = 1024
+
+
+@dataclass
+class ScheduleDoc:
+    """One recorded schedule, in memory."""
+
+    #: how to re-create the run: ``{"kind": "bench"|"fuzz", ...}`` — bench
+    #: refs carry the program name, fuzz refs embed the generated spec
+    program: Dict = field(default_factory=dict)
+    #: thread id per scheduler decision, in decision order
+    picks: List[int] = field(default_factory=list)
+    #: ``[thread_id, kind, virtual, vclock_ops]`` per segment, id order ==
+    #: creation order (segment ids are dense)
+    segments: List[list] = field(default_factory=list)
+    #: ``[src_id, dst_id]`` per HB edge, in creation order
+    edges: List[list] = field(default_factory=list)
+    #: ``[seq, thread_id, size]`` per heap allocation, in event order
+    allocs: List[list] = field(default_factory=list)
+    #: draw-call count per named rng stream at end of recording
+    rng_draws: Dict[str, int] = field(default_factory=dict)
+    #: cost-model makespan at end of recording (the final vclock checkpoint)
+    final_vclock: float = 0.0
+
+    def counts(self) -> Dict[str, int]:
+        return {"picks": len(self.picks), "segments": len(self.segments),
+                "edges": len(self.edges), "allocs": len(self.allocs),
+                "rng_streams": len(self.rng_draws)}
+
+    def summary(self) -> str:
+        c = self.counts()
+        ref = self.program.get("name") or self.program.get("kind", "?")
+        return (f"{ref}: {c['picks']} picks, {c['segments']} segments, "
+                f"{c['edges']} edges, {c['allocs']} allocs, "
+                f"final vclock {self.final_vclock:.0f} ops")
+
+    # -- plain-data round trip (the fuzz two-phase oracle uses this to
+    # prove the on-disk format loses nothing) -----------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": SCHEDULE_SCHEMA, "version": SCHEDULE_VERSION,
+            "program": self.program, "picks": list(self.picks),
+            "segments": [list(s) for s in self.segments],
+            "edges": [list(e) for e in self.edges],
+            "allocs": [list(a) for a in self.allocs],
+            "rng_draws": dict(self.rng_draws),
+            "final_vclock": self.final_vclock,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ScheduleDoc":
+        if doc.get("schema") != SCHEDULE_SCHEMA:
+            raise ScheduleFormatError(
+                "<dict>", f"schema {doc.get('schema')!r}")
+        return cls(program=doc["program"], picks=list(doc["picks"]),
+                   segments=[list(s) for s in doc["segments"]],
+                   edges=[list(e) for e in doc["edges"]],
+                   allocs=[list(a) for a in doc["allocs"]],
+                   rng_draws=dict(doc["rng_draws"]),
+                   final_vclock=doc["final_vclock"])
+
+
+# ---------------------------------------------------------------------------
+# save
+# ---------------------------------------------------------------------------
+
+def save_schedule(doc: ScheduleDoc, path: str) -> None:
+    """Write ``doc`` atomically as a chunked ``taskgrind-schedule/1`` stream.
+
+    Reuses the trace chunk writer, so armed fault plans (trace-truncate /
+    trace-corrupt points) damage schedule saves exactly like trace saves —
+    which the strict loader must then refuse, never half-replay.
+    """
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            writer = _ChunkWriter(fh, vtime=doc.final_vclock)
+            writer.emit("header", {
+                "schema": SCHEDULE_SCHEMA, "version": SCHEDULE_VERSION,
+                "counts": doc.counts(),
+                "final_vclock": doc.final_vclock})
+            writer.emit("program", doc.program)
+            for base in range(0, len(doc.picks), CHUNK_PICKS):
+                writer.emit("picks", {
+                    "start": base,
+                    "picks": doc.picks[base:base + CHUNK_PICKS]})
+            for base in range(0, len(doc.segments), CHUNK_SEGMENTS):
+                writer.emit("segments", {
+                    "start": base,
+                    "segments": doc.segments[base:base + CHUNK_SEGMENTS]})
+            for base in range(0, len(doc.edges), CHUNK_PICKS):
+                writer.emit("edges", {
+                    "start": base,
+                    "edges": doc.edges[base:base + CHUNK_PICKS]})
+            for base in range(0, len(doc.allocs), CHUNK_PICKS):
+                writer.emit("allocs", {
+                    "start": base,
+                    "allocs": doc.allocs[base:base + CHUNK_PICKS]})
+            writer.emit("rng", {"draws": doc.rng_draws})
+            writer.emit("end", {"chunks": writer.chunks + 1})
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# ---------------------------------------------------------------------------
+# strict load
+# ---------------------------------------------------------------------------
+
+def load_schedule(path: str) -> ScheduleDoc:
+    """Parse a schedule document, failing fast on any damage.
+
+    Raises :class:`ScheduleFormatError` when the file is not a schedule,
+    :class:`ScheduleVersionError` on a version this replayer does not
+    speak, and :class:`ScheduleCorruptionError` on checksum failures,
+    truncation, out-of-order chunks, or count mismatches.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError as exc:
+        raise ScheduleFormatError(path, str(exc)) from exc
+    if not data.strip():
+        raise ScheduleFormatError(path, "empty file")
+
+    doc = ScheduleDoc()
+    counts: Optional[Dict[str, int]] = None
+    saw_end = False
+    expected_seq = 0
+    offset = 0
+    for raw in data.split(b"\n"):
+        line = raw.strip()
+        line_offset = offset
+        offset += len(raw) + 1
+        if not line:
+            continue
+        if saw_end:
+            raise ScheduleCorruptionError(
+                path, byte_offset=line_offset, chunk_seq=expected_seq,
+                reason="data after the end chunk")
+        try:
+            chunk = json.loads(line)
+        except ValueError as exc:
+            if expected_seq == 0:
+                raise ScheduleFormatError(
+                    path, f"first line is not JSON: {exc}") from exc
+            raise ScheduleCorruptionError(
+                path, byte_offset=line_offset, chunk_seq=expected_seq,
+                reason=f"unparseable chunk line: {exc}") from exc
+        if not isinstance(chunk, dict) or "payload" not in chunk \
+                or "crc" not in chunk or "kind" not in chunk:
+            if expected_seq == 0:
+                raise ScheduleFormatError(
+                    path, "first line lacks the chunk envelope "
+                          "(seq/kind/crc/payload)")
+            raise ScheduleCorruptionError(
+                path, byte_offset=line_offset, chunk_seq=expected_seq,
+                reason="chunk line lacks the envelope keys")
+        payload = chunk["payload"]
+        if chunk.get("seq") != expected_seq:
+            raise ScheduleCorruptionError(
+                path, byte_offset=line_offset, chunk_seq=expected_seq,
+                reason=f"chunk sequence {chunk.get('seq')!r}, expected "
+                       f"{expected_seq} (reordered or spliced stream)")
+        if _payload_crc(payload) != chunk["crc"]:
+            raise ScheduleCorruptionError(
+                path, byte_offset=line_offset, chunk_seq=expected_seq,
+                reason=f"checksum mismatch (stored {chunk['crc']}, "
+                       f"computed {_payload_crc(payload)})")
+        kind = chunk["kind"]
+        if expected_seq == 0:
+            if kind != "header":
+                raise ScheduleFormatError(
+                    path, f"first chunk is {kind!r}, expected the schedule "
+                          "header")
+            schema = payload.get("schema")
+            version = payload.get("version")
+            if schema != SCHEDULE_SCHEMA or version != SCHEDULE_VERSION:
+                raise ScheduleVersionError(
+                    path, schema if schema != SCHEDULE_SCHEMA else version,
+                    f"{SCHEDULE_SCHEMA} v{SCHEDULE_VERSION}")
+            counts = dict(payload["counts"])
+            doc.final_vclock = payload["final_vclock"]
+        elif kind == "program":
+            doc.program = payload
+        elif kind == "picks":
+            _append_at(path, line_offset, doc.picks,
+                       payload["start"], payload["picks"])
+        elif kind == "segments":
+            _append_at(path, line_offset, doc.segments,
+                       payload["start"], payload["segments"])
+        elif kind == "edges":
+            _append_at(path, line_offset, doc.edges,
+                       payload["start"], payload["edges"])
+        elif kind == "allocs":
+            _append_at(path, line_offset, doc.allocs,
+                       payload["start"], payload["allocs"])
+        elif kind == "rng":
+            doc.rng_draws = dict(payload["draws"])
+        elif kind == "end":
+            saw_end = True
+        else:
+            raise ScheduleCorruptionError(
+                path, byte_offset=line_offset, chunk_seq=expected_seq,
+                reason=f"unknown chunk kind {kind!r}")
+        expected_seq += 1
+
+    if counts is None:
+        raise ScheduleFormatError(path, "no schedule header chunk")
+    if not saw_end:
+        raise ScheduleCorruptionError(
+            path, byte_offset=len(data), chunk_seq=expected_seq,
+            reason="truncated: no end chunk")
+    got = doc.counts()
+    if got != counts:
+        raise ScheduleCorruptionError(
+            path, byte_offset=len(data), chunk_seq=expected_seq,
+            reason=f"element counts {got} do not match the header "
+                   f"{counts}")
+    return doc
+
+
+def _append_at(path: str, byte_offset: int, target: list,
+               start: int, items: list) -> None:
+    """Chunks must arrive in order and dovetail exactly."""
+    if start != len(target):
+        raise ScheduleCorruptionError(
+            path, byte_offset=byte_offset, chunk_seq=None,
+            reason=f"chunk starts at element {start}, expected "
+                   f"{len(target)} (missing or duplicated chunk)")
+    target.extend(items)

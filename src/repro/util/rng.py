@@ -22,6 +22,11 @@ class RngHub:
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
+        #: draw calls per stream — a cheap determinism fingerprint: two runs
+        #: of the same schedule must consume every stream identically (the
+        #: replayer cross-checks this, excluding the sched.* streams it
+        #: deliberately does not draw)
+        self.draws: Dict[str, int] = {}
 
     def stream(self, name: str) -> np.random.Generator:
         """The generator for ``name``, created deterministically on first use."""
@@ -36,6 +41,7 @@ class RngHub:
 
     def randint(self, name: str, lo: int, hi: int) -> int:
         """Uniform integer in ``[lo, hi)`` from the named stream."""
+        self.draws[name] = self.draws.get(name, 0) + 1
         return int(self.stream(name).integers(lo, hi))
 
     def choice(self, name: str, n: int) -> int:
@@ -43,6 +49,7 @@ class RngHub:
 
     def shuffle(self, name: str, seq: list) -> None:
         """In-place Fisher-Yates shuffle driven by the named stream."""
+        self.draws[name] = self.draws.get(name, 0) + 1
         gen = self.stream(name)
         for i in range(len(seq) - 1, 0, -1):
             j = int(gen.integers(0, i + 1))

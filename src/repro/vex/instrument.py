@@ -58,6 +58,13 @@ class Instrumentation:
         to statically-elided access handles; it rides through to the tools,
         which drop the access before recording (the declaration already
         proved the runtime suppression verdict).
+
+        Sync-only recording (``TaskgrindOptions.record_mode="sync"``, the
+        two-phase first pass) changes nothing here on purpose: the tool is
+        still dispatched and still *observes* every access, so the charge
+        below — and with it the virtual clock and the schedule — is
+        bit-identical to a full-recording run.  Only the tool-side work
+        behind the dispatch collapses to a counter bump.
         """
         self.space.check_mapped(addr, size, "write" if is_write else "read")
         self.access_count += 1
@@ -106,4 +113,7 @@ class Instrumentation:
             "raw_dispatched": self.raw_dispatched,
             "event_dispatched": self.event_dispatched,
             "unobserved": self.unobserved,
+            # dispatched but not recorded (tools in sync-only record mode)
+            "sync_skipped": sum(getattr(t, "sync_skipped", 0)
+                                for t in self.tools),
         }

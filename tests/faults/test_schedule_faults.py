@@ -1,0 +1,78 @@
+"""Schedule saves under armed fault plans: damage must always fail fast.
+
+The schedule writer reuses the trace chunk writer, so trace-targeting
+fault points (truncate / corrupt / save-crash) fire during
+``save_schedule`` for free.  Unlike traces there is no salvage reader —
+every fired fault must leave a file the strict loader refuses with the
+schedule error taxonomy, never a half-schedule that silently replays a
+different execution.
+"""
+
+import pytest
+
+from repro.errors import (InjectedFault, ScheduleCorruptionError,
+                          ScheduleError)
+from repro.faults.inject import inject_plan
+from repro.faults.plan import FaultPlan, builtin_plan
+from repro.replay.schedule import ScheduleDoc, load_schedule, save_schedule
+
+
+def make_doc() -> ScheduleDoc:
+    return ScheduleDoc(
+        program={"kind": "bench", "name": "heat", "nthreads": 2, "seed": 0},
+        picks=[0, 1, 0, 1], segments=[[0, "serial", False, 0.0]],
+        edges=[], allocs=[[1, 0, 32]], rng_draws={"omp.steal": 1},
+        final_vclock=10.0)
+
+
+class TestTruncation:
+    def test_builtin_truncate_plan_fires_and_loader_refuses(self, tmp_path):
+        path = str(tmp_path / "s.json")
+        plan = builtin_plan("trace-truncate@2")
+        with inject_plan(plan):
+            save_schedule(make_doc(), path)
+        assert plan.points[0].fired, "the fault point never triggered"
+        with pytest.raises(ScheduleCorruptionError):
+            load_schedule(path)
+
+    def test_truncation_at_every_chunk_index(self, tmp_path):
+        # chunk 0 tears the header line itself -> format/corruption error;
+        # later chunks leave a valid prefix that must still be refused
+        for at in range(6):
+            path = str(tmp_path / f"s{at}.json")
+            with inject_plan(FaultPlan.single("trace-truncate", at)):
+                save_schedule(make_doc(), path)
+            with pytest.raises(ScheduleError):
+                load_schedule(path)
+
+
+class TestCorruption:
+    def test_corrupt_chunk_fails_the_checksum(self, tmp_path):
+        path = str(tmp_path / "s.json")
+        plan = FaultPlan.single("trace-corrupt", 2)
+        with inject_plan(plan):
+            save_schedule(make_doc(), path)
+        assert plan.points[0].fired
+        with pytest.raises(ScheduleCorruptionError, match="checksum"):
+            load_schedule(path)
+
+    def test_error_names_the_damaged_chunk(self, tmp_path):
+        path = str(tmp_path / "s.json")
+        with inject_plan(FaultPlan.single("trace-corrupt", 1)):
+            save_schedule(make_doc(), path)
+        with pytest.raises(ScheduleCorruptionError) as exc:
+            load_schedule(path)
+        assert exc.value.chunk_seq == 1
+        assert exc.value.path == path
+
+
+class TestSaveCrash:
+    def test_writer_death_leaves_no_file(self, tmp_path):
+        # save-crash raises mid-save; the atomic tmp+rename contract means
+        # neither the final path nor the tmp file survives
+        path = tmp_path / "s.json"
+        with inject_plan(FaultPlan.single("save-crash", 1)):
+            with pytest.raises(InjectedFault):
+                save_schedule(make_doc(), str(path))
+        assert not path.exists()
+        assert not path.with_suffix(".json.tmp").exists()

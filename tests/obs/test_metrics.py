@@ -298,6 +298,29 @@ class TestPerfGate:
         ok, _ = compare_to_baseline(doc(fib=9.0), doc(fib=2.0), tolerance=0.0)
         assert ok
 
+    def test_failure_names_the_breaching_workload_and_phase(self):
+        ok, lines = compare_to_baseline(doc(fib=1.0, heat=2.2),
+                                        doc(fib=2.0, heat=2.0),
+                                        tolerance=0.4)
+        assert not ok
+        assert lines[-1] == "breached tolerance: fib/combined"
+
+    def test_record_sync_speedup_is_gated(self):
+        base = doc(heat=2.0)
+        base["workloads"]["heat"]["record_sync"] = {"speedup": 10.0}
+        fresh = doc(heat=2.0)
+        fresh["workloads"]["heat"]["record_sync"] = {"speedup": 1.0}
+        ok, lines = compare_to_baseline(fresh, base, tolerance=0.4)
+        assert not ok
+        assert "heat/record_sync" in lines[-1]
+
+    def test_fresh_doc_missing_a_gated_phase_fails(self):
+        base = doc(heat=2.0)
+        base["workloads"]["heat"]["analyze"] = {"speedup": 2.0}
+        ok, lines = compare_to_baseline(doc(heat=2.0), base, tolerance=0.4)
+        assert not ok
+        assert "heat/analyze" in lines[-1]
+
 
 # ---------------------------------------------------------------------------
 # percentile estimation from power-of-two buckets
