@@ -14,12 +14,16 @@ Subcommands map one-to-one to the paper's artifacts::
     python -m repro perf              # record/analyze fast-path bench
     python -m repro fuzz              # differential schedule-fuzzing
     python -m repro faults            # resilience self-test (fault matrix)
+    python -m repro profile           # overhead-attribution profiles
+                                      # (run/diff/show/check)
 
 Global flags (work with every subcommand)::
 
-    --stats[=json|pretty]             # print the observability document
+    --stats[=json|pretty|prom]        # print the observability document
                                       # (phase wall/virtual timings, counters,
-                                      # per-tool stats) after the subcommand
+                                      # per-tool stats) after the subcommand;
+                                      # 'prom' renders Prometheus text
+                                      # exposition format
     --trace-timeline OUT.json         # record the execution timeline and
                                       # export Chrome trace-event JSON
                                       # (virtual-time axis; load in Perfetto)
@@ -43,11 +47,12 @@ COMMANDS = {
     "perf": "repro.bench.perf",
     "fuzz": "repro.fuzz.cli",
     "faults": "repro.faults.selftest",
+    "profile": "repro.obs.profdoc",
 }
 
 
 def _extract_stats_flag(argv: List[str]) -> Tuple[List[str], Optional[str]]:
-    """Strip a launcher-level ``--stats[=json|pretty]`` from anywhere."""
+    """Strip a launcher-level ``--stats[=json|pretty|prom]`` from anywhere."""
     out: List[str] = []
     mode: Optional[str] = None
     for arg in argv:
@@ -55,9 +60,9 @@ def _extract_stats_flag(argv: List[str]) -> Tuple[List[str], Optional[str]]:
             mode = "pretty"
         elif arg.startswith("--stats="):
             value = arg.split("=", 1)[1]
-            if value not in ("json", "pretty"):
+            if value not in ("json", "pretty", "prom"):
                 print(f"unknown --stats mode {value!r} "
-                      "(expected json or pretty)", file=sys.stderr)
+                      "(expected json, pretty or prom)", file=sys.stderr)
                 value = "pretty"
             mode = value
         else:
@@ -113,6 +118,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if stats_mode == "json":
             import json
             print(json.dumps(registry.snapshot(), indent=2))
+        elif stats_mode == "prom":
+            sys.stdout.write(registry.render_prom())
         else:
             print(registry.render())
     return rc

@@ -32,13 +32,19 @@ regression.
 
 Every workload's entry also carries a ``stats`` block — the observability
 registry's per-phase wall/virtual timings plus the record counters from
-the capture run (write-combining hit/spill/flush mix, translation counts).
+the capture run (write-combining hit/spill/flush mix, translation counts)
+— and a ``profile`` block: the attribution profiler's per-class virtual
+op totals from the (untimed) capture run, so a gate breach can name the
+instrumentation class whose cost grew, not just the phase that slowed.
+``--profiles-dir DIR`` additionally writes the full per-workload
+``taskgrind-profile/1`` documents there for CI artifact upload.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Dict, List, Optional, Tuple
@@ -248,13 +254,29 @@ def bench_analyze(graph: SegmentGraph, repeats: int) -> Dict[str, float]:
 # ---------------------------------------------------------------------------
 
 def run_perf(*, workloads=("fib", "heat", "lulesh"), max_events: int = 250_000,
-             repeats: int = 3) -> Dict:
+             repeats: int = 3, profiles_dir: Optional[str] = None) -> Dict:
+    from repro.obs.prof import get_profiler
     results: Dict[str, Dict] = {}
     reg = get_registry()
+    prof = get_profiler()
+    if profiles_dir is not None:
+        os.makedirs(profiles_dir, exist_ok=True)
     for wl in workloads:
         reg.reset()                      # per-workload phase breakdown
+        # the capture run is untimed, so profiling it is free: the class
+        # totals ride along in the doc and the gate can blame a bucket
+        prof.enable()
+        prof.meta.update({"bench": "perf", "workload": wl, "seed": 0})
         graph, raw = capture(wl)
         snap = reg.snapshot()
+        profile_block = {"classes": prof.class_totals(),
+                         "vtime_ops": prof.total_ops}
+        if profiles_dir is not None:
+            from repro.obs.profdoc import save_profile
+            save_profile(os.path.join(profiles_dir, f"{wl}.profile.json"),
+                         prof, phases=snap["phases"])
+        # timed sections below must see the disabled-profiler fast path
+        prof.disable()
         stats = {
             "phases": snap["phases"],
             "record_counters": {k: v for k, v in snap["counters"].items()
@@ -284,6 +306,7 @@ def run_perf(*, workloads=("fib", "heat", "lulesh"), max_events: int = 250_000,
             "combined_speedup": (combined_legacy / combined_fast
                                  if combined_fast else float("inf")),
             "stats": stats,
+            "profile": profile_block,
         }
     return {
         "bench": "perf",
@@ -313,6 +336,41 @@ def render(results: Dict) -> str:
                      f"   (hb {'exact' if r['hb_exact'] else 'fallback'},"
                      f" {r['events']} events, {r['segments']} segments)")
     return "\n".join(lines)
+
+
+def _blame_buckets(fresh: Dict, baseline: Dict,
+                   breached: List[str]) -> List[str]:
+    """Name the instrumentation class responsible for each breach.
+
+    Uses the per-class virtual op totals both documents embed (the
+    ``profile`` block from the capture run): the class whose op count
+    grew most from baseline to fresh is the prime suspect.  A breach
+    with no op-count growth is timing-side (runner noise, interpreter
+    change), which is itself a useful verdict.
+    """
+    from repro.obs.profdoc import top_regressing_class
+    out: List[str] = []
+    seen: List[str] = []
+    for item in breached:
+        wl = item.split("/", 1)[0]
+        if wl in seen:
+            continue
+        seen.append(wl)
+        base = baseline["workloads"][wl].get("profile", {}).get("classes")
+        got = fresh["workloads"][wl].get("profile", {}).get("classes")
+        if not base or not got:
+            continue        # pre-profile baseline doc: nothing to blame
+        top = top_regressing_class(base, got)
+        if top is None:
+            out.append(f"{wl}: no instrumentation class charged more ops "
+                       "than baseline (timing-side regression)")
+        else:
+            klass, delta = top
+            out.append(f"{wl}: top regressing bucket {klass!r} "
+                       f"(+{delta:.0f} virtual ops vs baseline, "
+                       f"{base.get(klass, 0.0):.0f} -> "
+                       f"{got.get(klass, 0.0):.0f})")
+    return out
 
 
 def compare_to_baseline(fresh: Dict, baseline: Dict,
@@ -362,6 +420,7 @@ def compare_to_baseline(fresh: Dict, baseline: Dict,
                   fresh["workloads"][wl].get(key, {}).get("speedup", 0.0))
     if breached:
         lines.append("breached tolerance: " + ", ".join(breached))
+        lines.extend(_blame_buckets(fresh, baseline, breached))
     return not breached, lines
 
 
@@ -379,16 +438,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     ap.add_argument("--tolerance", type=float, default=0.4,
                     help="allowed fractional speedup drop vs the baseline "
                          "(default: 0.4)")
+    ap.add_argument("--profiles-dir", metavar="DIR", default=None,
+                    help="write each workload's full taskgrind-profile/1 "
+                         "document here (CI artifact upload)")
     args = ap.parse_args(argv)
     workloads = ("fib", "heat") if args.skip_lulesh else \
         ("fib", "heat", "lulesh")
     results = run_perf(workloads=workloads, max_events=args.max_events,
-                       repeats=max(1, args.repeats))
+                       repeats=max(1, args.repeats),
+                       profiles_dir=args.profiles_dir)
     print(render(results))
     with open(args.json, "w") as fh:
         json.dump(results, fh, indent=2)
         fh.write("\n")
     print(f"\nwrote {args.json}")
+    if args.profiles_dir is not None:
+        print(f"wrote per-workload profiles to {args.profiles_dir}/")
     if args.baseline is not None:
         with open(args.baseline) as fh:
             baseline = json.load(fh)

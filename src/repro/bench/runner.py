@@ -99,7 +99,13 @@ def run_benchmark(program: BenchProgram, tool_name: str, *,
     carries the reports and stats recovered from the prefix.
     """
     from repro.obs.metrics import get_registry
+    from repro.obs.tracer import get_tracer
     reg_baseline = get_registry().mark()
+    tracer = get_tracer()
+    if tracer.enabled:
+        # per-run timeline scope: segment ids restart at 0 each run, so the
+        # span-anchoring tables must not leak across back-to-back runs
+        tracer.new_run()
     factory = TOOLS[tool_name]
     if tool_name == "taskgrind" and taskgrind_options is not None:
         tool = factory(taskgrind_options)
@@ -228,6 +234,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="export the execution timeline as Chrome "
                              "trace-event JSON (virtual-time axis; load in "
                              "Perfetto)")
+    parser.add_argument("--profile", metavar="OUT.json", default=None,
+                        help="enable the attribution profiler and write a "
+                             "taskgrind-profile/1 document (see "
+                             "'python -m repro profile')")
+    parser.add_argument("--flame", metavar="OUT.folded", default=None,
+                        help="enable the attribution profiler and write "
+                             "collapsed-stack flamegraph text "
+                             "(flamegraph.pl input)")
     parser.add_argument("--fault-plan", metavar="PLAN", default=None,
                         help="arm a taskgrind-fault-plan/1 JSON file for "
                              "this run (resilience testing); "
@@ -285,6 +299,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.tracer import get_tracer
         tracer = get_tracer()
         tracer.enable()
+    prof = None
+    if args.profile is not None or args.flame is not None:
+        from repro.obs.prof import get_profiler
+        prof = get_profiler()
+        prof.enable()
+        prof.meta.update({
+            "program": program.name, "tool": args.tool,
+            "nthreads": args.threads, "seed": args.seed,
+            "record_mode": args.record,
+        })
     options = None
     if args.explain or args.analysis is not None or args.record != "full":
         options = TaskgrindOptions(explain=args.explain,
@@ -320,6 +344,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         tracer.disable()
         print(f"wrote timeline to {args.trace_timeline} "
               f"({len(tracer)} events)")
+    if prof is not None:
+        from repro.obs import profdoc
+        phases = ((result.stats or {}).get("registry") or {}).get("phases")
+        if args.profile is not None:
+            profdoc.save_profile(args.profile, prof, phases=phases)
+            print(f"wrote profile to {args.profile} "
+                  f"({len(prof)} buckets, "
+                  f"{prof.total_ops:.0f} attributed ops)")
+        if args.flame is not None:
+            with open(args.flame, "w", encoding="utf-8") as fh:
+                fh.write(prof.folded())
+            print(f"wrote flamegraph input to {args.flame}")
+        prof.disable()
     print(f"{result.program} under {result.tool} "
           f"({result.nthreads} threads, seed {result.seed}): "
           f"{result.cell()} — {result.report_count} report(s), "

@@ -10,7 +10,7 @@ the run from the registry.
 from __future__ import annotations
 
 from repro.bench.programs import BenchProgram
-from repro.workloads.synthetic import omp_fib, omp_heat
+from repro.workloads.synthetic import omp_fib, omp_heat, omp_scratch
 
 REGISTRY = [
     BenchProgram(
@@ -28,6 +28,16 @@ REGISTRY = [
         description="1-D heat diffusion, halo dependences intact",
         source_file="heat.c",
         features=frozenset({"task", "depend"}),
+    ),
+    BenchProgram(
+        name="scratch",
+        racy=False,
+        entry=lambda env: omp_scratch(env, tasks=8, iters=64),
+        description="independent tasks hammering private stack scratch "
+                    "slots — the access-elision showcase for "
+                    "`repro profile run scratch --no-elide` diffs",
+        source_file="scratch.c",
+        features=frozenset({"task", "taskwait"}),
     ),
     BenchProgram(
         name="heat-racy",

@@ -4,7 +4,7 @@ Runs Algorithm 1 (+ suppressions + report formatting) over a trace produced
 by :func:`repro.core.trace.save_trace`, outside the "Valgrind framework" —
 the paper's Section VII future-work deployment.
 
-``--stats[=json|pretty]`` appends the observability document: offline
+``--stats[=json|pretty|prom]`` appends the observability document: offline
 phase timings (load / analysis / suppress / report) plus the recording
 run's embedded stats block, which carries the cost-model virtual time of
 the instrumented execution.  With ``--json``, the stats document is
@@ -46,9 +46,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--suggest", action="store_true",
                         help="append fix suggestions to each report")
     parser.add_argument("--stats", nargs="?", const="pretty", default=None,
-                        choices=["json", "pretty"],
+                        choices=["json", "pretty", "prom"],
                         help="emit the observability document "
-                             "(phase timings, counters, record-run stats)")
+                             "(phase timings, counters, record-run stats); "
+                             "'prom' renders Prometheus text exposition")
+    parser.add_argument("--profile", metavar="OUT.json", default=None,
+                        help="write an analyze-side taskgrind-profile/1 "
+                             "document (count-axis buckets + phase timers; "
+                             "the virtual-time axis is empty offline)")
     parser.add_argument("--explain", action="store_true",
                         help="append a provenance witness to each report "
                              "(task ancestry, common ancestor, hb evidence)")
@@ -64,6 +69,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.tracer import get_tracer
         tracer = get_tracer()
         tracer.enable()
+    prof = None
+    reg_baseline = None
+    if args.profile is not None:
+        from repro.obs.metrics import get_registry
+        from repro.obs.prof import get_profiler
+        prof = get_profiler()
+        prof.enable()
+        prof.meta.update({"trace": args.trace, "mode": args.mode,
+                          "axis": "counts-only"})
+        reg_baseline = get_registry().mark()
     try:
         reports, stats = analyze_trace_with_stats(
             args.trace, mode=args.mode, workers=args.workers,
@@ -75,6 +90,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if tracer is not None:
         tracer.export(args.trace_timeline)
         tracer.disable()
+    if prof is not None:
+        from repro.obs.metrics import get_registry
+        from repro.obs.profdoc import save_profile
+        phases = get_registry().delta_since(reg_baseline).get("phases")
+        save_profile(args.profile, prof, phases=phases)
+        prof.disable()
+        print(f"wrote analyze-side profile to {args.profile}",
+              file=sys.stderr)
     if args.json:
         doc = {
             "tool": "taskgrind",
@@ -111,6 +134,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print()
         if args.stats == "json":
             print(json.dumps(stats, indent=2))
+        elif args.stats == "prom":
+            from repro.obs.metrics import get_registry
+            sys.stdout.write(get_registry().render_prom())
         elif args.stats == "pretty":
             from repro.obs.metrics import get_registry
             print(get_registry().render())

@@ -49,6 +49,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.hbindex import HbIndex
 from repro.machine.debuginfo import SourceLocation
 from repro.obs.metrics import get_registry
+from repro.obs.prof import get_profiler
 from repro.obs.tracer import get_tracer
 from repro.machine.tls import TlsSnapshot
 from repro.openmp.ompt import DepKind, Dependence, TaskFlags
@@ -78,6 +79,7 @@ _WC_ACTIVATE = 8
 #: never per access, so the write-combining hot loop stays registry-free
 _REG = get_registry()
 _TRACER = get_tracer()
+_PROF = get_profiler()
 _WC_HITS = _REG.counter("record.wc_hits")
 _WC_SPILLS = _REG.counter("record.wc_spills")
 _WC_TINY_DRAINS = _REG.counter("record.wc_tiny_drains")
@@ -163,8 +165,10 @@ class _PendingAccesses:
     def drain(self) -> List[Tuple[int, int]]:
         """All buffered ranges, sorted and coalesced; resets the buffer."""
         pairs = self.spill
+        spilled = 0
         if self.cells is not None:
-            _WC_SPILLS.inc(len(pairs))
+            spilled = len(pairs)
+            _WC_SPILLS.inc(spilled)
             for cell in self.cells:
                 if cell is not None:
                     pairs.append((cell[0], cell[1]))
@@ -174,6 +178,14 @@ class _PendingAccesses:
         _WC_ACCESSES.inc(self.count)
         _WC_HITS.inc(self.hits)
         _WC_FLUSHES.inc()
+        if _PROF.enabled:
+            # count-axis attribution: booked once per drain (cold), never
+            # per access — the write-combining hot loop stays profiler-free
+            if self.hits:
+                _PROF.count("record.wc.hit", n=self.hits)
+            if spilled:
+                _PROF.count("record.wc.spill", n=spilled)
+            _PROF.count("record.wc.flush")
         self.spill = []
         self.count = 0
         self.hits = 0
@@ -493,6 +505,8 @@ class SegmentGraph:
                 # both E and H are strict total orders: a path exists iff
                 # the two label comparisons agree in direction
                 self.q_label += 1
+                if _PROF.enabled:
+                    _PROF.count("hb.query.label")
                 return (ea < eb) == (h[a.id] < h[b.id])
         idx = self.hb_index
         if idx is not None and self.hb_mode != "bitmask":
@@ -506,8 +520,12 @@ class SegmentGraph:
                         f"hb index disagrees with bitmask oracle on "
                         f"({a.id}, {b.id}): index={hint} dp={dp}")
                 self.q_index += 1
+                if _PROF.enabled:
+                    _PROF.count("hb.query.index")
                 return hint
         self.q_dp += 1
+        if _PROF.enabled:
+            _PROF.count("hb.query.dp")
         reach = self._reachability()
         return bool(reach[a.id] >> b.id & 1) or bool(reach[b.id] >> a.id & 1)
 
@@ -518,6 +536,8 @@ class SegmentGraph:
             ea, eb = e[a.id], e[b.id]
             if ea is not None and eb is not None:
                 self.q_label += 1
+                if _PROF.enabled:
+                    _PROF.count("hb.query.label")
                 return ea < eb and h[a.id] < h[b.id]
         idx = self.hb_index
         if idx is not None and self.hb_mode != "bitmask":
@@ -529,8 +549,12 @@ class SegmentGraph:
                         f"hb index disagrees with bitmask oracle on "
                         f"({a.id} -> {b.id}): index={hint} dp={dp}")
                 self.q_index += 1
+                if _PROF.enabled:
+                    _PROF.count("hb.query.index")
                 return hint
         self.q_dp += 1
+        if _PROF.enabled:
+            _PROF.count("hb.query.dp")
         return bool(self._reachability()[a.id] >> b.id & 1)
 
     def independent(self, a: Segment, b: Segment) -> bool:
@@ -748,6 +772,10 @@ class SegmentBuilder:
             if _TRACER.enabled:
                 _TRACER.segment_end(seg.id, args={
                     "reads": len(seg._reads), "writes": len(seg._writes)})
+                if _PROF.enabled:
+                    # merge cumulative per-class op counters onto the
+                    # timeline lanes at every segment boundary
+                    _PROF.sample_timeline(_TRACER, thread_id)
             try:
                 seg.tls_snapshot = self.machine.tls.snapshot(thread_id)
             except KeyError:  # pragma: no cover - threads always registered

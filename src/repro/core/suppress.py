@@ -34,10 +34,12 @@ from repro.core.analysis import RaceCandidate
 from repro.core.segments import Segment
 from repro.machine.memory import RegionKind
 from repro.obs.metrics import get_registry
+from repro.obs.prof import get_profiler
 from repro.obs.tracer import get_tracer
 from repro.util.intervals import Interval, IntervalSet
 
 _TRACER = get_tracer()
+_PROF = get_profiler()
 
 #: Default ignore-list: LLVM OpenMP runtime internals, the dynamic loader,
 #: and libc allocator internals (the paper names ``__kmp`` explicitly).
@@ -117,8 +119,12 @@ class SuppressionEngine:
             surviving.add(piece.lo, piece.hi)
         if not surviving:
             self.stats.fully_suppressed_pairs += 1
+            if _PROF.enabled:
+                _PROF.count("suppress.pair-dropped", cand.s1.label())
             return None
         self.stats.survived += 1
+        if _PROF.enabled:
+            _PROF.count("suppress.survived", cand.s1.label())
         return RaceCandidate(cand.s1, cand.s2, surviving)
 
     def _piece_suppressed(self, piece: Interval, s1: Segment,
@@ -130,6 +136,8 @@ class SuppressionEngine:
             if self._stack_local(piece, s1, region) and \
                     self._stack_local(piece, s2, region):
                 self.stats.stack_suppressed += 1
+                if _PROF.enabled:
+                    _PROF.count("suppress.stack", s1.label())
                 if _TRACER.enabled:
                     _TRACER.instant("suppress.stack", cat="suppress",
                                     args={"lo": piece.lo, "hi": piece.hi,
@@ -138,6 +146,8 @@ class SuppressionEngine:
         if region.kind == RegionKind.TLS and self.config.suppress_tls:
             if self._tls_suppressed(piece, s1, s2):
                 self.stats.tls_suppressed += 1
+                if _PROF.enabled:
+                    _PROF.count("suppress.tls", s1.label())
                 if _TRACER.enabled:
                     _TRACER.instant("suppress.tls", cat="suppress",
                                     args={"lo": piece.lo, "hi": piece.hi,

@@ -42,10 +42,16 @@ from repro.core.segments import SegmentBuilder, SegmentModelConfig
 from repro.core.suppress import SuppressionConfig, SuppressionEngine
 from repro.machine.cost import ToolCost
 from repro.obs.metrics import get_registry
+from repro.obs.prof import get_profiler
 from repro.obs.tracer import get_tracer
 from repro.vex.elide import ElisionPlan
 from repro.vex.events import AccessEvent
 from repro.vex.tool import Tool
+
+#: prebound attribution profiler — the access hot paths below guard every
+#: hint with a single ``_PROF.enabled`` attribute test (same pattern as the
+#: tracer), so the disabled cost is one boolean check
+_PROF = get_profiler()
 
 
 @dataclass
@@ -167,6 +173,18 @@ class TaskgrindTool(Tool):
         self.builder = SegmentBuilder(machine, self.options.segment_model,
                                       fast_record=self.options.fast_record)
         self.builder.graph.hb_mode = self.options.hb_mode
+        if _PROF.enabled:
+            # fallback attribution frame when a thread has no shadow stack
+            # (runtime-internal charges): the executing task's ancestry label
+            def _task_frame(tid: int, _builder=self.builder):
+                # peek only: current_entry() would open a segment as a
+                # side effect, which a profiler fallback must never do
+                st = _builder._entries.get(tid)
+                if not st or st[-1].task is None:
+                    return None
+                return f"task:{st[-1].task.label()}"
+
+            _PROF.bind_ancestry_provider(_task_frame)
         self.suppressor = SuppressionEngine(machine,
                                             self.options.suppression)
         if self.options.suppression.suppress_recycling:
@@ -249,9 +267,13 @@ class TaskgrindTool(Tool):
             # statically elided: the declaration already proved the runtime
             # suppression verdict, so the access never enters the trees
             self.elision.note(event.site)
+            if _PROF.enabled:
+                _PROF.hint_access("elide.noop")
             return
         if self.suppressor.symbol_filtered(event.symbol.name):
             self.filtered_accesses += 1
+            if _PROF.enabled:
+                _PROF.hint_access("suppress.symbol-filter")
             return
         if self.replay_filter is not None \
                 and self.replay_filter.filters_addresses:
@@ -269,6 +291,8 @@ class TaskgrindTool(Tool):
                       is_write: bool, symbol, loc, site=None) -> None:
         if site is not None:
             self.elision.note(site)
+            if _PROF.enabled:
+                _PROF.hint_access("elide.noop")
             return
         # memoized ignore/instrument-list decision (one lookup per symbol
         # name instead of re-running the pattern match per access)
@@ -278,6 +302,8 @@ class TaskgrindTool(Tool):
                 self.suppressor.symbol_filtered(symbol.name)
         if filtered:
             self.filtered_accesses += 1
+            if _PROF.enabled:
+                _PROF.hint_access("suppress.symbol-filter")
             return
         if self.replay_filter is not None \
                 and self.replay_filter.filters_addresses:
@@ -297,6 +323,8 @@ class TaskgrindTool(Tool):
         evidence inside the scope *identical* to a full recording's — the
         invariant the --verify-single-pass parity check rests on.
         """
+        if _PROF.enabled:
+            _PROF.hint_access("record.access.clipped")
         spans = self.replay_filter.clip(addr, addr + size)
         if not spans:
             self.filter_dropped += 1
@@ -317,11 +345,15 @@ class TaskgrindTool(Tool):
 
     def _on_access_sync(self, event: AccessEvent) -> None:
         self.sync_skipped += 1
+        if _PROF.enabled:
+            _PROF.hint_access("record.sync-skip")
 
     def _on_access_raw_sync(self, thread_id: int, addr: int, size: int,
                             is_write: bool, symbol, loc,
                             site=None) -> None:
         self.sync_skipped += 1
+        if _PROF.enabled:
+            _PROF.hint_access("record.sync-skip")
 
     def _check_memory_budget(self) -> None:
         """Trip into coarse recording when the footprint crosses the budget.

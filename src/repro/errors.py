@@ -232,6 +232,39 @@ class ReplayDivergenceError(ScheduleError):
                 "detail": self.detail}
 
 
+class ProfileError(ReproError):
+    """Base class for ``taskgrind-profile/1`` save/load failures.
+
+    Profiles follow the schedule documents' strictness, not the traces':
+    a profile with a corrupt bucket chunk would silently misattribute ops,
+    so loaders fail fast — there is no salvage mode.
+    """
+
+
+class ProfileFormatError(ProfileError, ValueError):
+    """The file is not a Taskgrind profile document at all."""
+
+    def __init__(self, path: str, reason: str) -> None:
+        super().__init__(
+            f"{path}: not a readable taskgrind profile: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+class ProfileCorruptionError(ProfileError):
+    """A profile chunk failed its checksum or the stream is truncated."""
+
+    def __init__(self, path: str, *, chunk_seq: Optional[int],
+                 reason: str) -> None:
+        where = f"chunk {chunk_seq}: " if chunk_seq is not None else ""
+        super().__init__(
+            f"{path}: corrupt profile: {where}{reason} "
+            "(re-profile the run; partial profiles are never loaded)")
+        self.path = path
+        self.chunk_seq = chunk_seq
+        self.reason = reason
+
+
 class InjectedFault(ReproError):
     """An error raised on purpose by the fault-injection framework.
 

@@ -52,6 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="where minimized reproducers are written")
     parser.add_argument("--json", dest="json_out", default=None,
                         help="write a machine-readable campaign report here")
+    parser.add_argument("--profile", metavar="OUT.json", default=None,
+                        help="enable the attribution profiler for the whole "
+                             "campaign and write one aggregated "
+                             "taskgrind-profile/1 document")
     parser.add_argument("--no-shrink", action="store_true",
                         help="report divergences without minimizing them")
     parser.add_argument("--analysis-kernel", default="auto",
@@ -113,6 +117,19 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"seed={pinned.seed} ({note or 'no note'})")
     options = fuzz_options(**overrides)
     registry = get_registry()
+    prof = None
+    reg_baseline = None
+    if args.profile is not None:
+        from repro.obs.prof import get_profiler
+        prof = get_profiler()
+        prof.enable()
+        campaign_mode = ("fault" if args.faults
+                         else "two-phase" if args.two_phase else "fuzz")
+        prof.meta.update({"campaign": campaign_mode,
+                          "seeds": args.seeds,
+                          "schedules": args.schedules,
+                          "base_seed": args.base_seed})
+        reg_baseline = registry.mark()
     deadline = time.monotonic() + args.budget if args.budget > 0 else None
 
     divergent: List[DiffResult] = []
@@ -193,6 +210,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 entry["reproducer"] = path
                 entry["shrunk_program"] = json.loads(small.to_json())
             report["divergent"].append(entry)
+
+    if prof is not None:
+        from repro.obs.profdoc import save_profile
+        phases = registry.delta_since(reg_baseline).get("phases")
+        save_profile(args.profile, prof, phases=phases)
+        prof.disable()
+        print(f"wrote campaign profile to {args.profile} "
+              f"({len(prof)} buckets)")
 
     status = "FAIL" if divergent else "ok"
     if stopped_early:

@@ -162,6 +162,11 @@ class CostModel:
             "accesses": 0, "access_bytes": 0, "tasks": 0, "syncs": 0,
             "allocs": 0, "calls": 0,
         }
+        #: attribution profiler mirror (``repro.obs.prof.Profiler``), bound
+        #: by the machine only when profiling is enabled — every
+        #: ``clock.charge`` below is mirrored so per-bucket op totals sum
+        #: to ``vtime_ops`` exactly under the serialized clock
+        self._prof = None
 
     # -- time ------------------------------------------------------------
 
@@ -176,6 +181,16 @@ class CostModel:
                 factor = self.tool_cost.fast_access_factor
             ops *= factor
         self.clock.charge(thread, ops)
+        prof = self._prof
+        if prof is not None:
+            if not observed:
+                default = "access.unobserved"
+            elif fast:
+                default = "record.access"
+            else:
+                default = "record.access.legacy"
+            prof.charge(getattr(thread, "id", -1),
+                        prof.take_access_hint(default), ops)
 
     def charge_translation(self, thread, symbol_name: str) -> None:
         if self.tool_cost.translation_ops <= 0:
@@ -186,29 +201,53 @@ class CostModel:
             return
         self._translated.add(key)
         self.clock.charge(thread, self.tool_cost.translation_ops)
+        if self._prof is not None:
+            # the translated symbol IS the attribution frame: translation
+            # cost belongs to the block, not to whoever reached it first
+            self._prof.charge(getattr(thread, "id", -1), "translate",
+                              self.tool_cost.translation_ops,
+                              frame=symbol_name)
 
     def charge_task(self, thread) -> None:
         self.counters["tasks"] += 1
         self.clock.charge(thread, self.params.task_create)
+        if self._prof is not None:
+            self._prof.charge(getattr(thread, "id", -1), "task.create",
+                              self.params.task_create)
 
     def charge_schedule(self, thread) -> None:
         self.clock.charge(thread, self.params.task_schedule)
+        if self._prof is not None:
+            self._prof.charge(getattr(thread, "id", -1), "sched",
+                              self.params.task_schedule)
 
     def charge_sync(self, thread) -> None:
         self.counters["syncs"] += 1
         self.clock.charge(thread, self.params.sync_op)
+        if self._prof is not None:
+            self._prof.charge(getattr(thread, "id", -1), "sync",
+                              self.params.sync_op)
 
     def charge_alloc(self, thread) -> None:
         self.counters["allocs"] += 1
         self.clock.charge(thread, self.params.alloc_op)
+        if self._prof is not None:
+            self._prof.charge(getattr(thread, "id", -1), "alloc",
+                              self.params.alloc_op)
 
     def charge_call(self, thread) -> None:
         self.counters["calls"] += 1
         self.clock.charge(thread, self.params.call_op)
+        if self._prof is not None:
+            self._prof.charge(getattr(thread, "id", -1), "call",
+                              self.params.call_op)
 
     def charge_compute(self, thread, flops: float) -> None:
-        self.clock.charge(thread, flops * self.params.compute_per_flop
-                          * self.tool_cost.compute_factor)
+        ops = (flops * self.params.compute_per_flop
+               * self.tool_cost.compute_factor)
+        self.clock.charge(thread, ops)
+        if self._prof is not None:
+            self._prof.charge(getattr(thread, "id", -1), "compute", ops)
 
     @property
     def seconds(self) -> float:

@@ -107,6 +107,21 @@ class Machine:
             # timeline timestamps follow this machine's virtual clock too
             tracer.set_vclock(lambda: self.cost.vtime_ops,
                               ops_per_second=OPS_PER_SECOND)
+        from repro.obs.prof import get_profiler
+        prof = get_profiler()
+        if prof.enabled:
+            # mirror every cost-model charge into the attribution profiler;
+            # frames come from this machine's shadow call stacks
+            self.cost._prof = prof
+
+            def _shadow_frame(tid: int, _prof=prof) -> Optional[str]:
+                ctx = self._contexts.get(tid)
+                if ctx is None or not ctx.symbols:
+                    return None
+                return _prof.join_frames(
+                    tuple(sym.name for sym in ctx.symbols))
+
+            prof.bind_frame_provider(_shadow_frame)
 
         self._contexts: Dict[int, ThreadContext] = {}
         self._next_stack_base = STACKS_BASE

@@ -399,6 +399,72 @@ class MetricsRegistry:
                          f"({len(doc)} top-level sections)")
         return "\n".join(lines)
 
+    def render_prom(self) -> str:
+        """Prometheus text exposition format (the ``--stats=prom`` output).
+
+        Conventions:
+
+        * every metric is prefixed ``taskgrind_`` and name-sanitized
+          (``[^a-zA-Z0-9_]`` becomes ``_``);
+        * counters export as ``<name>_total`` (``# TYPE ... counter``);
+        * numeric gauges export directly; non-numeric gauges export as
+          ``<name>_info{value="..."} 1``;
+        * histograms export cumulative ``_bucket{le="2^k"}`` series derived
+          from the power-of-two buckets, plus ``_count`` / ``_sum``;
+        * phases export ``taskgrind_phase_runs_total``,
+          ``taskgrind_phase_wall_seconds_total`` and
+          ``taskgrind_phase_vtime_ops_total``, labeled by phase name.
+
+        A future ``repro.serve`` scrape endpoint can return this string
+        verbatim.
+        """
+        def sanitize(name: str) -> str:
+            return "".join(c if c.isalnum() or c == "_" else "_"
+                           for c in name)
+
+        def esc(value: str) -> str:
+            return value.replace("\\", "\\\\").replace('"', '\\"')
+
+        lines: List[str] = []
+        for name, c in sorted(self._counters.items()):
+            metric = f"taskgrind_{sanitize(name)}_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {c.value}")
+        for name, g in sorted(self._gauges.items()):
+            metric = f"taskgrind_{sanitize(name)}"
+            if isinstance(g.value, (int, float)) \
+                    and not isinstance(g.value, bool):
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {g.value}")
+            else:
+                lines.append(f"# TYPE {metric}_info gauge")
+                lines.append(f'{metric}_info{{value="{esc(str(g.value))}"}}'
+                             " 1")
+        for name, h in sorted(self._histograms.items()):
+            metric = f"taskgrind_{sanitize(name)}"
+            lines.append(f"# TYPE {metric} histogram")
+            cum = 0
+            for k in sorted(h.buckets):
+                cum += h.buckets[k]
+                lines.append(f'{metric}_bucket{{le="{float(1 << k)}"}} '
+                             f"{cum}")
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {h.count}')
+            lines.append(f"{metric}_count {h.count}")
+            lines.append(f"{metric}_sum {h.sum}")
+        if self._phases:
+            lines.append("# TYPE taskgrind_phase_runs_total counter")
+            lines.append("# TYPE taskgrind_phase_wall_seconds_total counter")
+            lines.append("# TYPE taskgrind_phase_vtime_ops_total counter")
+            for name, p in sorted(self._phases.items()):
+                label = f'{{phase="{esc(name)}"}}'
+                lines.append(
+                    f"taskgrind_phase_runs_total{label} {p.count}")
+                lines.append(
+                    f"taskgrind_phase_wall_seconds_total{label} {p.wall_s}")
+                lines.append(
+                    f"taskgrind_phase_vtime_ops_total{label} {p.vtime_ops}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
     def reset(self) -> None:
         """Zero every instrument (objects stay valid, prebinding survives)."""
         for group in (self._counters, self._gauges, self._histograms,

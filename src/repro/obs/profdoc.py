@@ -1,0 +1,509 @@
+"""``taskgrind-profile/1`` documents: save/load, folded export, diffing.
+
+The profiler core (:mod:`repro.obs.prof`) is stdlib-only and hot-path
+friendly; this module is the cold document layer:
+
+* **Format.**  A profile is a JSONL stream of checksummed chunks using the
+  same framing as v2 traces (:class:`repro.core.trace._ChunkWriter`): each
+  line carries ``seq``/``kind``/``crc``/``payload``, with the CRC-32 taken
+  over the canonical (sorted, compact) payload JSON.  Chunk kinds, in
+  order: one ``header`` (schema + version), zero or more ``vtime`` chunks
+  (virtual-time buckets ``[tid, klass, frame, ops]``), zero or more
+  ``counts`` chunks (count-axis buckets ``[klass, frame, n]``), an
+  optional ``phases`` chunk (analyze-side phase timers from the metrics
+  registry), one ``meta`` chunk, and a final ``end`` chunk naming the
+  chunk count.
+* **Strictness.**  Profiles follow the schedule documents' philosophy,
+  not the traces': there is **no salvage mode**.  A profile with a bad
+  checksum or a missing ``end`` would silently misattribute ops, so
+  :func:`load_profile` fails fast with :class:`ProfileFormatError` /
+  :class:`ProfileCorruptionError`.  :func:`validate_profile_doc` is the
+  non-raising variant used by ``repro.obs.tracecheck``.
+* **Diffing.**  :func:`diff_profiles` aggregates the virtual-time axis by
+  ``(klass, frame)`` (summed over threads), computes per-bucket deltas
+  and names the top regressing bucket — the primitive the perf gate uses
+  to say *why* a phase regressed, not just that it did.
+
+CLI (``python -m repro profile ...``)::
+
+    repro profile run PROGRAM [--flame out.folded] [--out prof.json]
+    repro profile diff A.json B.json [--top 5] [--json]
+    repro profile show PROF.json [--flame out.folded] [--json]
+    repro profile check PROF.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.trace import _ChunkWriter, _payload_crc
+from repro.errors import ProfileCorruptionError, ProfileFormatError
+from repro.obs.prof import PROFILE_SCHEMA, Profiler, format_ops
+
+PROFILE_VERSION = 1
+
+#: virtual-time / count buckets per chunk line (keeps lines greppable and
+#: bounds the blast radius of a torn write to one chunk)
+CELLS_PER_CHUNK = 256
+
+
+# ---------------------------------------------------------------------------
+# save
+# ---------------------------------------------------------------------------
+
+def save_profile(path: str, prof: Profiler, *,
+                 phases: Optional[dict] = None) -> None:
+    """Serialize ``prof`` as a ``taskgrind-profile/1`` document — atomically.
+
+    Same tmp+rename discipline as trace/schedule saves: an interrupted
+    write never leaves a half-written ``path`` behind.
+    """
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            writer = _ChunkWriter(fh)
+            writer.emit("header", {"schema": PROFILE_SCHEMA,
+                                   "version": PROFILE_VERSION})
+            vtime = [list(row) for row in prof.vtime_cells()]
+            for i in range(0, len(vtime), CELLS_PER_CHUNK):
+                writer.emit("vtime",
+                            {"cells": vtime[i:i + CELLS_PER_CHUNK]})
+            counts = [list(row) for row in prof.count_cells()]
+            for i in range(0, len(counts), CELLS_PER_CHUNK):
+                writer.emit("counts",
+                            {"cells": counts[i:i + CELLS_PER_CHUNK]})
+            if phases:
+                # registry snapshots carry dict-shaped phase rows
+                # ({count, wall_s, vtime_ops, vtime_s}); tuples from older
+                # callers are normalized to lists
+                writer.emit("phases",
+                            {"phases": {name: (dict(vals)
+                                               if isinstance(vals, dict)
+                                               else list(vals))
+                                        for name, vals
+                                        in sorted(phases.items())}})
+            writer.emit("meta", dict(prof.meta, total_ops=prof.total_ops))
+            writer.emit("end", {"chunks": writer.chunks})
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+# ---------------------------------------------------------------------------
+# load / validate
+# ---------------------------------------------------------------------------
+
+#: problem categories: 'format' -> ProfileFormatError, anything else ->
+#: ProfileCorruptionError (with the chunk seq when known)
+_Problem = Tuple[str, Optional[int], str]
+
+
+def _parse(path: str) -> Tuple[dict, List[_Problem]]:
+    """Scan a profile stream; collect every problem instead of raising."""
+    doc: dict = {"schema": None, "version": None, "vtime": [],
+                 "counts": [], "phases": {}, "meta": {}}
+    problems: List[_Problem] = []
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        return doc, [("format", None, f"cannot read: {exc}")]
+    lines = [ln for ln in raw.decode("utf-8", "replace").splitlines()
+             if ln.strip()]
+    if not lines:
+        return doc, [("format", None, "empty file")]
+    saw_end = False
+    for idx, line in enumerate(lines):
+        if saw_end:
+            problems.append(("corrupt", idx, "data after the end chunk"))
+            break
+        try:
+            chunk = json.loads(line)
+        except ValueError:
+            problems.append(("corrupt", idx,
+                             "line is not JSON (torn write?)"))
+            break
+        if not isinstance(chunk, dict):
+            problems.append(("format", idx, "chunk is not an object"))
+            break
+        missing = [k for k in ("seq", "kind", "crc", "payload")
+                   if k not in chunk]
+        if missing:
+            problems.append(("format", idx,
+                             f"chunk missing keys {missing}"))
+            break
+        if chunk["seq"] != idx:
+            problems.append(("corrupt", idx,
+                             f"seq not monotone: expected {idx}, "
+                             f"found {chunk['seq']}"))
+            break
+        payload = chunk["payload"]
+        if chunk["crc"] != _payload_crc(payload):
+            problems.append(("corrupt", idx, "payload checksum mismatch"))
+            break
+        kind = chunk["kind"]
+        if idx == 0:
+            if kind != "header":
+                problems.append(("format", idx,
+                                 f"first chunk is {kind!r}, not 'header'"))
+                break
+            if payload.get("schema") != PROFILE_SCHEMA:
+                problems.append((
+                    "format", idx,
+                    f"schema {payload.get('schema')!r} is not "
+                    f"{PROFILE_SCHEMA!r}"))
+                break
+            if payload.get("version") != PROFILE_VERSION:
+                problems.append((
+                    "format", idx,
+                    f"unsupported version {payload.get('version')!r}"))
+                break
+            doc["schema"] = payload["schema"]
+            doc["version"] = payload["version"]
+        elif kind == "vtime":
+            for cell in payload.get("cells", ()):
+                if not (isinstance(cell, list) and len(cell) == 4):
+                    problems.append(("format", idx,
+                                     f"malformed vtime cell {cell!r}"))
+                    continue
+                if not isinstance(cell[3], (int, float)) or cell[3] < 0:
+                    problems.append((
+                        "corrupt", idx,
+                        f"negative or non-numeric op count in {cell!r}"))
+                    continue
+                doc["vtime"].append(cell)
+        elif kind == "counts":
+            for cell in payload.get("cells", ()):
+                if not (isinstance(cell, list) and len(cell) == 3):
+                    problems.append(("format", idx,
+                                     f"malformed count cell {cell!r}"))
+                    continue
+                if not isinstance(cell[2], int) or cell[2] < 0:
+                    problems.append((
+                        "corrupt", idx,
+                        f"negative or non-integer count in {cell!r}"))
+                    continue
+                doc["counts"].append(cell)
+        elif kind == "phases":
+            doc["phases"] = payload.get("phases", {})
+        elif kind == "meta":
+            doc["meta"] = payload
+        elif kind == "end":
+            saw_end = True
+            if payload.get("chunks") != idx:
+                problems.append((
+                    "corrupt", idx,
+                    f"end chunk expects {payload.get('chunks')} prior "
+                    f"chunks, found {idx}"))
+        else:
+            problems.append(("format", idx,
+                             f"unknown chunk kind {kind!r}"))
+    if not saw_end and not problems:
+        problems.append(("corrupt", len(lines) - 1,
+                         "missing end chunk (truncated stream)"))
+    return doc, problems
+
+
+def load_profile(path: str) -> dict:
+    """Load a profile document; strict — raises on the first problem."""
+    doc, problems = _parse(path)
+    if problems:
+        category, seq, reason = problems[0]
+        if category == "format":
+            raise ProfileFormatError(path, reason)
+        raise ProfileCorruptionError(path, chunk_seq=seq, reason=reason)
+    return doc
+
+
+def validate_profile_doc(path: str) -> List[str]:
+    """Every problem in the document, as printable strings (empty = valid).
+
+    The non-raising twin of :func:`load_profile`, called by
+    ``repro.obs.tracecheck`` so one checker validates both timeline and
+    profile artifacts.
+    """
+    doc, problems = _parse(path)
+    out = [f"chunk {seq}: {reason}" if seq is not None else reason
+           for _cat, seq, reason in problems]
+    if not problems:
+        total = doc["meta"].get("total_ops")
+        if total is not None:
+            booked = sum(cell[3] for cell in doc["vtime"])
+            if abs(booked - total) > max(1e-6, 1e-9 * abs(total)):
+                out.append(f"bucket ops sum {booked!r} != meta total_ops "
+                           f"{total!r}")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# views
+# ---------------------------------------------------------------------------
+
+def to_folded(doc: dict) -> str:
+    """Collapsed-stack flamegraph text from a loaded document."""
+    lines = [f"t{tid};{frame};{klass} {format_ops(ops)}"
+             for tid, klass, frame, ops in doc["vtime"]]
+    lines.sort()
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def class_totals(doc: dict) -> Dict[str, float]:
+    """Virtual-time ops per instrumentation class (threads+frames summed)."""
+    totals: Dict[str, float] = {}
+    for _tid, klass, _frame, ops in doc["vtime"]:
+        totals[klass] = totals.get(klass, 0.0) + ops
+    return dict(sorted(totals.items()))
+
+
+def _buckets(doc: dict) -> Dict[Tuple[str, str], float]:
+    out: Dict[Tuple[str, str], float] = {}
+    for _tid, klass, frame, ops in doc["vtime"]:
+        key = (klass, frame)
+        out[key] = out.get(key, 0.0) + ops
+    return out
+
+
+def diff_profiles(a: dict, b: dict) -> dict:
+    """Per-bucket virtual-time deltas B − A, worst regression first.
+
+    Buckets are ``(klass, frame)`` summed over threads; the *top
+    regression* is the bucket with the largest positive delta (ops B
+    charged that A did not) — ``None`` when B regressed nowhere.
+    """
+    ba, bb = _buckets(a), _buckets(b)
+    rows = []
+    for key in sorted(set(ba) | set(bb)):
+        va, vb = ba.get(key, 0.0), bb.get(key, 0.0)
+        if va == vb:
+            continue
+        rows.append({"klass": key[0], "frame": key[1],
+                     "a": va, "b": vb, "delta": vb - va})
+    rows.sort(key=lambda r: (-r["delta"], r["klass"], r["frame"]))
+    a_total = sum(ba.values())
+    b_total = sum(bb.values())
+    top = rows[0] if rows and rows[0]["delta"] > 0 else None
+    return {
+        "schema": "taskgrind-profile-diff/1",
+        "a_total": a_total,
+        "b_total": b_total,
+        "delta_total": b_total - a_total,
+        "buckets": rows,
+        "top_regression": top,
+    }
+
+
+def top_regressing_class(a_classes: Dict[str, float],
+                         b_classes: Dict[str, float]
+                         ) -> Optional[Tuple[str, float]]:
+    """Largest positive per-class delta between two class-total maps.
+
+    The perf gate stores class totals (not full documents) in
+    ``BENCH_perf.json``; this names the responsible bucket on a breach.
+    """
+    best: Optional[Tuple[str, float]] = None
+    for klass in sorted(set(a_classes) | set(b_classes)):
+        delta = b_classes.get(klass, 0.0) - a_classes.get(klass, 0.0)
+        if delta > 0 and (best is None or delta > best[1]):
+            best = (klass, delta)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _render_diff(diff: dict, top: int) -> str:
+    lines = [f"A total: {format_ops(diff['a_total'])} ops",
+             f"B total: {format_ops(diff['b_total'])} ops",
+             f"delta:   {diff['delta_total']:+.0f} ops"]
+    if diff["top_regression"] is not None:
+        t = diff["top_regression"]
+        lines.append(f"top regressing bucket: {t['klass']} @ {t['frame']} "
+                     f"({t['delta']:+.0f} ops)")
+    else:
+        lines.append("top regressing bucket: none (B regressed nowhere)")
+    shown = diff["buckets"][:top]
+    if shown:
+        lines.append("")
+        lines.append(f"{'delta':>14}  {'class':<28} frame")
+        for row in shown:
+            lines.append(f"{row['delta']:>+14.0f}  {row['klass']:<28} "
+                         f"{row['frame']}")
+    if len(diff["buckets"]) > top:
+        lines.append(f"... {len(diff['buckets']) - top} more buckets "
+                     "(use --top)")
+    return "\n".join(lines)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.bench.runner import _find_program, run_benchmark
+    from repro.core.tool import TaskgrindOptions
+    from repro.obs.prof import get_profiler
+    program = _find_program(args.program)
+    if program is None:
+        print(f"unknown program {args.program!r} "
+              "(see python -m repro run --list)", file=sys.stderr)
+        return 2
+    options = TaskgrindOptions(record_mode=args.record,
+                               elide_sites=not args.no_elide)
+    prof = get_profiler()
+    prof.enable()
+    prof.meta.update({
+        "program": program.name, "tool": "taskgrind",
+        "nthreads": args.threads, "seed": args.seed,
+        "record_mode": args.record, "elide_sites": not args.no_elide,
+    })
+    try:
+        result = run_benchmark(program, "taskgrind",
+                               nthreads=args.threads, seed=args.seed,
+                               taskgrind_options=options)
+        phases = ((result.stats or {}).get("registry") or {}).get("phases")
+        if args.out is not None:
+            save_profile(args.out, prof, phases=phases)
+            print(f"wrote profile to {args.out} ({len(prof)} buckets, "
+                  f"{prof.total_ops:.0f} attributed ops)")
+        if args.flame is not None:
+            with open(args.flame, "w", encoding="utf-8") as fh:
+                fh.write(prof.folded())
+            print(f"wrote flamegraph input to {args.flame}")
+        if args.json:
+            print(json.dumps(prof.snapshot(), indent=2, sort_keys=True))
+        elif args.out is None and args.flame is None:
+            sys.stdout.write(prof.folded())
+        print(f"# {result.program}: {result.cell()}, "
+              f"{format_ops(prof.total_ops)} ops attributed over "
+              f"{len(prof)} buckets", file=sys.stderr)
+    finally:
+        prof.disable()
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.errors import ProfileError
+    try:
+        a = load_profile(args.a)
+        b = load_profile(args.b)
+    except ProfileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_profiles(a, b)
+    if args.json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(_render_diff(diff, args.top))
+    return 1 if diff["top_regression"] is not None and args.fail_on_regression \
+        else 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.errors import ProfileError
+    try:
+        doc = load_profile(args.profile)
+    except ProfileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.flame is not None:
+        with open(args.flame, "w", encoding="utf-8") as fh:
+            fh.write(to_folded(doc))
+        print(f"wrote flamegraph input to {args.flame}")
+        return 0
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    meta = doc["meta"]
+    print(f"profile of {meta.get('program', '?')} "
+          f"(seed {meta.get('seed', '?')}, "
+          f"record_mode {meta.get('record_mode', '?')}): "
+          f"{format_ops(meta.get('total_ops', 0))} ops")
+    print(f"{'ops':>16}  class")
+    for klass, ops in sorted(class_totals(doc).items(),
+                             key=lambda kv: -kv[1]):
+        print(f"{format_ops(ops):>16}  {klass}")
+    if doc["counts"]:
+        print(f"\n{'count':>16}  event")
+        agg: Dict[str, int] = {}
+        for klass, _frame, n in doc["counts"]:
+            agg[klass] = agg.get(klass, 0) + n
+        for klass, n in sorted(agg.items(), key=lambda kv: -kv[1]):
+            print(f"{n:>16}  {klass}")
+    if doc["phases"]:
+        print("\nphases:")
+        for name, vals in sorted(doc["phases"].items()):
+            if isinstance(vals, dict):
+                print(f"  {name}: x{vals.get('count', '?')} "
+                      f"wall {vals.get('wall_s', 0.0):.4f}s "
+                      f"vtime {format_ops(vals.get('vtime_ops', 0.0))} ops")
+            else:
+                print(f"  {name}: {vals}")
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    problems = validate_profile_doc(args.profile)
+    for problem in problems:
+        print(f"{args.profile}: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"{args.profile}: OK")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description="deterministic overhead-attribution profiles: record, "
+                    "inspect and diff taskgrind-profile/1 documents")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="profile one benchmark program")
+    p_run.add_argument("program", help="a DRB/TMB/synthetic program name")
+    p_run.add_argument("--threads", type=int, default=4)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--record", default="full", choices=["full", "sync"])
+    p_run.add_argument("--no-elide", action="store_true",
+                       help="disable static access elision (for "
+                            "before/after elision diffs)")
+    p_run.add_argument("--out", metavar="OUT.json", default=None,
+                       help="write the taskgrind-profile/1 document here")
+    p_run.add_argument("--flame", metavar="OUT.folded", default=None,
+                       help="write collapsed-stack flamegraph text here")
+    p_run.add_argument("--json", action="store_true",
+                       help="print the profile snapshot as JSON")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_diff = sub.add_parser("diff",
+                            help="per-bucket deltas between two profiles")
+    p_diff.add_argument("a", help="baseline profile (A)")
+    p_diff.add_argument("b", help="candidate profile (B)")
+    p_diff.add_argument("--top", type=int, default=10,
+                        help="buckets to print (default 10)")
+    p_diff.add_argument("--json", action="store_true")
+    p_diff.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when any bucket regressed (CI gate)")
+    p_diff.set_defaults(fn=_cmd_diff)
+
+    p_show = sub.add_parser("show", help="inspect one profile document")
+    p_show.add_argument("profile")
+    p_show.add_argument("--flame", metavar="OUT.folded", default=None)
+    p_show.add_argument("--json", action="store_true")
+    p_show.set_defaults(fn=_cmd_show)
+
+    p_check = sub.add_parser(
+        "check", help="validate a profile document (exit 1 on problems)")
+    p_check.add_argument("profile")
+    p_check.set_defaults(fn=_cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    sys.exit(main())

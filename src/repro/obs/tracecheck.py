@@ -15,6 +15,12 @@ Unmatched span/flow events are tolerated **only** when ``otherData.dropped``
 reports ring-buffer truncation — a wrapped buffer may have lost one side of
 a pair.
 
+The checker also understands ``taskgrind-profile/1`` documents (the
+attribution profiler's chunked JSONL format): the file type is sniffed from
+the first line, and profile validation — required keys, per-chunk CRC,
+monotone ``seq``, non-negative op counts, matching ``end`` chunk — is
+delegated to :func:`repro.obs.profdoc.validate_profile_doc`.
+
 CLI: ``python -m repro.obs.tracecheck TRACE.json [--require-flows N]
 [--require-segments]`` — exit 0 when valid, 1 with a finding list otherwise.
 """
@@ -109,14 +115,40 @@ def validate(doc: dict, *, require_flows: int = 0,
     return errors
 
 
+def _is_profile_doc(path: str) -> bool:
+    """Sniff the file type: a profile is JSONL whose first line is a chunk
+    object with a ``kind`` key; a timeline is one JSON object with
+    ``traceEvents``."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            first = fh.readline()
+        chunk = json.loads(first)
+    except (OSError, ValueError):
+        return False
+    return isinstance(chunk, dict) and "kind" in chunk \
+        and "traceEvents" not in chunk
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("trace", help="timeline JSON from --trace-timeline")
+    parser.add_argument("trace", help="timeline JSON from --trace-timeline "
+                                      "or a taskgrind-profile/1 document")
     parser.add_argument("--require-flows", type=int, default=0, metavar="N",
-                        help="fail unless >= N flow events are present")
+                        help="fail unless >= N flow events are present "
+                             "(timelines only)")
     parser.add_argument("--require-segments", action="store_true",
-                        help="fail unless segment spans are present")
+                        help="fail unless segment spans are present "
+                             "(timelines only)")
     args = parser.parse_args(argv)
+    if _is_profile_doc(args.trace):
+        from repro.obs.profdoc import validate_profile_doc
+        errors = validate_profile_doc(args.trace)
+        if errors:
+            for err in errors:
+                print(f"tracecheck: {err}", file=sys.stderr)
+            return 1
+        print("tracecheck: ok (taskgrind-profile/1 document)")
+        return 0
     with open(args.trace, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     errors = validate(doc, require_flows=args.require_flows,

@@ -71,6 +71,9 @@ class TimelineTracer:
         self._events: Deque[dict] = deque()
         self._max_events = 0
         self.dropped = 0
+        #: total events ever pushed since enable (ring evictions included);
+        #: the basis of the mark()/delta_since() per-run scope
+        self._total_emitted = 0
         self._wall0 = 0.0
         self._vclock: Optional[Callable[[], float]] = None
         self._ops_per_second = 0.0
@@ -110,6 +113,7 @@ class TimelineTracer:
         self.enabled = False
         self._events = deque()
         self.dropped = 0
+        self._total_emitted = 0
         self._vclock = None
         self._ops_per_second = 0.0
         self._vbase_us = 0.0
@@ -150,6 +154,39 @@ class TimelineTracer:
             self._events.popleft()
             self.dropped += 1
         self._events.append(ev)
+        self._total_emitted += 1
+
+    # -- per-run scope -----------------------------------------------------
+
+    def mark(self) -> int:
+        """Opaque baseline for :meth:`delta_since` (mirrors the metrics
+        registry's mark/delta pair): the total-emitted watermark."""
+        return self._total_emitted
+
+    def delta_since(self, baseline: int) -> List[dict]:
+        """Events pushed since ``baseline`` that are still in the ring.
+
+        Events evicted by the ring since the mark are gone — callers can
+        detect that by comparing ``len(result)`` with
+        ``self._total_emitted - baseline``.
+        """
+        n = self._total_emitted - baseline
+        if n <= 0:
+            return []
+        events = list(self._events)
+        return events[-n:] if n < len(events) else events
+
+    def new_run(self) -> int:
+        """Open a fresh per-run scope without dropping the recorded buffer.
+
+        Clears the cross-run *anchoring* state — open-segment and completed
+        span tables keyed by segment id — because segment ids restart at 0
+        each run: without this, a race flow in run 2 could anchor into run
+        1's spans.  Returns :meth:`mark` for the new scope.
+        """
+        self._open_segs = {}
+        self.seg_spans = {}
+        return self.mark()
 
     def _meta(self, name: str, pid: int, tid: int, args: dict) -> None:
         self._push({"ph": "M", "name": name, "pid": pid, "tid": tid,
@@ -221,6 +258,20 @@ class TimelineTracer:
         self._push({"ph": "i", "name": name, "cat": cat, "pid": TRACE_PID,
                     "tid": self.seg_tid(thread_id), "ts": self.now_us(),
                     "s": "t", "args": self._args(args)})
+
+    # -- counters ----------------------------------------------------------
+
+    def counter(self, name: str, values: Dict[str, float], *,
+                tid: int = PHASE_TID, cat: str = "counter") -> None:
+        """One Chrome counter sample (``ph: "C"``): stacked series per key.
+
+        Used by the attribution profiler to merge cumulative per-class op
+        totals onto the timeline lanes; ``values`` maps series name to the
+        sample value at the current timestamp.
+        """
+        self._push({"ph": "C", "name": name, "cat": cat, "pid": TRACE_PID,
+                    "tid": self.seg_tid(tid), "ts": self.now_us(),
+                    "args": dict(values)})
 
     # -- flows -------------------------------------------------------------
 

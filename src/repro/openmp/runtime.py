@@ -124,6 +124,12 @@ class OmpRuntime:
         self.machine = ctx.machine
         self.max_threads = max_threads
         self.ompt = OmptDispatcher()
+        # region ids are only used as within-run keys (builder fork/join
+        # maps, barrier clock keys) but leak into ``.omp_outlined.rN``
+        # symbol names; restart them per runtime so back-to-back runs in
+        # one process produce identical symbols (and thus bit-identical
+        # attribution profiles)
+        ParallelRegion._next_id = 0
         self._next_task_id = 0
         self._deques: Dict[int, collections.deque] = {}
         self._task_stack: Dict[int, List[Task]] = {}

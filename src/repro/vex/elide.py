@@ -55,8 +55,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.prof import get_profiler
 from repro.vex.ir import (Binop, Const, Expr, Get, Load, Put, RdTmp, Store,
                           SuperBlock, WrTmp)
+
+_PROF = get_profiler()
 
 # -- the lattice -------------------------------------------------------------
 
@@ -151,6 +154,9 @@ class ElisionPlan:
         """Count ``n`` accesses dropped at ``site`` (the no-op hook body)."""
         counts = self.elided_counts
         counts[site.site_id] = counts.get(site.site_id, 0) + n
+        if _PROF.enabled:
+            _PROF.count(f"elide.{site.klass}",
+                        f"{site.symbol or site.name}:{site.name}", n=n)
 
     # -- observability -------------------------------------------------------
 

@@ -41,6 +41,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import MachineError
 from repro.obs.metrics import get_registry
+from repro.obs.prof import get_profiler
 from repro.vex.ir import (BINOPS, Binop, Const, Dirty, Exit, Expr, Get,
                           IMark, Load, Put, RdTmp, Store, SuperBlock, WrTmp)
 
@@ -49,6 +50,7 @@ INSTR_LEN = 4
 
 #: prebound hot-path counter (per executed block, so no registry lookup)
 _TCACHE_HITS = get_registry().counter("vex.tcache_hits")
+_PROF = get_profiler()
 
 
 @dataclass(frozen=True)
@@ -289,6 +291,11 @@ class GuestVM:
             reg.histogram("vex.block_stmts").observe(len(sb.stmts))
             self._cache[addr] = sb
             self.translations += 1
+            if _PROF.enabled:
+                # count-axis view of the JIT: one event per translated
+                # SuperBlock, attributed to the block itself (the vtime
+                # cost flows through charge_translation below)
+                _PROF.count("translate.block", f"{self.symbol}@{addr:#x}")
             self.ctx.machine.cost.charge_translation(
                 self.ctx.machine.scheduler.current(),
                 f"{self.symbol}@{addr:#x}")

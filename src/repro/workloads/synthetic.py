@@ -1,4 +1,4 @@
-"""Synthetic task workloads: fib, 1-D heat diffusion, n-queens.
+"""Synthetic task workloads: fib, 1-D heat diffusion, scratch, n-queens.
 
 Small, self-checking task kernels used by the stress tests and extra
 benchmarks.  Each has a correct version and (where meaningful) a racy
@@ -119,6 +119,48 @@ def heat_reference(n: int = 64, steps: int = 8,
         right = np.concatenate((cur[1:], [cur[-1]]))
         cur = cur + alpha * (left - 2 * cur + right)
     return cur
+
+
+# ---------------------------------------------------------------------------
+# scratch: private stack slots — the access-elision showcase
+# ---------------------------------------------------------------------------
+
+def omp_scratch(env: OmpEnv, tasks: int = 8, iters: int = 64) -> int:
+    """Independent tasks, each hammering a ``private=True`` stack slot.
+
+    Every task allocates a compiler-proved non-escaping scratch variable
+    and read-modify-writes it ``iters`` times before publishing one sum
+    into its own result cell.  With elision on (the default) the scratch
+    traffic lands in the ``elide.noop`` bucket of the attribution
+    profiler; with ``elide_sites=False`` the same accesses pay the full
+    recording path — which is exactly the before/after pair
+    ``repro profile diff`` exists to explain.
+    """
+    ctx = env.ctx
+    result = ctx.malloc(8 * tasks, elem=8, name="scratch_result")
+    sums: List[int] = [0] * tasks
+
+    def body():
+        for t in range(tasks):
+            def task_body(tv, t=t):
+                acc = ctx.stack_var("acc", 8, elem=8, private=True)
+                total = 0
+                for i in range(iters):
+                    acc.write(0, i, line=10)
+                    total += acc.read(0, line=11)
+                sums[t] = total
+                result.write(t, total, line=13)
+                ctx.compute(float(iters))
+            ctx.line(5 + t)
+            env.task(task_body, name=f"scratch{t}")
+        env.taskwait()
+
+    env.parallel_single(body)
+    return sum(sums)
+
+
+def scratch_reference(tasks: int = 8, iters: int = 64) -> int:
+    return tasks * sum(range(iters))
 
 
 # ---------------------------------------------------------------------------

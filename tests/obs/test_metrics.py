@@ -444,3 +444,87 @@ class TestRunScoping:
         assert s2["phases"]["offline"]["count"] == 1
         assert s1["phases"]["offline.load"]["count"] == 1
         assert s2["phases"]["offline.load"]["count"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (--stats=prom)
+# ---------------------------------------------------------------------------
+
+class TestPromExposition:
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prom() == ""
+
+    def test_counters_and_numeric_gauges(self):
+        reg = MetricsRegistry()
+        reg.counter("record.fast").inc(7)
+        reg.gauge("graph.segments").set(42)
+        text = reg.render_prom()
+        assert "# TYPE taskgrind_record_fast_total counter" in text
+        assert "taskgrind_record_fast_total 7" in text
+        assert "# TYPE taskgrind_graph_segments gauge" in text
+        assert "taskgrind_graph_segments 42" in text
+        assert text.endswith("\n")
+
+    def test_non_numeric_gauge_becomes_info(self):
+        reg = MetricsRegistry()
+        reg.gauge("analysis.kernel").set("numpy")
+        text = reg.render_prom()
+        assert 'taskgrind_analysis_kernel_info{value="numpy"} 1' in text
+
+    def test_name_sanitization(self):
+        reg = MetricsRegistry()
+        reg.counter("vex.sb-hit/miss").inc()
+        text = reg.render_prom()
+        assert "taskgrind_vex_sb_hit_miss_total 1" in text
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("accesses.size")
+        h.observe(1)      # bucket 2^0
+        h.observe(2)      # bucket 2^1
+        h.observe(2)
+        text = reg.render_prom()
+        assert "# TYPE taskgrind_accesses_size histogram" in text
+        # cumulative: the le="2.0" bucket includes the le="1.0" count
+        assert 'taskgrind_accesses_size_bucket{le="1.0"} 1' in text
+        assert 'taskgrind_accesses_size_bucket{le="2.0"} 3' in text
+        assert 'taskgrind_accesses_size_bucket{le="+Inf"} 3' in text
+        assert "taskgrind_accesses_size_count 3" in text
+        assert "taskgrind_accesses_size_sum 5" in text
+
+    def test_phase_families_labeled(self):
+        reg = MetricsRegistry(wallclock=iter([0.0, 1.5]).__next__)
+        with reg.phase("analysis"):
+            pass
+        text = reg.render_prom()
+        assert ('taskgrind_phase_runs_total{phase="analysis"} 1'
+                in text)
+        assert ('taskgrind_phase_wall_seconds_total{phase="analysis"} 1.5'
+                in text)
+        assert "taskgrind_phase_vtime_ops_total" in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.gauge("path").set('a"b\\c')
+        text = reg.render_prom()
+        assert 'value="a\\"b\\\\c"' in text
+
+    def test_real_run_parses_line_by_line(self):
+        """Every non-comment line is `name{labels}? value` with a numeric
+        value — the shape a Prometheus scraper requires."""
+        reg = get_registry()
+        reg.reset()
+        for p in drb.REGISTRY:
+            if p.name == "072-taskdep1-orig":
+                run_benchmark(p, "taskgrind", nthreads=2, seed=0)
+                break
+        text = reg.render_prom()
+        reg.reset()
+        assert text
+        for line in text.rstrip("\n").splitlines():
+            if line.startswith("#"):
+                assert line.startswith("# TYPE taskgrind_")
+                continue
+            name, value = line.rsplit(" ", 1)
+            assert name.startswith("taskgrind_")
+            float(value)            # must parse

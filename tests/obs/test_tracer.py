@@ -274,3 +274,93 @@ class TestCli:
     def test_explain_requires_taskgrind(self, capsys):
         rc = run_main([RACY, "--tool", "archer", "--explain"])
         assert rc == 2
+
+
+# ---------------------------------------------------------------------------
+# per-run scope (mark / delta_since / new_run)
+# ---------------------------------------------------------------------------
+
+class TestPerRunScope:
+    def test_mark_and_delta_since(self, tracer):
+        tracer.enable()
+        tracer.instant("a")
+        base = tracer.mark()
+        tracer.instant("b")
+        tracer.instant("c")
+        delta = tracer.delta_since(base)
+        assert [ev["name"] for ev in delta] == ["b", "c"]
+        assert tracer.delta_since(tracer.mark()) == []
+
+    def test_delta_survives_ring_eviction(self, tracer):
+        tracer.enable(max_events=4)
+        base = tracer.mark()
+        for i in range(10):
+            tracer.instant(f"e{i}")
+        delta = tracer.delta_since(base)
+        # 10 were emitted but only the last 4 remain in the ring; the
+        # shortfall is how callers detect eviction
+        assert [ev["name"] for ev in delta] == ["e6", "e7", "e8", "e9"]
+        assert tracer._total_emitted - base == 10
+
+    def test_new_run_clears_span_anchors_not_buffer(self, tracer):
+        tracer.enable()
+        tracer.segment_begin(0, 0, "task", "t1")
+        tracer.segment_end(0)
+        assert 0 in tracer.seg_spans
+        before = len(tracer)
+        tracer.new_run()
+        assert tracer.seg_spans == {}
+        assert len(tracer) == before       # recorded events survive
+
+    def test_back_to_back_runs_do_not_share_ring_events(self, tracer):
+        """Two run_benchmark calls in one process: the second run's scope
+        contains only its own events (the regression this API exists for)."""
+        tracer.enable()
+        run_benchmark(program(RACE_FREE), "taskgrind", nthreads=2, seed=0)
+        first_total = tracer._total_emitted
+        assert first_total > 0
+        base = tracer.mark()
+        run_benchmark(program(RACE_FREE), "taskgrind", nthreads=2, seed=0)
+        second = tracer.delta_since(base)
+        assert len(second) == tracer._total_emitted - first_total
+        # run 2's segment spans re-anchor from zero, so every span ts in
+        # the new scope is fresh (no ids resolved against run 1's table)
+        assert all(ev["ts"] >= 0 for ev in second)
+        # and run_benchmark itself opened the new scope: no stale anchors
+        begins = [ev for ev in second
+                  if ev.get("ph") == "B" and ev.get("cat") == "segment"]
+        assert begins, "second run recorded no segment spans"
+
+    def test_counter_events_validate(self, tracer):
+        tracer.enable()
+        tracer.counter("prof.ops", {"record.access": 10.0, "sync": 2.0},
+                       tid=0)
+        events = list(tracer._events)
+        cev = [ev for ev in events if ev["ph"] == "C"]
+        assert len(cev) == 1
+        assert cev[0]["args"] == {"record.access": 10.0, "sync": 2.0}
+        assert validate_events([ev for ev in events if ev["ph"] != "M"]) == []
+
+    def test_profiler_counters_merge_onto_timeline(self, tracer, tmp_path):
+        """With profiler + tracer both on, segment closes sample cumulative
+        per-class op counters onto the run's lanes — and the exported doc
+        still passes tracecheck."""
+        from repro.obs.prof import get_profiler
+        prof = get_profiler()
+        tracer.enable()
+        prof.enable()
+        try:
+            run_benchmark(program(RACE_FREE), "taskgrind", nthreads=2,
+                          seed=0)
+        finally:
+            prof.disable()
+            prof.reset()
+        out = tmp_path / "timeline.json"
+        tracer.export(str(out))
+        doc = json.loads(out.read_text())
+        counters = [ev for ev in doc["traceEvents"]
+                    if ev.get("ph") == "C" and ev.get("name") == "prof.ops"]
+        assert counters, "no prof.ops counter samples on the timeline"
+        assert all(isinstance(v, (int, float))
+                   for ev in counters for v in ev["args"].values())
+        assert validate(doc) == []
