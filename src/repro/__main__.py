@@ -16,6 +16,8 @@ Subcommands map one-to-one to the paper's artifacts::
     python -m repro faults            # resilience self-test (fault matrix)
     python -m repro profile           # overhead-attribution profiles
                                       # (run/diff/show/check)
+    python -m repro serve             # the trace-ingestion HTTP server
+                                      # (--smoke: record/upload/diff check)
 
 Global flags (work with every subcommand)::
 
@@ -48,6 +50,7 @@ COMMANDS = {
     "fuzz": "repro.fuzz.cli",
     "faults": "repro.faults.selftest",
     "profile": "repro.obs.profdoc",
+    "serve": "repro.serve.cli",
 }
 
 

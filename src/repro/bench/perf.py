@@ -356,6 +356,9 @@ def _blame_buckets(fresh: Dict, baseline: Dict,
         if wl in seen:
             continue
         seen.append(wl)
+        if wl not in baseline.get("workloads", {}) \
+                or wl not in fresh.get("workloads", {}):
+            continue        # non-workload breach (e.g. serve/*): blamed apart
         base = baseline["workloads"][wl].get("profile", {}).get("classes")
         got = fresh["workloads"][wl].get("profile", {}).get("classes")
         if not base or not got:
@@ -373,6 +376,86 @@ def _blame_buckets(fresh: Dict, baseline: Dict,
     return out
 
 
+#: ``--baseline`` exit code for an unusable baseline (missing file, bad
+#: JSON, no entry for a gated workload) — distinct from 1 (a real perf
+#: regression) so CI failures are attributable at a glance
+EXIT_BASELINE_UNUSABLE = 3
+
+#: absolute grace (ms) added to serve p95 ceilings.  Endpoint p95s are
+#: single-digit milliseconds over a handful of samples, and the analysis
+#: threads contend on the GIL, so one scheduler hiccup triples a tail
+#: latency; the regressions this gate exists to catch (a lost cache, an
+#: accidentally quadratic ingest path) are 10-100x, far past any grace
+SERVE_P95_GRACE_MS = 5.0
+
+
+def _check_serve(fresh_s: Dict, base_s: Dict, tolerance: float,
+                 lines: List[str], breached: List[str]) -> None:
+    """Gate the ingestion-server block: throughput floor + p95 ceilings.
+
+    Throughput is higher-better (same floor rule as the speedups);
+    endpoint p95 latency is lower-better, so the gate inverts: fresh must
+    stay under ``(baseline + grace) / (1 - tolerance)``.
+    """
+    base_tp = base_s.get("throughput_chunks_per_s")
+    if base_tp:
+        got = fresh_s.get("throughput_chunks_per_s", 0.0)
+        floor = base_tp * (1.0 - tolerance)
+        verdict = "ok" if got >= floor else "REGRESSION"
+        if got < floor:
+            breached.append("serve/throughput")
+        lines.append(f"{'serve':<10} {'throughput':<11} "
+                     f"baseline {base_tp:.0f} chunks/s  fresh {got:.0f}  "
+                     f"floor {floor:.0f}  {verdict}")
+    for ep, entry in sorted(base_s.get("endpoints", {}).items()):
+        base_p95 = entry.get("p95_ms")
+        if base_p95 is None:
+            continue
+        got = fresh_s.get("endpoints", {}).get(ep, {}).get("p95_ms")
+        ceiling = (base_p95 + SERVE_P95_GRACE_MS) / (1.0 - tolerance)
+        # a fresh doc that lost the measurement gates at infinity —
+        # dropping an endpoint from the bench is itself a regression
+        got_v = float("inf") if got is None else got
+        verdict = "ok" if got_v <= ceiling else "REGRESSION"
+        if got_v > ceiling:
+            breached.append(f"serve/{ep}.p95")
+        lines.append(f"{'serve':<10} {ep + '.p95':<11} "
+                     f"baseline {base_p95:.2f}ms  fresh "
+                     f"{'lost' if got is None else f'{got:.2f}ms'}  "
+                     f"ceiling {ceiling:.2f}ms  {verdict}")
+
+
+def _blame_serve(fresh_s: Optional[Dict], base_s: Optional[Dict],
+                 breached: List[str]) -> List[str]:
+    """Name the job phase behind a serve breach (the blame line).
+
+    The endpoint is already in the breach item; the phase comes from the
+    per-job ``job_phases`` p95s both docs record — the phase whose p95
+    grew most is the prime suspect (queue-wait growth means shard
+    starvation, build growth means the graph cache stopped hitting).
+    """
+    if not any(item.startswith("serve/") for item in breached):
+        return []
+    if not fresh_s or not base_s:
+        return []
+    worst: Optional[Tuple[str, float, float, float]] = None
+    for phase, entry in base_s.get("job_phases", {}).items():
+        base_p95 = entry.get("p95_ms")
+        got_p95 = fresh_s.get("job_phases", {}).get(phase, {}).get("p95_ms")
+        if base_p95 is None or got_p95 is None:
+            continue
+        delta = got_p95 - base_p95
+        if worst is None or delta > worst[1]:
+            worst = (phase, delta, base_p95, got_p95)
+    if worst is None or worst[1] <= 0:
+        return ["serve: no job phase slower than baseline "
+                "(HTTP/queueing-side regression)"]
+    phase, delta, base_p95, got_p95 = worst
+    return [f"serve: top regressing phase {phase!r} "
+            f"(p95 {base_p95:.2f}ms -> {got_p95:.2f}ms, "
+            f"+{delta:.2f}ms vs baseline)"]
+
+
 def compare_to_baseline(fresh: Dict, baseline: Dict,
                         tolerance: float) -> Tuple[bool, List[str]]:
     """The CI regression gate: fresh vs committed speedups.
@@ -388,14 +471,21 @@ def compare_to_baseline(fresh: Dict, baseline: Dict,
       (sync-only recording ≥3× faster than full recording on the big
       workloads, per the committed baseline).
 
-    Returns ``(ok, report_lines)``.  On failure the last line names every
-    ``workload/phase`` pair that breached tolerance.
+    When both documents carry a ``serve`` block (the ingestion-server
+    load bench, ``python -m repro.bench.serve``), its chunk throughput
+    and per-endpoint p95 latencies are gated at the same tolerance —
+    throughput as a floor, latency as an inverted ceiling.
+
+    Returns ``(ok, report_lines)``.  On failure a line names every
+    ``workload/phase`` pair that breached tolerance, followed by blame
+    lines (instrumentation class for workloads, job phase for serve).
     """
     lines: List[str] = []
     breached: List[str] = []
     common = [wl for wl in baseline.get("workloads", {})
               if wl in fresh.get("workloads", {})]
-    if not common:
+    serve_comparable = bool(baseline.get("serve")) and bool(fresh.get("serve"))
+    if not common and not serve_comparable:
         return False, ["no common workloads between fresh run and baseline"]
 
     def check(wl: str, phase: str, base: float, got: float) -> None:
@@ -418,9 +508,14 @@ def compare_to_baseline(fresh: Dict, baseline: Dict,
             # measurement entirely is itself a regression
             check(wl, phase, base,
                   fresh["workloads"][wl].get(key, {}).get("speedup", 0.0))
+    if serve_comparable:
+        _check_serve(fresh["serve"], baseline["serve"], tolerance,
+                     lines, breached)
     if breached:
         lines.append("breached tolerance: " + ", ".join(breached))
         lines.extend(_blame_buckets(fresh, baseline, breached))
+        lines.extend(_blame_serve(fresh.get("serve"), baseline.get("serve"),
+                                  breached))
     return not breached, lines
 
 
@@ -455,8 +550,26 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.profiles_dir is not None:
         print(f"wrote per-workload profiles to {args.profiles_dir}/")
     if args.baseline is not None:
-        with open(args.baseline) as fh:
-            baseline = json.load(fh)
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except OSError as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            print("regenerate it with: python -m repro.bench.perf "
+                  f"--json {args.baseline}", file=sys.stderr)
+            return EXIT_BASELINE_UNUSABLE
+        except json.JSONDecodeError as exc:
+            print(f"baseline {args.baseline} is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return EXIT_BASELINE_UNUSABLE
+        missing = [wl for wl in workloads
+                   if wl not in baseline.get("workloads", {})]
+        if missing:
+            print(f"baseline {args.baseline} has no entry for "
+                  f"workload(s): {', '.join(missing)} — regenerate the "
+                  "baseline to cover them", file=sys.stderr)
+            return EXIT_BASELINE_UNUSABLE
         ok, lines = compare_to_baseline(results, baseline, args.tolerance)
         print(f"\nregression gate vs {args.baseline} "
               f"(tolerance {args.tolerance:.0%}):")

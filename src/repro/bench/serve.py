@@ -1,0 +1,602 @@
+"""Load generator for the trace-ingestion server (CI-gated).
+
+Replays recorded traces — the fuzz corpus plus the synthetic workloads —
+as ``--clients`` concurrent clients against an **in-process** server
+(real sockets, real HTTP, no subprocess), measuring what the perf gate
+cares about:
+
+* per-endpoint p50/p95 latency (``create_trace`` / ``upload_chunk`` /
+  ``analyze`` / ``job_status`` / ``report``), exact percentiles over the
+  recorded samples, in milliseconds;
+* chunk-ingest throughput (accepted chunks per wall second);
+* per-job phase p50/p95 (queue-wait/build/analyze/report) — the blame
+  axis when the gate trips.
+
+The block lands under the top-level ``"serve"`` key of the perf document
+(``--merge-into BENCH_perf.json``) and is gated by
+:func:`repro.bench.perf.compare_to_baseline` at the same tolerance as
+the workload speedups (``--baseline``).
+
+``--faults`` switches to the chaos campaign the nightly ``serve-chaos``
+job runs: every session is re-driven under worker-hang, trace-corrupt
+and save-crash plans from :mod:`repro.faults`, and the bench asserts the
+service's degradation contract — every job terminates (no hangs), every
+degraded job still serves a well-formed partial report with
+``unchecked_pairs`` accounting, and no degraded report invents a race
+the clean run did not have.
+
+Exit codes: 0 ok; 1 gate/verification/chaos failure; 3 unusable
+baseline (mirrors ``repro.bench.perf``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import queue
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.perf import EXIT_BASELINE_UNUSABLE, compare_to_baseline
+from repro.core.reports import report_to_dict
+from repro.core.trace import analyze_trace, save_trace
+from repro.errors import GuestCrash, OutOfMemory, SimDeadlock
+from repro.faults.plan import builtin_plan
+from repro.faults.inject import inject_plan
+from repro.obs.metrics import get_registry
+from repro.serve.app import ServeConfig
+from repro.serve.client import ServeClient, read_trace_lines
+from repro.serve.server import ServerThread
+
+SCHEMA = "taskgrind-serve-bench/1"
+
+#: the chaos matrix: (builtin plan name, what it attacks)
+CHAOS_PLANS = (
+    ("worker-hang@0", "analysis worker wedged on its first chunk"),
+    ("trace-corrupt@1", "bit-rot in an uploaded chunk payload"),
+    ("save-crash@1", "ingest worker dying mid-upload"),
+)
+
+
+def _repo_root() -> Path:
+    return Path(__file__).resolve().parents[3]
+
+
+# ---------------------------------------------------------------------------
+# trace materialization (corpus + synthetics → taskgrind-trace/2 files)
+# ---------------------------------------------------------------------------
+
+def record_program_trace(name: str, path: str, *, seed: int = 0,
+                         nthreads: int = 4) -> None:
+    """Record one registered bench program's trace to ``path``."""
+    from repro.bench.runner import _find_program, run_benchmark
+    program = _find_program(name)
+    if program is None:
+        raise ValueError(f"unknown bench program {name!r}")
+    result = run_benchmark(program, "taskgrind", nthreads=nthreads,
+                           seed=seed, keep_machine=True)
+    if result.tool_obj is None or result.machine is None:
+        raise RuntimeError(f"{name}: run produced no machine/tool "
+                           f"({result.verdict})")
+    save_trace(result.tool_obj, result.machine, path)
+
+
+def record_corpus_trace(corpus_path: str, out_path: str,
+                        *, seed: int = 0) -> bool:
+    """Record one fuzz-corpus reproducer's trace; False if the program
+    crashed or deadlocked under this seed (nothing to upload)."""
+    from repro.fuzz.executors import (_exec_openmp, _exec_qthreads,
+                                      fuzz_options)
+    from repro.fuzz.shrink import load_reproducer
+    program, _expect, options, _note = load_reproducer(corpus_path)
+    opts = fuzz_options(**options)
+    exec_fn = _exec_qthreads if program.family == "feb" else _exec_openmp
+    machine, tool, _amap, entry = exec_fn(program, seed, opts)
+    try:
+        machine.run(entry)
+    except (SimDeadlock, GuestCrash, OutOfMemory):
+        return False
+    tool.finalize()
+    save_trace(tool, machine, out_path)
+    return True
+
+
+def materialize_traces(workdir: str, *, corpus_dir: Optional[str],
+                       max_traces: int, programs: Tuple[str, ...] = (
+                           "heat-racy", "fib")) -> List[Tuple[str, str]]:
+    """Build the trace set the clients replay: ``[(name, path), ...]``.
+
+    Synthetic programs first (heat-racy contributes real race reports so
+    verification is not vacuous), then fuzz-corpus reproducers in sorted
+    order up to ``max_traces`` total.
+    """
+    out: List[Tuple[str, str]] = []
+    for name in programs:
+        path = os.path.join(workdir, f"{name}.trace.json")
+        record_program_trace(name, path)
+        out.append((name, path))
+    if corpus_dir and os.path.isdir(corpus_dir):
+        for entry in sorted(os.listdir(corpus_dir)):
+            if len(out) >= max_traces:
+                break
+            if not entry.endswith(".json"):
+                continue
+            src = os.path.join(corpus_dir, entry)
+            dst = os.path.join(workdir, f"corpus-{entry}.trace.json")
+            try:
+                if record_corpus_trace(src, dst):
+                    out.append((f"corpus:{entry}", dst))
+            except (ValueError, KeyError, OSError):
+                continue        # not a reproducer document: skip
+    return out
+
+
+# ---------------------------------------------------------------------------
+# measurement helpers
+# ---------------------------------------------------------------------------
+
+def percentile(samples: List[float], q: float) -> float:
+    """Exact nearest-rank percentile over the sample list (q in [0,1])."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
+    return ordered[rank]
+
+
+def _summarize_ms(samples: List[float]) -> dict:
+    return {"count": len(samples),
+            "p50_ms": round(percentile(samples, 0.50), 4),
+            "p95_ms": round(percentile(samples, 0.95), 4),
+            "mean_ms": round(sum(samples) / len(samples), 4)
+            if samples else 0.0}
+
+
+class _Recorder:
+    """Thread-safe latency/throughput books shared by the client threads."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.endpoint_ms: Dict[str, List[float]] = {}
+        self.phase_ms: Dict[str, List[float]] = {}
+        self.chunks = 0
+        self.sessions = 0
+        self.mismatches: List[str] = []
+        self.failures: List[str] = []
+
+    def lat(self, endpoint: str, seconds: float) -> None:
+        with self._lock:
+            self.endpoint_ms.setdefault(endpoint, []).append(seconds * 1e3)
+
+    def phases(self, status_doc: dict) -> None:
+        with self._lock:
+            self.phase_ms.setdefault("queue-wait", []).append(
+                status_doc.get("queue_wait_s", 0.0) * 1e3)
+            for name, dur in status_doc.get("phases", {}).items():
+                self.phase_ms.setdefault(name, []).append(dur * 1e3)
+
+
+# ---------------------------------------------------------------------------
+# one client session: upload → analyze → poll → report
+# ---------------------------------------------------------------------------
+
+def _timed(rec: _Recorder, endpoint: str, fn):
+    t0 = time.perf_counter()
+    out = fn()
+    rec.lat(endpoint, time.perf_counter() - t0)
+    return out
+
+
+def run_session(client: ServeClient, lines: List[bytes], rec: _Recorder,
+                *, expected: Optional[str], timeout_s: float = 120.0,
+                analyze_options: Optional[dict] = None) -> dict:
+    """Drive one full trace lifecycle; returns the final report doc."""
+    trace_id = _timed(rec, "create_trace", client.create_trace)
+    for seq, line in enumerate(lines):
+        status, ack = _timed(rec, "upload_chunk",
+                             lambda: client.upload_chunk(trace_id, seq, line))
+        if status != 200:
+            raise RuntimeError(f"chunk {seq} rejected: {status} {ack}")
+        with rec._lock:
+            rec.chunks += 1
+    job_id = _timed(rec, "analyze",
+                    lambda: client.analyze(trace_id,
+                                           **(analyze_options or {})))
+    deadline = time.monotonic() + timeout_s
+    while True:
+        status_doc = _timed(rec, "job_status", lambda: client.job(job_id))
+        if status_doc["state"] in ("done", "degraded", "failed"):
+            break
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"job {job_id} hung ({status_doc['state']})")
+        time.sleep(0.002)
+    rec.phases(status_doc)
+    http_status, report = _timed(rec, "report",
+                                 lambda: client.report(job_id))
+    if http_status != 200:
+        raise RuntimeError(f"report fetch failed: {http_status} {report}")
+    if expected is not None:
+        got = json.dumps(report.get("errors"), sort_keys=True)
+        if got != expected:
+            raise AssertionError("server report diverged from offline "
+                                 "analysis of the same trace")
+    with rec._lock:
+        rec.sessions += 1
+    return report
+
+
+# ---------------------------------------------------------------------------
+# the load run
+# ---------------------------------------------------------------------------
+
+def run_load(traces: List[Tuple[str, str]], *, clients: int, rounds: int,
+             shards: int, verify: bool) -> dict:
+    """N concurrent clients replaying the trace set ``rounds`` times."""
+    trace_lines = {name: read_trace_lines(path) for name, path in traces}
+    expected: Dict[str, Optional[str]] = {name: None for name, _ in traces}
+    if verify:
+        # mode-independent ground truth: the offline pipeline on the file
+        for name, path in traces:
+            reports = analyze_trace(path)
+            expected[name] = json.dumps(
+                [report_to_dict(r) for r in reports], sort_keys=True)
+
+    rec = _Recorder()
+    work: "queue.Queue[Optional[str]]" = queue.Queue()
+    for _round in range(rounds):
+        for name, _path in traces:
+            work.put(name)
+    for _ in range(clients):
+        work.put(None)
+
+    config = ServeConfig(shards=shards)
+    with ServerThread(config) as srv:
+        def client_loop() -> None:
+            with ServeClient(srv.base_url) as client:
+                while True:
+                    name = work.get()
+                    if name is None:
+                        return
+                    try:
+                        run_session(client, trace_lines[name], rec,
+                                    expected=expected[name])
+                    except AssertionError as exc:
+                        with rec._lock:
+                            rec.mismatches.append(f"{name}: {exc}")
+                    except (RuntimeError, TimeoutError) as exc:
+                        with rec._lock:
+                            rec.failures.append(f"{name}: {exc}")
+
+        t0 = time.perf_counter()
+        threads = [threading.Thread(target=client_loop,
+                                    name=f"serve-client-{i}")
+                   for i in range(clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+        builds = srv.service.cache.graph_builds
+    reg = get_registry()
+    return {
+        "clients": clients,
+        "rounds": rounds,
+        "shards": shards,
+        "traces": len(traces),
+        "sessions": rec.sessions,
+        "chunks_uploaded": rec.chunks,
+        "elapsed_s": round(elapsed, 4),
+        "throughput_chunks_per_s": round(rec.chunks / elapsed, 2)
+        if elapsed > 0 else 0.0,
+        "endpoints": {name: _summarize_ms(samples)
+                      for name, samples in sorted(rec.endpoint_ms.items())},
+        "job_phases": {name: _summarize_ms(samples)
+                       for name, samples in sorted(rec.phase_ms.items())},
+        "cache": {
+            "graph_builds": builds,
+            "graph_hits": reg.counter("serve.cache.graph.hits").value,
+            "result_hits": reg.counter("serve.cache.result.hits").value,
+        },
+        "verified": verify and not rec.mismatches,
+        "mismatches": rec.mismatches,
+        "failures": rec.failures,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the chaos campaign (--faults)
+# ---------------------------------------------------------------------------
+
+def _race_key(error_doc: dict) -> str:
+    """A report's *identity*: which two segments conflict on which bytes.
+
+    Everything else in the doc is evidence-dependent annotation a degraded
+    run may legitimately lack — notes carry the salvage warnings, witness
+    needs --explain, and region/allocation come from the environment chunk
+    (lost when the writer dies early).  The loses-but-never-invents check
+    must compare the race, not its annotations."""
+    conflict = error_doc.get("conflict", {})
+    return json.dumps({
+        "kind": error_doc.get("kind"),
+        "segments": error_doc.get("segments"),
+        "ranges": conflict.get("ranges"),
+        "bytes": conflict.get("bytes"),
+    }, sort_keys=True)
+
+
+def _well_formed_partial(report: dict) -> List[str]:
+    """Degradation-contract violations in one report doc (empty = ok)."""
+    problems = []
+    for key in ("schema", "errors", "error_count", "coverage", "analysis"):
+        if key not in report:
+            problems.append(f"missing {key!r}")
+    if report.get("schema") != "taskgrind-serve-report/1":
+        problems.append(f"bad schema {report.get('schema')!r}")
+    resilience = report.get("analysis", {}).get("resilience")
+    if resilience is not None:
+        pairs = resilience.get("pairs")
+        if not isinstance(pairs, dict) or not all(
+                isinstance(pairs.get(k), int)
+                for k in ("total", "checked", "unchecked")):
+            problems.append("resilience block lacks unchecked-pairs "
+                            f"accounting (pairs={pairs!r})")
+    return problems
+
+
+def _unsuppressed_races(path: str) -> set:
+    """Every candidate the offline pipeline reports with suppression OFF.
+
+    The never-invent universe: a degraded upload can lose the environment
+    chunk, and with it the TLS/stack evidence the suppression engine
+    needs — previously-suppressed candidates then surface.  That is loss
+    of suppression evidence, not race invention (same contract as the
+    fault-matrix selftest's salvage path), so the clean universe must be
+    the pre-suppression candidate set."""
+    from repro.core.trace import analyze_loaded, load_trace_salvaged
+    salvaged = load_trace_salvaged(path)
+    la = analyze_loaded(salvaged.graph, salvaged.view,
+                        {"suppress_tls": False, "suppress_stack": False},
+                        coverage=salvaged.coverage)
+    return {_race_key(report_to_dict(r)) for r in la.reports}
+
+
+def run_chaos(traces: List[Tuple[str, str]], *, shards: int) -> dict:
+    """Every trace × every chaos plan; asserts the degradation contract.
+
+    The server runs with a tight supervised deadline and one retry so a
+    wedged analysis worker quarantines instead of eating the bench's
+    wall clock; a clean pass per trace provides the race set that no
+    degraded run may exceed (salvage can lose races, never invent them).
+    """
+    trace_lines = {name: read_trace_lines(path) for name, path in traces}
+    clean_races: Dict[str, set] = {}
+    violations: List[str] = []
+    runs: List[dict] = []
+    config = ServeConfig(shards=shards, deadline_s=0.05, max_retries=1)
+    with ServerThread(config) as srv:
+        with ServeClient(srv.base_url) as client:
+            for name, path in traces:
+                rec = _Recorder()
+                report = run_session(client, trace_lines[name], rec,
+                                     expected=None, timeout_s=60.0)
+                clean_races[name] = (
+                    {_race_key(e) for e in report.get("errors", [])}
+                    | _unsuppressed_races(path))
+            for name, _path in traces:
+                for spec, attacks in CHAOS_PLANS:
+                    outcome = _one_chaos_session(
+                        client, name, trace_lines[name], spec)
+                    outcome["attacks"] = attacks
+                    runs.append(outcome)
+                    violations.extend(
+                        _check_chaos_outcome(outcome, clean_races[name]))
+    return {
+        "plans": [spec for spec, _ in CHAOS_PLANS],
+        "runs": runs,
+        "violations": violations,
+        "ok": not violations,
+    }
+
+
+def _one_chaos_session(client: ServeClient, name: str, lines: List[bytes],
+                       spec: str) -> dict:
+    """One trace uploaded and analyzed with ``spec`` armed.
+
+    When the fault surfaces at the upload edge (CRC reject, injected
+    worker death) the session records the structured error body and then
+    **still analyzes the accepted prefix** — the degradation contract is
+    that a partial upload yields a degraded-but-well-formed report, not
+    a wedged job.
+    """
+    outcome: dict = {"trace": name, "plan": spec}
+    plan = builtin_plan(spec)
+    with inject_plan(plan):
+        trace_id = client.create_trace()
+        for seq, line in enumerate(lines):
+            status, ack = client.upload_chunk(trace_id, seq, line)
+            if status != 200:
+                outcome["edge_status"] = status
+                outcome["edge_error"] = ack.get("error", {})
+                break
+        try:
+            # single supervised worker: distinct params from the clean
+            # session, so the content-addressed result cache cannot serve
+            # the clean document — the analysis truly re-runs under the
+            # armed plan and a planted hang meets the deadline/quarantine
+            # path instead of a cache hit
+            job_id = client.analyze(trace_id, mode="parallel", workers=1)
+            status_doc = client.wait(job_id, timeout=60.0)
+        except TimeoutError as exc:
+            outcome["hang"] = str(exc)
+            outcome["fired"] = dict(plan.fired_summary())
+            return outcome
+        outcome["job_state"] = status_doc["state"]
+        http_status, report = client.report(job_id)
+        if http_status == 200:
+            outcome["report"] = report
+        else:
+            outcome["report_error"] = {"status": http_status, **report}
+    outcome["fired"] = dict(plan.fired_summary())
+    return outcome
+
+
+def _check_chaos_outcome(outcome: dict, clean: set) -> List[str]:
+    where = f"{outcome['trace']} under {outcome['plan']}"
+    if "hang" in outcome:
+        return [f"{where}: HANG — {outcome['hang']}"]
+    problems: List[str] = []
+    if "edge_status" in outcome:
+        err = outcome.get("edge_error", {})
+        if outcome["edge_status"] not in (400, 409, 422, 500, 503) \
+                or not err.get("type"):
+            problems.append(f"{where}: untyped edge rejection "
+                            f"{outcome['edge_status']}: {err}")
+    if outcome.get("job_state") not in ("done", "degraded"):
+        problems.append(f"{where}: job ended {outcome.get('job_state')!r} "
+                        "instead of serving a partial report")
+    report = outcome.get("report")
+    if report is None:
+        problems.append(f"{where}: no report document "
+                        f"({outcome.get('report_error')})")
+        return problems
+    problems.extend(f"{where}: {p}" for p in _well_formed_partial(report))
+    got = {_race_key(e) for e in report.get("errors", [])}
+    invented = got - clean
+    if invented:
+        problems.append(f"{where}: degraded report INVENTED "
+                        f"{len(invented)} race(s) absent from clean run")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--clients", type=int, default=4,
+                    help="concurrent client threads (default: 4)")
+    ap.add_argument("--rounds", type=int, default=2,
+                    help="times each trace is replayed (default: 2)")
+    ap.add_argument("--shards", type=int, default=4,
+                    help="server worker shards (default: 4)")
+    ap.add_argument("--max-traces", type=int, default=6,
+                    help="trace-set size cap incl. corpus (default: 6)")
+    ap.add_argument("--corpus-dir", default=None,
+                    help="fuzz corpus directory (default: autodetect "
+                         "tests/fuzz/corpus)")
+    ap.add_argument("--no-verify", action="store_true",
+                    help="skip the offline byte-parity check per session")
+    ap.add_argument("--faults", action="store_true",
+                    help="run the chaos campaign instead of the load bench")
+    ap.add_argument("--json", metavar="PATH", default=None,
+                    help="write the bench document here")
+    ap.add_argument("--merge-into", metavar="PATH", default=None,
+                    help="update the 'serve' block of an existing perf "
+                         "document (BENCH_perf.json)")
+    ap.add_argument("--baseline", metavar="PATH", default=None,
+                    help="perf document with a committed 'serve' block "
+                         "to gate against")
+    ap.add_argument("--tolerance", type=float, default=0.4,
+                    help="gate tolerance as a fraction (default: 0.4)")
+    args = ap.parse_args(argv)
+
+    corpus_dir = args.corpus_dir
+    if corpus_dir is None:
+        candidate = _repo_root() / "tests" / "fuzz" / "corpus"
+        corpus_dir = str(candidate) if candidate.is_dir() else None
+    with tempfile.TemporaryDirectory(prefix="serve-bench-") as workdir:
+        print("recording trace set "
+              f"(corpus: {corpus_dir or 'none found'})...")
+        traces = materialize_traces(workdir, corpus_dir=corpus_dir,
+                                    max_traces=max(2, args.max_traces))
+        total_chunks = sum(len(read_trace_lines(p)) for _n, p in traces)
+        print(f"  {len(traces)} traces, {total_chunks} chunks: "
+              + ", ".join(name for name, _ in traces))
+        if args.faults:
+            doc = {"schema": SCHEMA, "bench": "serve-chaos",
+                   "chaos": run_chaos(traces, shards=args.shards)}
+        else:
+            serve_block = run_load(traces, clients=args.clients,
+                                   rounds=args.rounds, shards=args.shards,
+                                   verify=not args.no_verify)
+            doc = {"schema": SCHEMA, "bench": "serve", "serve": serve_block}
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+
+    if args.faults:
+        chaos = doc["chaos"]
+        print(f"chaos campaign: {len(chaos['runs'])} fault sessions, "
+              f"{len(chaos['violations'])} violation(s)")
+        for v in chaos["violations"]:
+            print(f"  VIOLATION: {v}", file=sys.stderr)
+        return 0 if chaos["ok"] else 1
+
+    serve_block = doc["serve"]
+    print(f"\n{serve_block['sessions']} sessions / "
+          f"{serve_block['chunks_uploaded']} chunks in "
+          f"{serve_block['elapsed_s']:.2f}s "
+          f"({serve_block['throughput_chunks_per_s']:.0f} chunks/s)")
+    for name, entry in serve_block["endpoints"].items():
+        print(f"  {name:<13} p50 {entry['p50_ms']:8.3f}ms   "
+              f"p95 {entry['p95_ms']:8.3f}ms   n={entry['count']}")
+    for msg in serve_block["failures"]:
+        print(f"  session failure: {msg}", file=sys.stderr)
+    for msg in serve_block["mismatches"]:
+        print(f"  PARITY MISMATCH: {msg}", file=sys.stderr)
+    if serve_block["failures"] or serve_block["mismatches"]:
+        return 1
+
+    if args.merge_into:
+        try:
+            with open(args.merge_into) as fh:
+                perf_doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            perf_doc = {"bench": "perf", "workloads": {}}
+        perf_doc["serve"] = serve_block
+        with open(args.merge_into, "w") as fh:
+            json.dump(perf_doc, fh, indent=2)
+            fh.write("\n")
+        print(f"merged serve block into {args.merge_into}")
+
+    if args.baseline:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except OSError as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return EXIT_BASELINE_UNUSABLE
+        except json.JSONDecodeError as exc:
+            print(f"baseline {args.baseline} is not valid JSON: {exc}",
+                  file=sys.stderr)
+            return EXIT_BASELINE_UNUSABLE
+        if not baseline.get("serve"):
+            print(f"baseline {args.baseline} has no 'serve' block — "
+                  "regenerate with: python -m repro.bench.serve "
+                  f"--merge-into {args.baseline}", file=sys.stderr)
+            return EXIT_BASELINE_UNUSABLE
+        ok, lines = compare_to_baseline({"serve": serve_block}, baseline,
+                                        args.tolerance)
+        print(f"\nserve gate vs {args.baseline} "
+              f"(tolerance {args.tolerance:.0%}):")
+        for line in lines:
+            print(f"  {line}")
+        if not ok:
+            print("serve perf gate FAILED", file=sys.stderr)
+            return 1
+        print("serve perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    sys.exit(main())

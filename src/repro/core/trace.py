@@ -684,6 +684,34 @@ def load_trace_salvaged(path: str) -> SalvagedTrace:
     return _assemble_v2(path, chunks, cov)
 
 
+def assemble_chunks(chunk_docs, *, label: str = "<uploaded>"
+                    ) -> SalvagedTrace:
+    """Assemble already-validated v2 chunk envelopes into a trace.
+
+    The ingestion server's adapter onto the salvage reader: its upload
+    edge has already parsed and CRC-checked every envelope (rejecting bad
+    ones at the wire), so this skips :func:`_scan_chunks` and goes
+    straight to dense-prefix assembly.  ``chunk_docs`` are the parsed
+    ``{seq, kind, vtime, crc, payload}`` dicts in accepted order.
+    """
+    cov = TraceCoverage()
+    chunks: List[_RawChunk] = []
+    for doc in chunk_docs:
+        cov.chunks_valid += 1
+        cov.last_good_vtime = max(cov.last_good_vtime,
+                                  float(doc.get("vtime", 0.0)))
+        chunks.append(_RawChunk(seq=doc["seq"], kind=doc["kind"],
+                                vtime=float(doc.get("vtime", 0.0)),
+                                payload=doc["payload"], byte_offset=0))
+    if not chunks:
+        cov.complete = False
+        cov.segments_total = None
+        cov.errors.append("no chunks uploaded")
+        return SalvagedTrace(graph=SegmentGraph(), view=_empty_view(),
+                             suppression={}, stats=None, coverage=cov)
+    return _assemble_v2(label, chunks, cov)
+
+
 # ---------------------------------------------------------------------------
 # strict loaders (raise the trace-error taxonomy)
 # ---------------------------------------------------------------------------
@@ -734,6 +762,77 @@ def load_trace_full(path: str) -> Tuple[SegmentGraph, OfflineMachineView,
 # offline analysis
 # ---------------------------------------------------------------------------
 
+@dataclass
+class LoadedAnalysis:
+    """Result of :func:`analyze_loaded`: reports + the pipeline's books."""
+
+    reports: List[RaceReport]
+    raw_candidates: int
+    partial: Optional[PartialAnalysis]
+    engine: SuppressionEngine
+
+
+def analyze_loaded(graph: SegmentGraph, view: OfflineMachineView,
+                   supp_flags: dict, *,
+                   coverage: Optional[TraceCoverage] = None,
+                   mode: str = "indexed", workers: int = 4,
+                   explain: bool = False, kernel: str = "auto",
+                   deadline_s: Optional[float] = None,
+                   max_retries: int = 2) -> LoadedAnalysis:
+    """Algorithm 1 + suppression + reporting on an already-loaded trace.
+
+    The shared back half of the offline pipeline: the file-based
+    :func:`analyze_trace_with_stats` and the ingestion server's job
+    executor (which assembles graphs from uploaded chunks and caches them
+    by content hash) both funnel through here, so their reports are
+    byte-identical for the same trace content.  ``deadline_s`` /
+    ``max_retries`` only apply to ``mode="parallel"`` (supervised).
+    """
+    from repro.core.reports import build_witness
+    from repro.obs.tracer import get_tracer
+    reg = get_registry()
+    partial: Optional[PartialAnalysis] = None
+    if mode == "naive":
+        candidates = find_races_naive(graph)
+    elif mode == "parallel":
+        partial = find_races_supervised(graph, workers=workers,
+                                        deadline_s=deadline_s,
+                                        max_retries=max_retries,
+                                        kernel=kernel)
+        candidates = partial.candidates
+    else:
+        candidates = find_races_indexed(graph, kernel=kernel)
+    config = SuppressionConfig(
+        suppress_tls=supp_flags.get("suppress_tls", True),
+        suppress_stack=supp_flags.get("suppress_stack", True))
+    engine = SuppressionEngine(view, config)
+    surviving = engine.filter_all(candidates)
+    with reg.phase("report"):
+        reports = [build_report(view, c) for c in surviving]
+        notes = []
+        if coverage is not None and not coverage.complete:
+            notes.append("incomplete evidence: " + coverage.summary())
+        if partial is not None and not partial.complete:
+            notes.append("incomplete analysis: " + partial.summary())
+        for note in notes:
+            for r in reports:
+                r.notes = r.notes + (note,)
+        if explain:
+            with reg.phase("explain"):
+                for r in reports:
+                    r.witness = build_witness(graph, r)
+        tracer = get_tracer()
+        if tracer.enabled:
+            for r in reports:
+                tracer.race_flow(r.s1.id, r.s2.id,
+                                 t1=r.s1.thread_id, t2=r.s2.thread_id,
+                                 args={
+                    "label1": r.s1.label(), "label2": r.s2.label(),
+                    "bytes": r.ranges.total_bytes})
+    return LoadedAnalysis(reports=reports, raw_candidates=len(candidates),
+                          partial=partial, engine=engine)
+
+
 def analyze_trace(path: str, *, mode: str = "indexed",
                   workers: int = 4,
                   explain: bool = False,
@@ -767,8 +866,6 @@ def analyze_trace_with_stats(path: str, *, mode: str = "indexed",
     block accounting for the loss (reports additionally carry a salvage
     warning note).  ``strict=True`` restores fail-stop loading.
     """
-    from repro.core.reports import build_witness
-    from repro.obs.tracer import get_tracer
     reg = get_registry()
     baseline = reg.mark()
     with reg.phase("offline"):
@@ -786,58 +883,26 @@ def analyze_trace_with_stats(path: str, *, mode: str = "indexed",
                     reg.counter("resilience.trace_salvaged").inc()
                     reg.counter("resilience.trace_chunks_lost").inc(
                         coverage.chunks_corrupt)
-        partial: Optional[PartialAnalysis] = None
-        if mode == "naive":
-            candidates = find_races_naive(graph)
-        elif mode == "parallel":
-            partial = find_races_supervised(graph, workers=workers,
-                                            kernel=kernel)
-            candidates = partial.candidates
-        else:
-            candidates = find_races_indexed(graph, kernel=kernel)
-        config = SuppressionConfig(
-            suppress_tls=supp_flags.get("suppress_tls", True),
-            suppress_stack=supp_flags.get("suppress_stack", True))
-        engine = SuppressionEngine(view, config)
-        surviving = engine.filter_all(candidates)
-        with reg.phase("report"):
-            reports = [build_report(view, c) for c in surviving]
-            notes = []
-            if coverage is not None and not coverage.complete:
-                notes.append("incomplete evidence: " + coverage.summary())
-            if partial is not None and not partial.complete:
-                notes.append("incomplete analysis: " + partial.summary())
-            for note in notes:
-                for r in reports:
-                    r.notes = r.notes + (note,)
-            if explain:
-                with reg.phase("explain"):
-                    for r in reports:
-                        r.witness = build_witness(graph, r)
-            tracer = get_tracer()
-            if tracer.enabled:
-                for r in reports:
-                    tracer.race_flow(r.s1.id, r.s2.id,
-                                     t1=r.s1.thread_id, t2=r.s2.thread_id,
-                                     args={
-                        "label1": r.s1.label(), "label2": r.s2.label(),
-                        "bytes": r.ranges.total_bytes})
+        la = analyze_loaded(graph, view, supp_flags, coverage=coverage,
+                            mode=mode, workers=workers, explain=explain,
+                            kernel=kernel)
+    reports = la.reports
     stats = {
         "schema": "taskgrind-offline-stats/1",
         "trace": path,
         "analysis": {
             "mode": mode,
-            "raw_candidates": len(candidates),
+            "raw_candidates": la.raw_candidates,
             "reports": len(reports),
         },
-        "suppress": engine.stats_doc(),
+        "suppress": la.engine.stats_doc(),
         "graph": graph.stats(),
         "phases": reg.delta_since(baseline)["phases"],
         "record_run": record_stats,
     }
     if coverage is not None:
         stats["coverage"] = coverage.to_dict()
-    if partial is not None:
-        stats["analysis"]["resilience"] = partial.to_dict()
+    if la.partial is not None:
+        stats["analysis"]["resilience"] = la.partial.to_dict()
     reg.publish("offline", stats)
     return reports, stats

@@ -265,6 +265,77 @@ class ProfileCorruptionError(ProfileError):
         self.reason = reason
 
 
+# ---------------------------------------------------------------------------
+# ingestion-service taxonomy (repro.serve)
+# ---------------------------------------------------------------------------
+
+class ServeError(ReproError):
+    """Base class for trace-ingestion-service request failures.
+
+    Each subclass carries the structured fields the HTTP layer serializes
+    into the error body (``{"error": {"type": ..., "message": ..., ...}}``)
+    so clients can branch on machine-readable state instead of parsing
+    messages.  Trace-content failures deliberately reuse the existing
+    :class:`TraceError` taxonomy — a CRC mismatch at the upload edge is the
+    same defect as one found by the offline reader.
+    """
+
+    def fields(self) -> dict:
+        """Structured extras merged into the HTTP error body."""
+        return {}
+
+
+class ResourceNotFound(ServeError):
+    """A trace or job id that the service has never issued."""
+
+    def __init__(self, kind: str, resource_id: str) -> None:
+        super().__init__(f"no such {kind}: {resource_id!r}")
+        self.kind = kind
+        self.resource_id = resource_id
+
+    def fields(self) -> dict:
+        return {"resource": self.kind, "id": self.resource_id}
+
+
+class UploadSequenceError(ServeError):
+    """A chunk upload that breaks the dense-prefix contract.
+
+    ``taskgrind-trace/2`` salvage semantics only guarantee loss-not-
+    invention for a *dense* chunk prefix, so the server refuses gaps,
+    duplicates and post-``end`` uploads outright instead of accepting an
+    order it would later have to second-guess.
+    """
+
+    def __init__(self, trace_id: str, *, expected_seq: Optional[int],
+                 got_seq: int, reason: str) -> None:
+        super().__init__(
+            f"trace {trace_id}: chunk seq {got_seq} rejected: {reason}"
+            + (f" (expected seq {expected_seq})"
+               if expected_seq is not None else ""))
+        self.trace_id = trace_id
+        self.expected_seq = expected_seq
+        self.got_seq = got_seq
+        self.reason = reason
+
+    def fields(self) -> dict:
+        return {"trace_id": self.trace_id, "expected_seq": self.expected_seq,
+                "got_seq": self.got_seq, "reason": self.reason}
+
+
+class JobStateError(ServeError):
+    """A job-resource request its current lifecycle state cannot serve."""
+
+    def __init__(self, job_id: str, state: str, reason: str) -> None:
+        super().__init__(f"job {job_id} ({state}): {reason}")
+        self.job_id = job_id
+        self.state = state
+        self.reason = reason
+
+    def fields(self) -> dict:
+        return {"job_id": self.job_id, "state": self.state,
+                "reason": self.reason}
+
+
 class InjectedFault(ReproError):
     """An error raised on purpose by the fault-injection framework.
 

@@ -80,6 +80,37 @@ class FaultInjector:
                 raise InjectedFault("worker-exc",
                                     f"analysis chunk {index}")
 
+    def on_upload_chunk(self, seq: int, line: bytes) -> bytes:
+        """Called by the ingestion server with each uploaded chunk body.
+
+        Mirrors :meth:`on_trace_chunk` on the read side of the wire:
+        ``trace-corrupt`` flips a payload byte (the edge CRC check must
+        catch it), ``trace-truncate`` models the client connection dying
+        mid-stream, and ``save-crash`` models the ingest worker dying
+        *after* chunk ``at`` was accepted.  The latter two raise
+        :class:`~repro.errors.InjectedFault` for the HTTP layer to map to
+        503/500.
+        """
+        plan = self.plan
+        if plan is None:
+            return line
+        for point in plan.points_of("trace-truncate"):
+            if point.at == seq and point.armed:
+                self._fire(point)
+                raise InjectedFault("trace-truncate",
+                                    f"client stream died at chunk {seq}")
+        for point in plan.points_of("save-crash"):
+            # fires *after* chunk ``at`` was accepted, on the next one
+            if point.at + 1 == seq and point.armed:
+                self._fire(point)
+                raise InjectedFault("save-crash",
+                                    f"ingest worker died before chunk {seq}")
+        for point in plan.points_of("trace-corrupt"):
+            if point.at == seq and point.armed:
+                self._fire(point)
+                return _flip_payload(line)
+        return line
+
     def on_trace_chunk(self, seq: int, line: bytes) -> Optional[bytes]:
         """Called by the trace writer with each serialized chunk line.
 

@@ -1,0 +1,22 @@
+"""Race-analysis-as-a-service: the trace-ingestion server.
+
+The service spine from ROADMAP item 1: streamed ``taskgrind-trace/2``
+chunk uploads with CRC validation at the edge (:mod:`repro.serve.store`),
+content-hash-keyed graph/result caches (:mod:`repro.serve.cache`), a
+sharded worker pool reusing the supervised analysis's deadline/retry/
+quarantine machinery (:mod:`repro.serve.jobs`), and a stdlib-only
+HTTP/1.1 JSON API (:mod:`repro.serve.http`, :mod:`repro.serve.app`).
+
+Entry points: ``python -m repro serve`` (CLI), or in-process::
+
+    from repro.serve import ServeConfig, ServerThread, ServeClient
+    with ServerThread(ServeConfig(shards=4)) as srv:
+        with ServeClient(srv.base_url) as client:
+            trace_id, _ = client.upload_trace(lines)
+            job_id = client.analyze(trace_id)
+            client.wait(job_id)
+"""
+
+from repro.serve.app import ServeConfig, TraceService
+from repro.serve.client import ServeClient, read_trace_lines
+from repro.serve.server import ServerThread, TraceServer

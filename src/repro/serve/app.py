@@ -1,0 +1,244 @@
+"""The race-analysis service: routes, job executor, error mapping.
+
+Request handlers run on the event loop and stay cheap (edge validation,
+queue pushes, dict lookups); the only CPU-heavy work — graph assembly and
+Algorithm 1 — happens in :class:`~repro.serve.jobs.JobPool` executor
+threads.  Report documents are **content-addressed**: they carry the
+upload's content hash but no job ids, so a cache hit can serve the exact
+bytes a previous job produced and the serve-smoke byte-parity check
+against ``repro.core.offline`` is meaningful.
+
+Error mapping (the :mod:`repro.errors` taxonomy → HTTP):
+
+====================================  ======
+:class:`TraceFormatError` (+Version)  400
+:class:`ResourceNotFound`             404
+:class:`UploadSequenceError`          409
+:class:`JobStateError`                409
+:class:`TraceCorruptionError`         422
+:class:`InjectedFault` (upload path)  503
+anything else                         500
+====================================  ======
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.reports import report_to_dict
+from repro.core.trace import analyze_loaded
+from repro.errors import (InjectedFault, JobStateError, ResourceNotFound,
+                          ServeError, TraceCorruptionError, TraceFormatError,
+                          UploadSequenceError)
+from repro.obs.metrics import get_registry
+from repro.serve.cache import BuildCache
+from repro.serve.http import Request, Response
+from repro.serve.jobs import AnalysisJob, JobPool
+from repro.serve.store import TraceStore
+
+import json
+
+REPORT_SCHEMA = "taskgrind-serve-report/1"
+
+_STATUS_OF = ((UploadSequenceError, 409), (JobStateError, 409),
+              (ResourceNotFound, 404), (TraceCorruptionError, 422),
+              (TraceFormatError, 400), (InjectedFault, 503))
+
+
+def error_response(exc: Exception) -> Response:
+    for cls, status in _STATUS_OF:
+        if isinstance(exc, cls):
+            body = {"type": type(exc).__name__, "message": str(exc)}
+            if isinstance(exc, ServeError):
+                body.update(exc.fields())
+            if isinstance(exc, InjectedFault):
+                body["fault_kind"] = exc.fault_kind
+            if isinstance(exc, TraceCorruptionError):
+                body.update({"chunk_seq": exc.chunk_seq,
+                             "byte_offset": exc.byte_offset})
+            return Response(status=status, doc={"error": body})
+    return Response(status=500, doc={"error": {
+        "type": type(exc).__name__, "message": str(exc)}})
+
+
+@dataclass
+class ServeConfig:
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0: kernel-assigned (tests/bench)
+    shards: int = 4
+    analysis_mode: str = "parallel"    # supervised: deadline/retry/quarantine
+    analysis_workers: int = 2
+    deadline_s: Optional[float] = None
+    max_retries: int = 2
+    kernel: str = "auto"
+    graph_cache: int = 32
+    result_cache: int = 128
+
+
+class TraceService:
+    """Everything behind the routes; owns store, caches and the pool."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig()
+        self.store = TraceStore()
+        self.cache = BuildCache(graph_capacity=self.config.graph_cache,
+                                result_capacity=self.config.result_cache)
+        self.pool = JobPool(self._execute_job, shards=self.config.shards)
+        self.started_at = time.time()
+
+    # -- routing -------------------------------------------------------------
+
+    async def handle(self, req: Request) -> Response:
+        reg = get_registry()
+        endpoint, resp = "unmatched", None
+        t0 = time.perf_counter()
+        try:
+            endpoint, resp = await self._dispatch(req)
+        except Exception as exc:  # noqa: BLE001 — every error becomes JSON
+            resp = error_response(exc)
+        finally:
+            reg.counter(f"serve.http.{endpoint}.requests").inc()
+            if resp is not None and resp.status >= 400:
+                reg.counter(f"serve.http.{endpoint}.errors").inc()
+            reg.histogram(f"serve.http.{endpoint}.us").observe(
+                (time.perf_counter() - t0) * 1e6)
+        return resp
+
+    async def _dispatch(self, req: Request) -> Tuple[str, Response]:
+        parts = [p for p in req.path.split("/") if p]
+        method = req.method
+        if parts == ["healthz"] and method == "GET":
+            return "healthz", Response(doc={"ok": True,
+                                            "uptime_s": time.time()
+                                            - self.started_at})
+        if parts == ["metrics"] and method == "GET":
+            return "metrics", Response(
+                body=get_registry().render_prom().encode("utf-8"),
+                content_type="text/plain; version=0.0.4")
+        if parts[:1] == ["v1"] and len(parts) >= 2:
+            if parts[1] == "traces":
+                return await self._dispatch_traces(method, parts, req)
+            if parts[1] == "jobs":
+                return self._dispatch_jobs(method, parts)
+        return "unmatched", Response(status=404, doc={"error": {
+            "type": "ResourceNotFound",
+            "message": f"no route for {method} {req.path}"}})
+
+    async def _dispatch_traces(self, method: str, parts,
+                               req: Request) -> Tuple[str, Response]:
+        if parts == ["v1", "traces"] and method == "POST":
+            up = self.store.create()
+            return "create_trace", Response(status=201, doc=up.to_dict())
+        if len(parts) == 5 and parts[3] == "chunks" and method == "PUT":
+            try:
+                seq = int(parts[4])
+            except ValueError:
+                raise TraceFormatError(parts[2],
+                                       f"non-integer seq {parts[4]!r}")
+            with get_registry().phase("serve.ingest"):
+                ack = self.store.add_chunk(parts[2], seq, req.body)
+            return "upload_chunk", Response(doc=ack)
+        if len(parts) == 3 and method == "GET":
+            return "trace_status", Response(
+                doc=self.store.get(parts[2]).to_dict())
+        if len(parts) == 4 and parts[3] == "analyze" and method == "POST":
+            return "analyze", await self._start_analysis(parts[2], req)
+        raise ResourceNotFound("route", "/".join(parts))
+
+    def _dispatch_jobs(self, method: str, parts) -> Tuple[str, Response]:
+        if method != "GET" or len(parts) not in (3, 4):
+            raise ResourceNotFound("route", "/".join(parts))
+        job = self.pool.get(parts[2])
+        if len(parts) == 3:
+            return "job_status", Response(doc=job.status_dict())
+        if parts[3] == "report":
+            doc = dict(self.pool.report_of(parts[2]))
+            doc["job_id"] = job.job_id
+            doc["trace_id"] = job.trace_id
+            return "report", Response(doc=doc)
+        if parts[3] == "timeline":
+            return "timeline", Response(doc={
+                "displayTimeUnit": "ms",
+                "traceEvents": job.timeline_events()})
+        raise ResourceNotFound("route", "/".join(parts))
+
+    async def _start_analysis(self, trace_id: str, req: Request) -> Response:
+        up = self.store.get(trace_id)
+        try:
+            opts = json.loads(req.body) if req.body.strip() else {}
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(trace_id,
+                                   f"analyze options: {exc.msg}") from exc
+        cfg = self.config
+        params = {
+            "mode": opts.get("mode", cfg.analysis_mode),
+            "workers": int(opts.get("workers", cfg.analysis_workers)),
+            "deadline_s": opts.get("deadline_s", cfg.deadline_s),
+            "max_retries": int(opts.get("max_retries", cfg.max_retries)),
+            "kernel": opts.get("kernel", cfg.kernel),
+            "explain": bool(opts.get("explain", False)),
+            # analyses of an in-flight upload see a stable prefix snapshot
+            "chunk_count": len(up.chunks),
+        }
+        job = self.pool.create(trace_id, up.content_hash, params)
+        await self.pool.submit(job)
+        return Response(status=202, doc={"job_id": job.job_id,
+                                         "trace_id": trace_id,
+                                         "state": job.state,
+                                         "shard": job.shard,
+                                         "content_hash": job.content_hash})
+
+    # -- the job executor (runs on a shard thread) ---------------------------
+
+    def _execute_job(self, job: AnalysisJob) -> Tuple[dict, bool]:
+        reg = get_registry()
+        p = job.params
+        key = BuildCache.result_key(
+            job.content_hash, mode=p["mode"], workers=p["workers"],
+            deadline_s=p["deadline_s"], max_retries=p["max_retries"],
+            kernel=p["kernel"], explain=p["explain"])
+        cached = self.cache.get_result(key)
+        if cached is not None:
+            job.cache_hit = True
+            return cached, False
+        up = self.store.get(job.trace_id)
+        chunks = up.chunks[:p["chunk_count"]]    # append-only: safe snapshot
+        with job.span("build"):
+            salvaged = self.cache.get_graph(job.content_hash, chunks,
+                                            label=job.trace_id)
+        with job.span("analyze"), reg.phase("serve.analyze"):
+            la = analyze_loaded(salvaged.graph, salvaged.view,
+                                salvaged.suppression,
+                                coverage=salvaged.coverage,
+                                mode=p["mode"], workers=p["workers"],
+                                explain=p["explain"], kernel=p["kernel"],
+                                deadline_s=p["deadline_s"],
+                                max_retries=p["max_retries"])
+        with job.span("report"):
+            doc = {
+                "schema": REPORT_SCHEMA,
+                "content_hash": job.content_hash,
+                "analysis": {
+                    "mode": p["mode"],
+                    "raw_candidates": la.raw_candidates,
+                    "reports": len(la.reports),
+                },
+                "errors": [report_to_dict(r) for r in la.reports],
+                "error_count": len(la.reports),
+                "suppress": la.engine.stats_doc(),
+                "coverage": salvaged.coverage.to_dict(),
+                "graph": salvaged.graph.stats(),
+                "record_run": salvaged.stats,
+            }
+            if la.partial is not None:
+                doc["analysis"]["resilience"] = la.partial.to_dict()
+        degraded = (not salvaged.coverage.complete
+                    or (la.partial is not None and not la.partial.complete))
+        if not degraded:
+            # degraded results are never cached: the damage may be a
+            # transient fault, and the same content hash must be able to
+            # analyze clean once the fault clears
+            self.cache.put_result(key, doc)
+        return doc, degraded

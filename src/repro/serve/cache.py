@@ -1,0 +1,127 @@
+"""Content-addressed caches for the ingestion server.
+
+Two layers, both keyed off the upload's SHA-256 content hash:
+
+* **graph cache** — assembled :class:`~repro.core.trace.SalvagedTrace`
+  objects with their HB indexes prepared.  Re-uploading a trace that is
+  already cached skips the whole segment-graph + index build (the
+  dominant cost for large traces).
+* **result cache** — finished analysis-core documents, keyed by
+  ``(content_hash, analysis parameters)``.  Re-analyzing a cached trace
+  with the same knobs returns the stored report without touching a
+  worker shard's CPU budget.
+
+Every probe books ``serve.cache.graph.{hits,misses,builds,evictions}`` /
+``serve.cache.result.{hits,misses}`` so the load bench (and ``/metrics``)
+can prove dedup actually happened.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from repro.core.trace import SalvagedTrace, assemble_chunks
+from repro.obs.metrics import get_registry
+
+
+class _LRU:
+    """A small thread-safe LRU map (OrderedDict + one lock)."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(1, capacity)
+        self._map: "OrderedDict[object, object]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key):
+        with self._lock:
+            if key not in self._map:
+                return None
+            self._map.move_to_end(key)
+            return self._map[key]
+
+    def put(self, key, value) -> int:
+        """Insert; returns the number of entries evicted (0 or 1)."""
+        with self._lock:
+            self._map[key] = value
+            self._map.move_to_end(key)
+            if len(self._map) > self.capacity:
+                self._map.popitem(last=False)
+                return 1
+            return 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._map)
+
+
+class BuildCache:
+    """Graph + result caches the job executors consult."""
+
+    def __init__(self, *, graph_capacity: int = 32,
+                 result_capacity: int = 128) -> None:
+        self._graphs = _LRU(graph_capacity)
+        self._results = _LRU(result_capacity)
+        self._build_locks: dict = {}
+        self._lock = threading.Lock()
+        #: graph builds actually performed (the zero-rebuild test's probe)
+        self.graph_builds = 0
+
+    # -- graphs --------------------------------------------------------------
+
+    def get_graph(self, content_hash: str, chunks: List[dict],
+                  *, label: str = "<uploaded>") -> SalvagedTrace:
+        """Fetch or build the assembled trace for ``content_hash``.
+
+        Concurrent requests for the same hash serialize on a per-hash
+        build lock so a popular trace is only ever assembled once.
+        """
+        reg = get_registry()
+        cached = self._graphs.get(content_hash)
+        if cached is not None:
+            reg.counter("serve.cache.graph.hits").inc()
+            return cached
+        with self._lock:
+            build_lock = self._build_locks.setdefault(content_hash,
+                                                      threading.Lock())
+        with build_lock:
+            cached = self._graphs.get(content_hash)
+            if cached is not None:
+                reg.counter("serve.cache.graph.hits").inc()
+                return cached
+            reg.counter("serve.cache.graph.misses").inc()
+            with reg.phase("serve.build"):
+                salvaged = assemble_chunks(chunks, label=label)
+                salvaged.graph.prepare_queries()
+            self.graph_builds += 1
+            reg.counter("serve.cache.graph.builds").inc()
+            evicted = self._graphs.put(content_hash, salvaged)
+            if evicted:
+                reg.counter("serve.cache.graph.evictions").inc(evicted)
+        with self._lock:
+            self._build_locks.pop(content_hash, None)
+        return salvaged
+
+    # -- results -------------------------------------------------------------
+
+    @staticmethod
+    def result_key(content_hash: str, **params) -> Tuple:
+        return (content_hash,) + tuple(sorted(params.items()))
+
+    def get_result(self, key: Tuple) -> Optional[dict]:
+        reg = get_registry()
+        cached = self._results.get(key)
+        if cached is not None:
+            reg.counter("serve.cache.result.hits").inc()
+        else:
+            reg.counter("serve.cache.result.misses").inc()
+        return cached
+
+    def put_result(self, key: Tuple, doc: dict) -> None:
+        self._results.put(key, doc)
+
+    def stats(self) -> dict:
+        return {"graphs_cached": len(self._graphs),
+                "results_cached": len(self._results),
+                "graph_builds": self.graph_builds}

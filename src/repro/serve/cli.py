@@ -1,0 +1,175 @@
+"""``python -m repro serve`` — boot the ingestion server (or its smoke).
+
+Plain mode binds the asyncio server and runs until interrupted:
+
+    python -m repro serve --port 8787 --shards 4
+
+``--smoke`` is the self-contained check the ``serve-smoke`` CI job runs:
+record a racy synthetic trace (plus a fuzz-corpus reproducer when the
+corpus is present), upload it chunk-by-chunk over real HTTP to an
+in-process server, analyze, and assert the served race report is
+**byte-identical** to ``repro.core.offline`` on the same trace file.  It
+also proves cache keying (a re-upload of the same content triggers zero
+graph rebuilds) and validates the job timeline artifact with
+:mod:`repro.obs.tracecheck`.  Artifacts (trace, both reports, timeline)
+land in ``--out`` for CI upload on failure.  Exit 0 on parity, 1 on any
+divergence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.serve.app import ServeConfig
+
+# --stats/--trace-timeline are extracted by the repro launcher before the
+# subcommand sees argv, so this parser only owns serve's own knobs.
+
+
+def _build_config(args: argparse.Namespace) -> ServeConfig:
+    return ServeConfig(host=args.host, port=args.port, shards=args.shards,
+                       analysis_mode=args.mode,
+                       analysis_workers=args.workers,
+                       deadline_s=args.deadline_s,
+                       max_retries=args.max_retries)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro serve", description=__doc__.splitlines()[0])
+    ap.add_argument("--host", default="127.0.0.1")
+    ap.add_argument("--port", type=int, default=8787,
+                    help="listen port; 0 for kernel-assigned (default: 8787)")
+    ap.add_argument("--shards", type=int, default=4,
+                    help="worker shards draining analysis jobs (default: 4)")
+    ap.add_argument("--mode", default="parallel",
+                    choices=("parallel", "indexed", "naive"),
+                    help="default analysis mode for jobs (default: "
+                         "parallel — supervised with quarantine)")
+    ap.add_argument("--workers", type=int, default=2,
+                    help="supervised analysis workers per job (default: 2)")
+    ap.add_argument("--deadline-s", type=float, default=None,
+                    help="per-chunk supervised deadline (default: none)")
+    ap.add_argument("--max-retries", type=int, default=2)
+    ap.add_argument("--smoke", action="store_true",
+                    help="run the record→upload→analyze→diff self-test "
+                         "instead of serving")
+    ap.add_argument("--out", default="serve-smoke",
+                    help="smoke artifact directory (default: serve-smoke)")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        return run_smoke(_build_config(args), args.out)
+    return _serve_forever(_build_config(args))
+
+
+def _serve_forever(config: ServeConfig) -> int:
+    from repro.serve.server import TraceServer
+
+    async def _run() -> None:
+        server = TraceServer(config)
+        await server.start()
+        print(f"taskgrind-serve listening on http://{config.host}:"
+              f"{server.port} ({config.shards} shards, "
+              f"mode={config.analysis_mode})", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# the serve-smoke self-test
+# ---------------------------------------------------------------------------
+
+def run_smoke(config: ServeConfig, out_dir: str) -> int:
+    from repro.bench.serve import (_repo_root, materialize_traces)
+    from repro.core.reports import report_to_dict
+    from repro.core.trace import analyze_trace
+    from repro.obs.tracecheck import validate_events
+    from repro.serve.client import ServeClient, read_trace_lines
+    from repro.serve.server import ServerThread
+
+    os.makedirs(out_dir, exist_ok=True)
+    corpus = _repo_root() / "tests" / "fuzz" / "corpus"
+    traces = materialize_traces(out_dir,
+                                corpus_dir=str(corpus)
+                                if corpus.is_dir() else None,
+                                max_traces=3,
+                                programs=("heat-racy",))
+    failures: List[str] = []
+    config.port = 0          # the smoke must not collide with a live server
+    with ServerThread(config) as srv, ServeClient(srv.base_url) as client:
+        for name, path in traces:
+            offline = [report_to_dict(r) for r in analyze_trace(path)]
+            offline_bytes = json.dumps(offline, sort_keys=True, indent=2)
+            lines = read_trace_lines(path)
+            trace_id, _ack = client.upload_trace(lines)
+            job_id = client.analyze(trace_id)
+            status = client.wait(job_id, timeout=120.0)
+            http_status, report = client.report(job_id)
+            slug = name.replace(":", "_").replace("/", "_")
+            with open(os.path.join(out_dir, f"{slug}.server.json"),
+                      "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+            with open(os.path.join(out_dir, f"{slug}.offline.json"),
+                      "w") as fh:
+                fh.write(offline_bytes + "\n")
+            if http_status != 200 or status["state"] != "done":
+                failures.append(f"{name}: job ended {status['state']} "
+                                f"(report {http_status})")
+                continue
+            server_bytes = json.dumps(report["errors"], sort_keys=True,
+                                      indent=2)
+            if server_bytes != offline_bytes:
+                failures.append(f"{name}: server report != offline report "
+                                f"(see {out_dir}/{slug}.*.json)")
+            else:
+                print(f"  {name}: {report['error_count']} report(s), "
+                      "byte-identical to repro.core.offline")
+            timeline = client.timeline(job_id)
+            problems = validate_events(timeline["traceEvents"])
+            if problems:
+                failures.append(f"{name}: invalid job timeline: "
+                                + "; ".join(problems))
+            with open(os.path.join(out_dir, f"{slug}.timeline.json"),
+                      "w") as fh:
+                json.dump(timeline, fh, indent=2)
+
+        # cache keying: re-upload + re-analyze the first trace must not
+        # rebuild its graph (content hash hits the warm entry)
+        name, path = traces[0]
+        builds_before = srv.service.cache.graph_builds
+        trace_id, _ack = client.upload_trace(read_trace_lines(path))
+        job_id = client.analyze(trace_id)
+        client.wait(job_id, timeout=120.0)
+        builds_after = srv.service.cache.graph_builds
+        if builds_after != builds_before:
+            failures.append(
+                f"cache: re-upload of {name} rebuilt the graph "
+                f"({builds_before} -> {builds_after} builds)")
+        else:
+            print(f"  cache: re-upload of {name} hit the warm graph "
+                  f"({builds_after} total builds)")
+
+    if failures:
+        for f in failures:
+            print(f"SMOKE FAILURE: {f}", file=sys.stderr)
+        return 1
+    print(f"serve smoke passed ({len(traces)} trace(s); "
+          f"artifacts in {out_dir}/)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""A small blocking client for the ingestion API (stdlib ``http.client``).
+
+One keep-alive connection per client instance — the same socket carries a
+whole chunk-streamed upload, which is what the load generator measures.
+Every helper returns ``(status, doc)``; :meth:`ServeClient.upload_trace`
+and :meth:`ServeClient.wait` add the two conveniences the smoke test,
+the chaos bench and the curl walkthrough all share.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import List, Optional, Tuple
+from urllib.parse import urlsplit
+
+
+class ServeClient:
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        split = urlsplit(base_url)
+        assert split.scheme == "http", "only http:// endpoints"
+        self._conn = http.client.HTTPConnection(split.hostname,
+                                                split.port or 80,
+                                                timeout=timeout)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, method: str, path: str,
+                body: Optional[bytes] = None) -> Tuple[int, dict]:
+        try:
+            self._conn.request(method, path, body=body,
+                               headers={"Content-Type": "application/json"})
+            resp = self._conn.getresponse()
+            payload = resp.read()
+        except (http.client.HTTPException, ConnectionError):
+            # server dropped the connection (e.g. protocol-level 4xx then
+            # close, or an injected stream death): reconnect once
+            self._conn.close()
+            self._conn.request(method, path, body=body,
+                               headers={"Content-Type": "application/json"})
+            resp = self._conn.getresponse()
+            payload = resp.read()
+        try:
+            doc = json.loads(payload) if payload else {}
+        except json.JSONDecodeError:
+            doc = {"raw": payload.decode("utf-8", "replace")}
+        return resp.status, doc
+
+    # -- the API -------------------------------------------------------------
+
+    def create_trace(self) -> str:
+        status, doc = self.request("POST", "/v1/traces")
+        assert status == 201, (status, doc)
+        return doc["trace_id"]
+
+    def upload_chunk(self, trace_id: str, seq: int,
+                     line: bytes) -> Tuple[int, dict]:
+        return self.request("PUT", f"/v1/traces/{trace_id}/chunks/{seq}",
+                            body=line)
+
+    def upload_trace(self, lines: List[bytes]) -> Tuple[str, dict]:
+        """Stream a recorded trace file's lines; returns (id, last ack).
+
+        Raises ``RuntimeError`` on the first rejected chunk — after a
+        rejection every later seq would 409 against the dense-prefix rule,
+        so there is nothing useful to keep uploading.
+        """
+        trace_id = self.create_trace()
+        ack: dict = {}
+        for seq, line in enumerate(lines):
+            status, ack = self.upload_chunk(trace_id, seq, line)
+            if status != 200:
+                raise RuntimeError(
+                    f"chunk {seq} rejected with {status}: {ack}")
+        return trace_id, ack
+
+    def analyze(self, trace_id: str, **options) -> str:
+        body = json.dumps(options).encode() if options else b""
+        status, doc = self.request("POST", f"/v1/traces/{trace_id}/analyze",
+                                   body=body)
+        assert status == 202, (status, doc)
+        return doc["job_id"]
+
+    def job(self, job_id: str) -> dict:
+        status, doc = self.request("GET", f"/v1/jobs/{job_id}")
+        assert status == 200, (status, doc)
+        return doc
+
+    def report(self, job_id: str) -> Tuple[int, dict]:
+        return self.request("GET", f"/v1/jobs/{job_id}/report")
+
+    def timeline(self, job_id: str) -> dict:
+        status, doc = self.request("GET", f"/v1/jobs/{job_id}/timeline")
+        assert status == 200, (status, doc)
+        return doc
+
+    def wait(self, job_id: str, *, timeout: float = 60.0,
+             poll_s: float = 0.005) -> dict:
+        """Poll until the job is terminal; raises TimeoutError on a hang."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["state"] in ("done", "degraded", "failed"):
+                return doc
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['state']} after {timeout}s")
+            time.sleep(poll_s)
+
+
+def read_trace_lines(path: str) -> List[bytes]:
+    """A recorded ``taskgrind-trace/2`` file as upload-ready chunk lines."""
+    with open(path, "rb") as fh:
+        return [line for line in fh.read().split(b"\n") if line.strip()]

@@ -1,0 +1,147 @@
+"""A minimal HTTP/1.1 layer over asyncio streams (stdlib only).
+
+Just enough protocol for the JSON API: request line + headers +
+``Content-Length`` bodies in, JSON documents out, keep-alive connections
+so a chunk-streaming client reuses one socket for the whole upload.
+Chunked transfer encoding is deliberately refused (501) — the trace
+format is already chunked at the application layer, and the fixed-length
+path keeps the parser small enough to audit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, Optional
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: refuse bodies above this many bytes (one trace *chunk*, not one trace)
+MAX_BODY_BYTES = 64 * 1024 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+#: an idle keep-alive connection is dropped after this long
+IDLE_TIMEOUT_S = 60.0
+
+_REASONS = {200: "OK", 201: "Created", 202: "Accepted", 204: "No Content",
+            400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+            408: "Request Timeout", 409: "Conflict",
+            413: "Payload Too Large", 422: "Unprocessable Entity",
+            500: "Internal Server Error", 501: "Not Implemented",
+            503: "Service Unavailable"}
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+
+
+@dataclass
+class Response:
+    status: int = 200
+    doc: Optional[dict] = None
+    body: Optional[bytes] = None
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        if self.body is not None:
+            payload = self.body
+        else:
+            payload = (json.dumps(self.doc if self.doc is not None else {},
+                                  sort_keys=False) + "\n").encode("utf-8")
+        reason = _REASONS.get(self.status, "Unknown")
+        head = [f"HTTP/1.1 {self.status} {reason}",
+                f"Content-Type: {self.content_type}",
+                f"Content-Length: {len(payload)}",
+                "Connection: keep-alive"]
+        for k, v in self.headers.items():
+            head.append(f"{k}: {v}")
+        return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + payload
+
+
+class ProtocolError(Exception):
+    """A malformed request; carries the status to answer with."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+async def _read_request(reader: asyncio.StreamReader,
+                        *, max_body: int) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on clean EOF."""
+    try:
+        line = await asyncio.wait_for(reader.readline(), IDLE_TIMEOUT_S)
+    except asyncio.TimeoutError:
+        return None
+    if not line.strip():
+        if not line:        # EOF between requests: client hung up
+            return None
+        line = await reader.readline()   # tolerate one stray CRLF
+        if not line.strip():
+            return None
+    parts = line.decode("latin-1").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed request line: {line!r}")
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    hdr_bytes = 0
+    while True:
+        raw = await asyncio.wait_for(reader.readline(), IDLE_TIMEOUT_S)
+        hdr_bytes += len(raw)
+        if hdr_bytes > MAX_HEADER_BYTES:
+            raise ProtocolError(400, "header block too large")
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _sep, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    if "transfer-encoding" in headers:
+        raise ProtocolError(501, "chunked transfer encoding not supported")
+    length = int(headers.get("content-length", "0") or "0")
+    if length > max_body:
+        raise ProtocolError(413, f"body of {length} bytes exceeds the "
+                                 f"{max_body}-byte chunk limit")
+    body = await reader.readexactly(length) if length else b""
+    split = urlsplit(target)
+    return Request(method=method.upper(), path=unquote(split.path),
+                   query=dict(parse_qsl(split.query)), headers=headers,
+                   body=body)
+
+
+async def serve_connection(reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter,
+                           handler: Callable[[Request], Awaitable[Response]],
+                           *, max_body: int = MAX_BODY_BYTES) -> None:
+    """Drive one keep-alive connection through the request handler."""
+    try:
+        while True:
+            try:
+                req = await _read_request(reader, max_body=max_body)
+            except ProtocolError as exc:
+                writer.write(Response(
+                    status=exc.status,
+                    doc={"error": {"type": "ProtocolError",
+                                   "message": str(exc)}}).encode())
+                await writer.drain()
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            if req is None:
+                return
+            resp = await handler(req)
+            writer.write(resp.encode())
+            await writer.drain()
+            if req.headers.get("connection", "").lower() == "close":
+                return
+    except (ConnectionError, asyncio.CancelledError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass

@@ -1,0 +1,227 @@
+"""Sharded analysis job pool for the ingestion server.
+
+Each shard is one asyncio queue drained by one worker coroutine; CPU-bound
+analysis runs on a thread pool (one thread per shard) via
+``run_in_executor``, so the event loop keeps serving uploads while jobs
+grind.  Shard selection hashes the trace's **content hash**, which gives
+cache affinity for free: re-analyses of the same trace land on the same
+shard and hit its warm graph.
+
+The job executor reuses :func:`repro.core.trace.analyze_loaded` — the same
+supervised deadline/retry/quarantine machinery as the offline pipeline —
+so a hung or crashing analysis worker degrades the job to a *partial*
+report with ``unchecked_pairs`` accounting instead of wedging the shard.
+
+Job lifecycle: ``queued → running → done | degraded | failed``.
+``degraded`` means the report is well-formed but carries incomplete-
+evidence or incomplete-analysis notes (salvaged upload, quarantined
+chunks); ``failed`` means an exception escaped the executor and there is
+no report.  Every state change books ``serve.jobs.*`` metrics, and each
+job records its own phase spans (queue-wait/build/analyze/report) for the
+per-job Chrome-trace timeline artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import JobStateError, ResourceNotFound
+from repro.obs.metrics import get_registry
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+DEGRADED = "degraded"
+FAILED = "failed"
+TERMINAL = frozenset({DONE, DEGRADED, FAILED})
+
+
+@dataclass
+class AnalysisJob:
+    """One enqueued analysis of one uploaded trace."""
+
+    job_id: str
+    trace_id: str
+    content_hash: str
+    shard: int
+    params: dict
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.perf_counter)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: (name, start-offset-seconds, duration-seconds) relative to submit
+    spans: List[Tuple[str, float, float]] = field(default_factory=list)
+    cache_hit: bool = False
+    error: Optional[dict] = None
+    result: Optional[dict] = None
+    _done: threading.Event = field(default_factory=threading.Event)
+
+    @contextlib.contextmanager
+    def span(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            t1 = time.perf_counter()
+            self.spans.append((name, t0 - self.submitted_at, t1 - t0))
+
+    def status_dict(self) -> dict:
+        now = time.perf_counter()
+        doc = {
+            "job_id": self.job_id,
+            "trace_id": self.trace_id,
+            "content_hash": self.content_hash,
+            "state": self.state,
+            "shard": self.shard,
+            "params": dict(self.params),
+            "cache_hit": self.cache_hit,
+            "queue_wait_s": ((self.started_at or now) - self.submitted_at),
+            "phases": {name: dur for name, _start, dur in self.spans},
+        }
+        if self.finished_at is not None:
+            doc["elapsed_s"] = self.finished_at - self.submitted_at
+        if self.error is not None:
+            doc["error"] = dict(self.error)
+        if self.result is not None:
+            doc["error_count"] = self.result.get("error_count")
+        return doc
+
+    def timeline_events(self) -> List[dict]:
+        """The job's phases as Chrome trace-event ``X`` spans (µs)."""
+        def us(seconds: float) -> int:
+            return max(0, int(seconds * 1e6))
+        events = [{"ph": "M", "ts": 0, "pid": 1, "tid": self.shard,
+                   "name": "thread_name",
+                   "args": {"name": f"shard-{self.shard}"}}]
+        if self.started_at is not None:
+            events.append({
+                "ph": "X", "ts": 0, "pid": 1, "tid": self.shard,
+                "name": "queue-wait", "cat": "serve",
+                "dur": us(self.started_at - self.submitted_at)})
+        for name, start, dur in sorted(self.spans, key=lambda s: s[1]):
+            events.append({"ph": "X", "ts": us(start), "pid": 1,
+                           "tid": self.shard, "name": name, "cat": "serve",
+                           "dur": us(dur),
+                           "args": {"job": self.job_id}})
+        return events
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state (test helper)."""
+        return self._done.wait(timeout)
+
+
+class JobPool:
+    """The sharded queues + executor threads behind ``POST .../analyze``."""
+
+    def __init__(self, execute: Callable[[AnalysisJob], Tuple[dict, bool]],
+                 *, shards: int = 4) -> None:
+        self.shards = max(1, shards)
+        self._execute_fn = execute
+        self._queues: List[asyncio.Queue] = []
+        self._workers: List[asyncio.Task] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._jobs: Dict[str, AnalysisJob] = {}
+        self._next_id = 0
+        self._lock = threading.Lock()
+
+    def shard_of(self, content_hash: str) -> int:
+        return int(content_hash[:8] or "0", 16) % self.shards
+
+    # -- lifecycle (event-loop side) ----------------------------------------
+
+    async def start(self) -> None:
+        self._pool = ThreadPoolExecutor(max_workers=self.shards,
+                                        thread_name_prefix="serve-shard")
+        self._queues = [asyncio.Queue() for _ in range(self.shards)]
+        self._workers = [asyncio.ensure_future(self._drain(k))
+                         for k in range(self.shards)]
+
+    async def stop(self) -> None:
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._workers = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    # -- submission / lookup -------------------------------------------------
+
+    def create(self, trace_id: str, content_hash: str,
+               params: dict) -> AnalysisJob:
+        with self._lock:
+            self._next_id += 1
+            job = AnalysisJob(job_id=f"j{self._next_id}", trace_id=trace_id,
+                              content_hash=content_hash,
+                              shard=self.shard_of(content_hash),
+                              params=params)
+            self._jobs[job.job_id] = job
+        return job
+
+    def get(self, job_id: str) -> AnalysisJob:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ResourceNotFound("job", job_id)
+        return job
+
+    def report_of(self, job_id: str) -> dict:
+        job = self.get(job_id)
+        if job.state in (QUEUED, RUNNING):
+            raise JobStateError(job.job_id, job.state,
+                                "report not ready; poll GET /v1/jobs/{id}")
+        if job.result is None:
+            raise JobStateError(job.job_id, job.state,
+                                "job failed without a report: "
+                                + str((job.error or {}).get("message")))
+        return job.result
+
+    async def submit(self, job: AnalysisJob) -> None:
+        reg = get_registry()
+        reg.counter("serve.jobs.submitted").inc()
+        reg.gauge("serve.jobs.inflight").set(
+            sum(1 for j in self._jobs.values() if j.state not in TERMINAL))
+        await self._queues[job.shard].put(job)
+
+    # -- the shard worker ----------------------------------------------------
+
+    async def _drain(self, shard: int) -> None:
+        loop = asyncio.get_event_loop()
+        queue = self._queues[shard]
+        while True:
+            job = await queue.get()
+            job.started_at = time.perf_counter()
+            job.state = RUNNING
+            reg = get_registry()
+            reg.histogram("serve.jobs.queue_wait_us").observe(
+                (job.started_at - job.submitted_at) * 1e6)
+            try:
+                await loop.run_in_executor(self._pool, self._run_one, job)
+            finally:
+                queue.task_done()
+
+    def _run_one(self, job: AnalysisJob) -> None:
+        reg = get_registry()
+        try:
+            result, degraded = self._execute_fn(job)
+            job.result = result
+            job.state = DEGRADED if degraded else DONE
+            reg.counter("serve.jobs.degraded" if degraded
+                        else "serve.jobs.completed").inc()
+        except Exception as exc:  # noqa: BLE001 — shard must survive any job
+            job.error = {"type": type(exc).__name__, "message": str(exc)}
+            job.state = FAILED
+            reg.counter("serve.jobs.failed").inc()
+        finally:
+            job.finished_at = time.perf_counter()
+            reg.histogram("serve.jobs.exec_us").observe(
+                (job.finished_at - job.started_at) * 1e6)
+            job._done.set()

@@ -1,0 +1,171 @@
+"""Upload state machine: chunked traces arriving over the wire.
+
+One :class:`TraceUpload` per ``POST /v1/traces``; each ``PUT .../chunks/{seq}``
+body is validated *at the edge* before it is accepted:
+
+* the envelope must parse as a JSON object with ``seq``/``kind``/``crc``/
+  ``payload`` (→ :class:`~repro.errors.TraceFormatError`, 400);
+* ``seq`` must equal the next expected sequence number — the
+  ``taskgrind-trace/2`` salvage contract only covers a **dense prefix**, so
+  gaps, duplicates and post-``end`` uploads are refused outright
+  (→ :class:`~repro.errors.UploadSequenceError`, 409);
+* the payload CRC-32 must match the envelope's claim, computed over the
+  same canonical JSON the writer used
+  (→ :class:`~repro.errors.TraceCorruptionError`, 422);
+* chunk 0 must be a ``header`` declaring the trace version this reader
+  speaks (→ :class:`~repro.errors.TraceVersionError`, 400).
+
+Accepted chunks feed a running SHA-256 over their canonical payload form —
+the **content hash** that keys the segment-graph/HB-index cache.  Two
+clients uploading the same logical trace (even with different envelope
+whitespace or key order) land on the same hash and share one graph build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.trace import TRACE_VERSION
+from repro.errors import (ResourceNotFound, TraceCorruptionError,
+                          TraceFormatError, TraceVersionError,
+                          UploadSequenceError)
+from repro.faults.inject import get_injector
+from repro.obs.metrics import get_registry
+
+_FAULTS = get_injector()
+
+#: upload lifecycle states
+OPEN = "open"
+COMPLETE = "complete"
+
+
+def _canonical(payload) -> bytes:
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+@dataclass
+class TraceUpload:
+    """One trace being streamed in, chunk by chunk."""
+
+    trace_id: str
+    state: str = OPEN
+    next_seq: int = 0
+    chunks: List[dict] = field(default_factory=list)
+    bytes_received: int = 0
+    _hasher: "hashlib._Hash" = field(default_factory=hashlib.sha256)
+
+    @property
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical payloads accepted so far."""
+        return self._hasher.hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "state": self.state,
+            "chunks_accepted": len(self.chunks),
+            "next_seq": self.next_seq,
+            "bytes_received": self.bytes_received,
+            "content_hash": self.content_hash,
+        }
+
+
+class TraceStore:
+    """All live uploads, behind one lock (handlers run on the event loop,
+    but the job executor threads read finished uploads too)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._uploads: Dict[str, TraceUpload] = {}
+        self._next_id = 0
+
+    def create(self) -> TraceUpload:
+        with self._lock:
+            self._next_id += 1
+            up = TraceUpload(trace_id=f"t{self._next_id}")
+            self._uploads[up.trace_id] = up
+        get_registry().counter("serve.traces.created").inc()
+        return up
+
+    def get(self, trace_id: str) -> TraceUpload:
+        with self._lock:
+            up = self._uploads.get(trace_id)
+        if up is None:
+            raise ResourceNotFound("trace", trace_id)
+        return up
+
+    def add_chunk(self, trace_id: str, url_seq: int, body: bytes) -> dict:
+        """Validate + accept one uploaded chunk; returns the ack doc.
+
+        Raises the :mod:`repro.errors` taxonomy on any defect; a rejected
+        chunk contributes nothing to the upload's state or content hash,
+        so the client can retry the same ``seq`` after a transient fault.
+        """
+        up = self.get(trace_id)
+        reg = get_registry()
+        body = _FAULTS.on_upload_chunk(url_seq, body)
+        if up.state == COMPLETE:
+            raise UploadSequenceError(
+                trace_id, expected_seq=None, got_seq=url_seq,
+                reason="trace already complete (end chunk accepted)")
+        try:
+            doc = json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                trace_id, f"undecodable chunk line: {exc.msg}") from exc
+        if not isinstance(doc, dict):
+            raise TraceFormatError(trace_id, "chunk line is not a JSON object")
+        if any(doc.get(k) is None for k in ("seq", "kind", "crc", "payload")):
+            raise TraceFormatError(
+                trace_id, "chunk envelope missing seq/kind/crc/payload")
+        if doc["seq"] != url_seq:
+            raise UploadSequenceError(
+                trace_id, expected_seq=up.next_seq, got_seq=url_seq,
+                reason=f"URL seq {url_seq} != envelope seq {doc['seq']}")
+        if url_seq != up.next_seq:
+            why = ("duplicate chunk" if url_seq < up.next_seq
+                   else "out-of-order chunk (dense prefix required)")
+            raise UploadSequenceError(trace_id, expected_seq=up.next_seq,
+                                      got_seq=url_seq, reason=why)
+        canon = _canonical(doc["payload"])
+        computed = zlib.crc32(canon) & 0xFFFFFFFF
+        if computed != doc["crc"]:
+            reg.counter("serve.ingest.crc_rejects").inc()
+            raise TraceCorruptionError(
+                trace_id, byte_offset=up.bytes_received, chunk_seq=url_seq,
+                reason=f"checksum mismatch (stored {doc['crc']}, "
+                       f"computed {computed})")
+        if url_seq == 0:
+            if doc["kind"] != "header":
+                raise TraceFormatError(
+                    trace_id, f"chunk 0 must be a header, got "
+                              f"{doc['kind']!r}")
+            # the version rides on the header *envelope* (writer extras)
+            if doc.get("version") != TRACE_VERSION:
+                raise TraceVersionError(trace_id, doc.get("version"),
+                                        f"version {TRACE_VERSION}")
+        with self._lock:
+            # revalidate under the lock: two in-flight uploads of the same
+            # seq must resolve to exactly one accept
+            if up.state == COMPLETE or url_seq != up.next_seq:
+                raise UploadSequenceError(
+                    trace_id, expected_seq=up.next_seq, got_seq=url_seq,
+                    reason="lost the accept race for this seq")
+            up.chunks.append(doc)
+            up.next_seq += 1
+            up.bytes_received += len(body)
+            up._hasher.update(f"{url_seq}|{doc['kind']}|".encode())
+            up._hasher.update(canon)
+            if doc["kind"] == "end":
+                up.state = COMPLETE
+        reg.counter("serve.ingest.chunks").inc()
+        reg.counter("serve.ingest.bytes").inc(len(body))
+        return {"trace_id": trace_id, "seq": url_seq, "accepted": True,
+                "state": up.state, "next_seq": up.next_seq,
+                "content_hash": up.content_hash}

@@ -1,0 +1,255 @@
+"""Tests for the load-generator helpers and the serve side of the perf
+gate: breach naming, blame lines, the chaos degradation contract, and
+the distinct exit code for an unusable baseline."""
+
+import json
+
+import pytest
+
+import repro.bench.perf as perf
+from repro.bench.perf import EXIT_BASELINE_UNUSABLE, compare_to_baseline
+from repro.bench.serve import (_check_chaos_outcome, _race_key,
+                               _summarize_ms, _well_formed_partial,
+                               percentile)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+        assert percentile(samples, 0.50) == 5.0
+        assert percentile(samples, 0.95) == 10.0
+        assert percentile(samples, 0.0) == 1.0
+
+    def test_empty_and_singleton(self):
+        assert percentile([], 0.95) == 0.0
+        assert percentile([7.5], 0.50) == 7.5
+
+    def test_summary_shape(self):
+        doc = _summarize_ms([1.0, 2.0, 3.0])
+        assert doc["count"] == 3
+        assert doc["p50_ms"] == 2.0
+        assert doc["mean_ms"] == 2.0
+
+
+class TestRaceKey:
+    ERROR = {
+        "kind": "DeterminacyRace",
+        "segments": [{"label": "t8", "thread": 1, "access": "a.c:9"},
+                     {"label": "t11", "thread": 2, "access": "a.c:12"}],
+        "conflict": {"ranges": [[0, 8]], "bytes": 8, "region": "heap"},
+        "allocation": {"block": 4096, "size": 8, "site": "a.c:3"},
+        "witness": None,
+        "notes": [],
+    }
+
+    def test_ignores_evidence_dependent_fields(self):
+        degraded = json.loads(json.dumps(self.ERROR))
+        degraded["notes"] = ["incomplete evidence: 2 chunks lost"]
+        degraded["allocation"] = None           # environment chunk lost
+        degraded["conflict"]["region"] = "unknown"
+        assert _race_key(self.ERROR) == _race_key(degraded)
+
+    def test_distinguishes_actual_races(self):
+        other = json.loads(json.dumps(self.ERROR))
+        other["conflict"]["ranges"] = [[8, 16]]
+        assert _race_key(self.ERROR) != _race_key(other)
+
+
+def _report(resilience=None):
+    doc = {"schema": "taskgrind-serve-report/1", "errors": [],
+           "error_count": 0, "coverage": {"complete": False},
+           "analysis": {"mode": "parallel", "reports": 0}}
+    if resilience is not None:
+        doc["analysis"]["resilience"] = resilience
+    return doc
+
+
+class TestWellFormedPartial:
+    def test_accepts_real_shape(self):
+        res = {"schema": "taskgrind-partial-analysis/1", "complete": False,
+               "pairs": {"total": 10, "checked": 7, "unchecked": 3}}
+        assert _well_formed_partial(_report(res)) == []
+        assert _well_formed_partial(_report()) == []
+
+    def test_flags_missing_pairs_accounting(self):
+        problems = _well_formed_partial(_report({"complete": False}))
+        assert any("unchecked-pairs" in p for p in problems)
+
+    def test_flags_missing_top_level_keys(self):
+        doc = _report()
+        del doc["coverage"]
+        assert any("coverage" in p for p in _well_formed_partial(doc))
+
+
+class TestChaosContract:
+    BASE = {"trace": "heat", "plan": "save-crash@1"}
+
+    def test_hang_is_fatal(self):
+        out = dict(self.BASE, hang="job j3 still running after 60s")
+        problems = _check_chaos_outcome(out, set())
+        assert len(problems) == 1 and "HANG" in problems[0]
+
+    def test_invented_race_is_flagged(self):
+        race = {"kind": "DeterminacyRace", "segments": [],
+                "conflict": {"ranges": [[0, 8]], "bytes": 8}}
+        out = dict(self.BASE, job_state="degraded",
+                   report=dict(_report(), errors=[race], error_count=1))
+        problems = _check_chaos_outcome(out, clean=set())
+        assert any("INVENTED" in p for p in problems)
+        # same race present in the clean universe: no violation
+        assert _check_chaos_outcome(out, clean={_race_key(race)}) == []
+
+    def test_failed_job_violates(self):
+        out = dict(self.BASE, job_state="failed",
+                   report_error={"status": 409})
+        problems = _check_chaos_outcome(out, set())
+        assert any("partial report" in p for p in problems)
+
+    def test_untyped_edge_rejection_violates(self):
+        out = dict(self.BASE, job_state="degraded", report=_report(),
+                   edge_status=500, edge_error={})
+        problems = _check_chaos_outcome(out, set())
+        assert any("untyped" in p for p in problems)
+
+
+# ---------------------------------------------------------------------------
+# the serve side of compare_to_baseline
+# ---------------------------------------------------------------------------
+
+def _serve_block(tp=1000.0, upload_p95=1.0, analyze_p95=5.0):
+    return {
+        "throughput_chunks_per_s": tp,
+        "endpoints": {
+            "upload_chunk": {"count": 40, "p50_ms": upload_p95 / 2,
+                             "p95_ms": upload_p95, "mean_ms": upload_p95 / 2},
+            "report": {"count": 10, "p50_ms": 0.5, "p95_ms": 1.0,
+                       "mean_ms": 0.6},
+        },
+        "job_phases": {
+            "build": {"count": 10, "p50_ms": 0.5, "p95_ms": 1.0},
+            "analyze": {"count": 10, "p50_ms": 2.0, "p95_ms": analyze_p95},
+        },
+    }
+
+
+class TestServeGate:
+    def test_identical_blocks_pass(self):
+        ok, lines = compare_to_baseline({"serve": _serve_block()},
+                                        {"serve": _serve_block()}, 0.4)
+        assert ok, lines
+        assert any("throughput" in line for line in lines)
+
+    def test_throughput_floor_breach_names_serve(self):
+        ok, lines = compare_to_baseline({"serve": _serve_block(tp=100.0)},
+                                        {"serve": _serve_block(tp=1000.0)},
+                                        0.4)
+        assert not ok
+        assert any("breached tolerance: serve/throughput" in line
+                   for line in lines)
+
+    def test_p95_ceiling_breach_names_endpoint_and_phase(self):
+        fresh = {"serve": _serve_block(upload_p95=50.0, analyze_p95=60.0)}
+        base = {"serve": _serve_block(upload_p95=1.0, analyze_p95=5.0)}
+        ok, lines = compare_to_baseline(fresh, base, 0.4)
+        assert not ok
+        breach = [ln for ln in lines if ln.startswith("breached")][0]
+        assert "serve/upload_chunk.p95" in breach
+        # the blame line names the job phase whose p95 grew the most
+        assert any("top regressing phase 'analyze'" in ln for ln in lines)
+
+    def test_breach_without_phase_growth_blames_http_side(self):
+        fresh = {"serve": _serve_block(upload_p95=50.0)}
+        base = {"serve": _serve_block(upload_p95=1.0)}
+        ok, lines = compare_to_baseline(fresh, base, 0.4)
+        assert not ok
+        assert any("HTTP/queueing-side regression" in ln for ln in lines)
+
+    def test_serve_only_documents_are_comparable(self):
+        # no workloads at all must not trip the no-common-workloads guard
+        ok, lines = compare_to_baseline({"serve": _serve_block()},
+                                        {"serve": _serve_block()}, 0.4)
+        assert ok
+        assert lines != ["no common workloads between fresh run and baseline"]
+
+    def test_absolute_grace_absorbs_submillisecond_noise(self):
+        # 0.1ms -> 0.55ms is >5x relative, but within the absolute grace
+        fresh = {"serve": _serve_block(upload_p95=0.55)}
+        base = {"serve": _serve_block(upload_p95=0.1)}
+        ok, _lines = compare_to_baseline(fresh, base, 0.4)
+        assert ok
+
+    def test_lost_endpoint_measurement_is_a_breach(self):
+        fresh = {"serve": _serve_block()}
+        del fresh["serve"]["endpoints"]["report"]
+        ok, lines = compare_to_baseline(fresh, {"serve": _serve_block()},
+                                        0.4)
+        assert not ok
+        assert any("serve/report.p95" in line for line in lines)
+
+
+# ---------------------------------------------------------------------------
+# --baseline exit codes (repro.bench.perf)
+# ---------------------------------------------------------------------------
+
+def _wl_entry(speedup=2.0):
+    return {"segments": 2, "edges": 1, "raw_records": 10, "events": 10,
+            "events_dropped": 0, "hb_exact": True, "hb_inexact_reason": None,
+            "record": {"legacy_s": 1.0, "fast_s": 0.5, "speedup": 2.0},
+            "record_sync": {"full_s": 1.0, "sync_s": 0.25, "speedup": 4.0},
+            "analyze": {"legacy_s": 1.0, "fast_s": 0.5, "speedup": speedup,
+                        "kernel": "python", "candidates": 1},
+            "combined_speedup": speedup,
+            "stats": {"phases": {}, "record_counters": {}},
+            "profile": {"classes": {"mem.read": 10.0}, "vtime_ops": 10.0}}
+
+
+def _fake_doc():
+    return {"bench": "perf", "element_bytes": 8, "max_events": 10,
+            "repeats": 1,
+            "workloads": {"fib": _wl_entry(), "heat": _wl_entry()}}
+
+
+@pytest.fixture
+def fake_perf(monkeypatch, tmp_path):
+    monkeypatch.setattr(perf, "run_perf", lambda **kw: _fake_doc())
+    return tmp_path
+
+
+class TestBaselineExitCodes:
+    def _main(self, tmp_path, baseline_arg):
+        return perf.main(["--skip-lulesh", "--repeats", "1",
+                          "--json", str(tmp_path / "fresh.json"),
+                          "--baseline", baseline_arg])
+
+    def test_missing_baseline_file(self, fake_perf, capsys):
+        rc = self._main(fake_perf, str(fake_perf / "nope.json"))
+        assert rc == EXIT_BASELINE_UNUSABLE
+        assert "regenerate" in capsys.readouterr().err
+
+    def test_unparseable_baseline(self, fake_perf):
+        bad = fake_perf / "bad.json"
+        bad.write_text("{not json")
+        assert self._main(fake_perf, str(bad)) == EXIT_BASELINE_UNUSABLE
+
+    def test_baseline_lacking_gated_workload(self, fake_perf, capsys):
+        partial = fake_perf / "partial.json"
+        doc = _fake_doc()
+        del doc["workloads"]["heat"]
+        partial.write_text(json.dumps(doc))
+        assert self._main(fake_perf, str(partial)) == EXIT_BASELINE_UNUSABLE
+        assert "heat" in capsys.readouterr().err
+
+    def test_usable_baseline_passes(self, fake_perf):
+        good = fake_perf / "good.json"
+        good.write_text(json.dumps(_fake_doc()))
+        assert self._main(fake_perf, str(good)) == 0
+
+    def test_real_regression_still_exits_one(self, fake_perf, monkeypatch):
+        slow = _fake_doc()
+        for wl in slow["workloads"].values():
+            wl["combined_speedup"] = 0.5
+            wl["analyze"]["speedup"] = 0.5
+        monkeypatch.setattr(perf, "run_perf", lambda **kw: slow)
+        good = fake_perf / "base.json"
+        good.write_text(json.dumps(_fake_doc()))
+        assert self._main(fake_perf, str(good)) == 1

@@ -1,0 +1,177 @@
+"""Unit tests for the chunk-upload state machine (no HTTP involved).
+
+Every rejection must be a typed error from the :mod:`repro.errors`
+taxonomy with structured fields, and must leave the upload's state
+untouched so the client can retry the same seq.
+"""
+
+import json
+import zlib
+
+import pytest
+
+from repro.core.trace import TRACE_VERSION
+from repro.errors import (ResourceNotFound, TraceCorruptionError,
+                          TraceFormatError, TraceVersionError,
+                          UploadSequenceError)
+from repro.obs.metrics import get_registry
+from repro.serve.store import TraceStore
+
+from tests.serve.conftest import chunk_line, header_line
+
+
+@pytest.fixture
+def store():
+    return TraceStore()
+
+
+@pytest.fixture
+def open_upload(store):
+    """A created upload with the header already accepted."""
+    up = store.create()
+    store.add_chunk(up.trace_id, 0, header_line())
+    return up
+
+
+class TestHappyPath:
+    def test_dense_upload_completes(self, store):
+        up = store.create()
+        ack = store.add_chunk(up.trace_id, 0, header_line())
+        assert ack["accepted"] and ack["next_seq"] == 1
+        ack = store.add_chunk(up.trace_id, 1, chunk_line(1, "end", {}))
+        assert ack["state"] == "complete"
+        assert up.next_seq == 2
+        assert len(up.chunks) == 2
+
+    def test_unknown_trace_id(self, store):
+        with pytest.raises(ResourceNotFound):
+            store.get("t999")
+        with pytest.raises(ResourceNotFound):
+            store.add_chunk("t999", 0, header_line())
+
+    def test_status_doc_shape(self, open_upload):
+        doc = open_upload.to_dict()
+        assert doc["state"] == "open"
+        assert doc["chunks_accepted"] == 1
+        assert doc["next_seq"] == 1
+        assert len(doc["content_hash"]) == 64
+
+
+class TestSequenceErrors:
+    def test_out_of_order_gap(self, store, open_upload):
+        with pytest.raises(UploadSequenceError) as exc:
+            store.add_chunk(open_upload.trace_id, 2,
+                            chunk_line(2, "segments", {"segments": []}))
+        fields = exc.value.fields()
+        assert fields["expected_seq"] == 1
+        assert fields["got_seq"] == 2
+        assert "out-of-order" in fields["reason"]
+
+    def test_duplicate_seq(self, store, open_upload):
+        with pytest.raises(UploadSequenceError) as exc:
+            store.add_chunk(open_upload.trace_id, 0, header_line())
+        assert "duplicate" in exc.value.fields()["reason"]
+
+    def test_url_envelope_seq_mismatch(self, store, open_upload):
+        # the *envelope* says seq 2, the URL says seq 1
+        with pytest.raises(UploadSequenceError) as exc:
+            store.add_chunk(open_upload.trace_id, 1,
+                            chunk_line(2, "segments", {"segments": []}))
+        assert "URL seq" in exc.value.fields()["reason"]
+
+    def test_post_end_rejected(self, store, open_upload):
+        store.add_chunk(open_upload.trace_id, 1, chunk_line(1, "end", {}))
+        with pytest.raises(UploadSequenceError) as exc:
+            store.add_chunk(open_upload.trace_id, 2,
+                            chunk_line(2, "stats", {}))
+        assert "complete" in exc.value.fields()["reason"]
+
+
+class TestEdgeValidation:
+    def test_undecodable_body(self, store):
+        up = store.create()
+        with pytest.raises(TraceFormatError):
+            store.add_chunk(up.trace_id, 0, b"{not json")
+
+    def test_non_object_body(self, store):
+        up = store.create()
+        with pytest.raises(TraceFormatError):
+            store.add_chunk(up.trace_id, 0, b"[1, 2, 3]")
+
+    def test_missing_envelope_keys(self, store):
+        up = store.create()
+        with pytest.raises(TraceFormatError):
+            store.add_chunk(up.trace_id, 0,
+                            json.dumps({"seq": 0, "kind": "header"}).encode())
+
+    def test_crc_mismatch_counts_and_rejects(self, store, open_upload):
+        line = chunk_line(1, "segments", {"segments": [1]})
+        doc = json.loads(line)
+        doc["crc"] = (doc["crc"] + 1) & 0xFFFFFFFF
+        before = get_registry().counter("serve.ingest.crc_rejects").value
+        with pytest.raises(TraceCorruptionError) as exc:
+            store.add_chunk(open_upload.trace_id, 1, json.dumps(doc).encode())
+        assert exc.value.chunk_seq == 1
+        assert get_registry().counter(
+            "serve.ingest.crc_rejects").value == before + 1
+
+    def test_rejected_chunk_leaves_state_retryable(self, store, open_upload):
+        bad = json.loads(chunk_line(1, "segments", {"segments": []}))
+        bad["crc"] ^= 0xFF
+        hash_before = open_upload.content_hash
+        with pytest.raises(TraceCorruptionError):
+            store.add_chunk(open_upload.trace_id, 1,
+                            json.dumps(bad).encode())
+        assert open_upload.next_seq == 1
+        assert open_upload.content_hash == hash_before
+        # the same seq retried with an intact line must now be accepted
+        ack = store.add_chunk(open_upload.trace_id, 1,
+                              chunk_line(1, "segments", {"segments": []}))
+        assert ack["accepted"] and ack["next_seq"] == 2
+
+    def test_chunk_zero_must_be_header(self, store):
+        up = store.create()
+        with pytest.raises(TraceFormatError, match="header"):
+            store.add_chunk(up.trace_id, 0, chunk_line(0, "segments", {}))
+
+    def test_chunk_zero_version_gate(self, store):
+        up = store.create()
+        bad = header_line(version=TRACE_VERSION + 97)
+        with pytest.raises(TraceVersionError):
+            store.add_chunk(up.trace_id, 0, bad)
+
+
+class TestContentHash:
+    def _upload(self, store, lines):
+        up = store.create()
+        for seq, line in enumerate(lines):
+            store.add_chunk(up.trace_id, seq, line)
+        return up.content_hash
+
+    def test_envelope_noise_does_not_change_hash(self, store):
+        payload = {"segments": [{"id": 1}], "extra": True}
+        a = chunk_line(1, "segments", payload)
+        # same payload, different envelope key order and whitespace
+        doc = json.loads(a)
+        b = json.dumps({k: doc[k] for k in
+                        ("payload", "crc", "kind", "vtime", "seq")},
+                       indent=1).encode()
+        h1 = self._upload(store, [header_line(), a])
+        h2 = self._upload(store, [header_line(), b])
+        assert h1 == h2
+
+    def test_payload_change_changes_hash(self, store):
+        h1 = self._upload(store, [header_line(),
+                                  chunk_line(1, "segments", {"n": 1})])
+        h2 = self._upload(store, [header_line(),
+                                  chunk_line(1, "segments", {"n": 2})])
+        assert h1 != h2
+
+    def test_crc_matches_writer_convention(self):
+        # the store must accept exactly what the trace writer emits
+        payload = {"b": 2, "a": 1}
+        line = chunk_line(3, "stats", payload)
+        doc = json.loads(line)
+        canon = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":")).encode()
+        assert doc["crc"] == zlib.crc32(canon) & 0xFFFFFFFF
