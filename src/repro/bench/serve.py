@@ -25,6 +25,19 @@ degraded job still serves a well-formed partial report with
 ``unchecked_pairs`` accounting, and no degraded report invents a race
 the clean run did not have.
 
+``--kill-chaos`` runs the durability campaign (nightly
+``serve-kill-chaos`` matrix): each trace is uploaded into a
+``--state-dir`` server that is killed mid-upload (under the
+``wal-torn-write`` / ``kill-server`` plans, filterable with
+``--kill-kinds``) and killed again mid-analysis; each kill is followed
+by a restart against the same state dir, asserting zero lost sealed
+uploads, resume from the exact journaled seq, exactly-once job
+re-execution, and byte-identical reports.
+
+``--overload`` hammers a deliberately tiny job queue and asserts
+overload turns into typed 429s with ``Retry-After`` (which the backoff
+client rides out to eventual success) — never untyped drops.
+
 Exit codes: 0 ok; 1 gate/verification/chaos failure; 3 unusable
 baseline (mirrors ``repro.bench.perf``).
 """
@@ -45,13 +58,14 @@ from typing import Dict, List, Optional, Tuple
 from repro.bench.perf import EXIT_BASELINE_UNUSABLE, compare_to_baseline
 from repro.core.reports import report_to_dict
 from repro.core.trace import analyze_trace, save_trace
-from repro.errors import GuestCrash, OutOfMemory, SimDeadlock
-from repro.faults.plan import builtin_plan
+from repro.errors import GuestCrash, OutOfMemory, ReproError, SimDeadlock
+from repro.faults.plan import FaultPlan, builtin_plan
 from repro.faults.inject import inject_plan
 from repro.obs.metrics import get_registry
 from repro.serve.app import ServeConfig
 from repro.serve.client import ServeClient, read_trace_lines
 from repro.serve.server import ServerThread
+from repro.serve.wal import read_wal
 
 SCHEMA = "taskgrind-serve-bench/1"
 
@@ -60,6 +74,14 @@ CHAOS_PLANS = (
     ("worker-hang@0", "analysis worker wedged on its first chunk"),
     ("trace-corrupt@1", "bit-rot in an uploaded chunk payload"),
     ("save-crash@1", "ingest worker dying mid-upload"),
+)
+
+#: the kill-chaos matrix: (builtin plan name, how the server dies).
+#: Both fire at WAL record 2 — the first ``chunk-accepted`` — so the
+#: journal provably loses in-flight work that recovery must not invent.
+KILL_PLANS = (
+    ("wal-torn-write@2", "journal write torn mid-upload, then SIGKILL"),
+    ("kill-server@2", "SIGKILL lands inside the journal append itself"),
 )
 
 
@@ -268,7 +290,8 @@ def run_load(traces: List[Tuple[str, str]], *, clients: int, rounds: int,
                     except AssertionError as exc:
                         with rec._lock:
                             rec.mismatches.append(f"{name}: {exc}")
-                    except (RuntimeError, TimeoutError) as exc:
+                    except (ReproError, RuntimeError, TimeoutError,
+                            ConnectionError) as exc:
                         with rec._lock:
                             rec.failures.append(f"{name}: {exc}")
 
@@ -379,7 +402,9 @@ def run_chaos(traces: List[Tuple[str, str]], *, shards: int) -> dict:
     runs: List[dict] = []
     config = ServeConfig(shards=shards, deadline_s=0.05, max_retries=1)
     with ServerThread(config) as srv:
-        with ServeClient(srv.base_url) as client:
+        # retries=0: the chaos sessions must observe the raw injected
+        # statuses, not have the backoff client paper over them
+        with ServeClient(srv.base_url, retries=0) as client:
             for name, path in traces:
                 rec = _Recorder()
                 report = run_session(client, trace_lines[name], rec,
@@ -418,7 +443,16 @@ def _one_chaos_session(client: ServeClient, name: str, lines: List[bytes],
     with inject_plan(plan):
         trace_id = client.create_trace()
         for seq, line in enumerate(lines):
-            status, ack = client.upload_chunk(trace_id, seq, line)
+            try:
+                status, ack = client.upload_chunk(trace_id, seq, line,
+                                                  retry=False)
+            except ConnectionError as exc:
+                # the injected fault took the connection down mid-PUT: a
+                # degraded session (the client lost its window into the
+                # server), not a contract violation
+                outcome["degraded"] = f"connection dropped at seq {seq}: {exc}"
+                outcome["fired"] = dict(plan.fired_summary())
+                return outcome
             if status != 200:
                 outcome["edge_status"] = status
                 outcome["edge_error"] = ack.get("error", {})
@@ -435,6 +469,16 @@ def _one_chaos_session(client: ServeClient, name: str, lines: List[bytes],
             outcome["hang"] = str(exc)
             outcome["fired"] = dict(plan.fired_summary())
             return outcome
+        except ConnectionError as exc:
+            # e.g. a worker-hang that stalls the response past the socket
+            # timeout — classify degraded, never an unhandled error
+            outcome["degraded"] = f"connection dropped mid-analysis: {exc}"
+            outcome["fired"] = dict(plan.fired_summary())
+            return outcome
+        except ReproError as exc:
+            outcome["error"] = f"{type(exc).__name__}: {exc}"
+            outcome["fired"] = dict(plan.fired_summary())
+            return outcome
         outcome["job_state"] = status_doc["state"]
         http_status, report = client.report(job_id)
         if http_status == 200:
@@ -449,6 +493,12 @@ def _check_chaos_outcome(outcome: dict, clean: set) -> List[str]:
     where = f"{outcome['trace']} under {outcome['plan']}"
     if "hang" in outcome:
         return [f"{where}: HANG — {outcome['hang']}"]
+    if "degraded" in outcome:
+        # a dropped connection under an injected fault proves nothing
+        # about the server; the session is degraded, not failed
+        return []
+    if "error" in outcome:
+        return [f"{where}: session error — {outcome['error']}"]
     problems: List[str] = []
     if "edge_status" in outcome:
         err = outcome.get("edge_error", {})
@@ -474,6 +524,262 @@ def _check_chaos_outcome(outcome: dict, clean: set) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# the kill-restart campaign (--kill-chaos)
+# ---------------------------------------------------------------------------
+
+def _durable_config(state_dir: str, shards: int) -> ServeConfig:
+    # fsync=never: the bench kills via WAL freeze, not real SIGKILL, so
+    # page-cache durability is irrelevant and the campaign stays fast
+    return ServeConfig(shards=shards, state_dir=state_dir, fsync="never")
+
+
+def _one_kill_session(name: str, lines: List[bytes], spec: str,
+                      shards: int, expected: str) -> dict:
+    """Upload under an armed journal fault, kill, restart, verify.
+
+    The contract: the journal's surviving ``chunk-accepted`` prefix is
+    exactly where the restarted server resumes (never more than the
+    client had acked), the resumed upload seals to the same content, the
+    analysis report is byte-identical to the offline pipeline, and the
+    job executes exactly once in the recovered process.
+    """
+    outcome: dict = {"trace": name, "plan": spec, "violations": []}
+    where = f"{name} under {spec}"
+    viol = outcome["violations"].append
+    with tempfile.TemporaryDirectory(prefix="serve-kill-") as state_dir:
+        srv = ServerThread(_durable_config(state_dir, shards)).start()
+        acked = 0
+        trace_id = None
+        plan = builtin_plan(spec)
+        plan.reset()
+        try:
+            with ServeClient(srv.base_url, retries=0) as client:
+                with inject_plan(plan):
+                    trace_id = client.create_trace()
+                    for seq, line in enumerate(lines):
+                        try:
+                            status, ack = client.upload_chunk(
+                                trace_id, seq, line, retry=False)
+                        except ConnectionError as exc:
+                            outcome["edge_error"] = f"connection: {exc}"
+                            break
+                        if status != 200:
+                            outcome["edge_status"] = status
+                            outcome["edge_error"] = ack.get("error", {})
+                            break
+                        acked += 1
+        except ReproError as exc:
+            outcome["edge_error"] = f"{type(exc).__name__}: {exc}"
+        finally:
+            srv.kill()
+        outcome["fired"] = dict(plan.fired_summary())
+        outcome["chunks_acked"] = acked
+        if trace_id is None:
+            viol(f"{where}: create_trace failed before the fault armed")
+            return outcome
+
+        # ground truth: what the torn journal actually holds
+        records, _info = read_wal(os.path.join(state_dir, "wal.jsonl"))
+        journaled = sum(1 for r in records if r.kind == "chunk-accepted")
+        outcome["chunks_journaled"] = journaled
+        if journaled > acked:
+            viol(f"{where}: journal holds {journaled} chunks but the "
+                 f"client only saw {acked} acks — invented work")
+
+        srv = ServerThread(_durable_config(state_dir, shards)).start()
+        try:
+            with ServeClient(srv.base_url) as client:
+                doc = client.trace_status(trace_id)
+                if doc["next_seq"] != journaled:
+                    viol(f"{where}: recovered next_seq={doc['next_seq']} "
+                         f"!= journaled prefix {journaled}")
+                _tid, ack = client.upload_trace(lines, resume=trace_id)
+                if ack.get("state") != "complete":
+                    viol(f"{where}: resumed upload did not seal: {ack}")
+                job_id = client.analyze(trace_id)
+                done = client.wait(job_id, timeout=120.0)
+                if done["state"] != "done":
+                    viol(f"{where}: post-recovery job ended "
+                         f"{done['state']!r}")
+                http_status, report = client.report(job_id)
+                if http_status != 200:
+                    viol(f"{where}: report fetch failed: {http_status}")
+                elif json.dumps(report.get("errors"),
+                                sort_keys=True) != expected:
+                    viol(f"{where}: post-recovery report diverged from "
+                         "offline analysis")
+                executions = srv.service.pool.get(job_id).executions
+                if executions != 1:
+                    viol(f"{where}: job executed {executions} times "
+                         "(exactly-once violated)")
+        except (ReproError, TimeoutError, ConnectionError) as exc:
+            viol(f"{where}: recovery session failed — "
+                 f"{type(exc).__name__}: {exc}")
+        finally:
+            srv.stop()
+    return outcome
+
+
+def _one_kill_mid_analysis(name: str, lines: List[bytes], shards: int,
+                           expected: str) -> dict:
+    """Kill while the job runs; restart must re-enqueue it exactly once."""
+    outcome: dict = {"trace": name, "plan": "kill-mid-analysis",
+                     "violations": []}
+    where = f"{name} under kill-mid-analysis"
+    viol = outcome["violations"].append
+    with tempfile.TemporaryDirectory(prefix="serve-kill-") as state_dir:
+        srv = ServerThread(_durable_config(state_dir, shards)).start()
+        killed = False
+        job_id = None
+        try:
+            with ServeClient(srv.base_url) as client:
+                trace_id, _ = client.upload_trace(lines)
+                # wedge the single worker so the kill lands mid-run,
+                # before the terminal record can reach the journal
+                with inject_plan(FaultPlan.single("worker-hang", 0,
+                                                  seconds=0.4, times=1)):
+                    job_id = client.analyze(trace_id, mode="parallel",
+                                            workers=1)
+                    time.sleep(0.05)
+                    srv.kill()
+                    killed = True
+        except (ReproError, TimeoutError, ConnectionError) as exc:
+            viol(f"{where}: setup failed — {type(exc).__name__}: {exc}")
+        finally:
+            if not killed:
+                srv.kill()
+        if job_id is None:
+            return outcome
+
+        srv = ServerThread(_durable_config(state_dir, shards)).start()
+        try:
+            requeued = [j.job_id for j in
+                        srv.service.durable.recovered.requeue_jobs]
+            outcome["requeued"] = requeued
+            if requeued != [job_id]:
+                viol(f"{where}: expected exactly [{job_id}] re-enqueued, "
+                     f"got {requeued}")
+            with ServeClient(srv.base_url) as client:
+                done = client.wait(job_id, timeout=120.0)
+                if done["state"] != "done":
+                    viol(f"{where}: recovered job ended {done['state']!r}")
+                http_status, report = client.report(job_id)
+                if http_status != 200:
+                    viol(f"{where}: report fetch failed: {http_status}")
+                elif json.dumps(report.get("errors"),
+                                sort_keys=True) != expected:
+                    viol(f"{where}: recovered report diverged from "
+                         "offline analysis")
+            executions = srv.service.pool.get(job_id).executions
+            if executions != 1:
+                viol(f"{where}: job executed {executions} times after "
+                     "recovery (exactly-once violated)")
+        except (ReproError, TimeoutError, ConnectionError) as exc:
+            viol(f"{where}: recovery session failed — "
+                 f"{type(exc).__name__}: {exc}")
+        finally:
+            srv.stop()
+    return outcome
+
+
+def run_kill_chaos(traces: List[Tuple[str, str]], *, shards: int,
+                   kinds: Optional[List[str]] = None) -> dict:
+    """Every trace × every kill plan, each against a fresh ``--state-dir``.
+
+    ``kinds`` filters the mid-upload plans by fault kind (the nightly
+    matrix runs one kind per leg); the mid-analysis round runs whenever
+    ``kill-server`` is in scope, since it models the same SIGKILL.
+    """
+    runs: List[dict] = []
+    violations: List[str] = []
+    active = [(spec, attacks) for spec, attacks in KILL_PLANS
+              if not kinds or spec.split("@")[0] in kinds]
+    for name, path in traces:
+        lines = read_trace_lines(path)
+        expected = json.dumps(
+            [report_to_dict(r) for r in analyze_trace(path)], sort_keys=True)
+        for spec, attacks in active:
+            outcome = _one_kill_session(name, lines, spec, shards, expected)
+            outcome["attacks"] = attacks
+            violations.extend(outcome.pop("violations"))
+            runs.append(outcome)
+        if not kinds or "kill-server" in kinds:
+            outcome = _one_kill_mid_analysis(name, lines, shards, expected)
+            outcome["attacks"] = "SIGKILL while the analysis job runs"
+            violations.extend(outcome.pop("violations"))
+            runs.append(outcome)
+    return {
+        "plans": [spec for spec, _ in active],
+        "runs": runs,
+        "violations": violations,
+        "ok": not violations,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the overload round (--overload)
+# ---------------------------------------------------------------------------
+
+def run_overload(traces: List[Tuple[str, str]], *, probes: int = 10) -> dict:
+    """A full job queue must shed typed 429s that backoff rides out.
+
+    One shard, queue depth 1, worker wedged: every extra analyze must be
+    a typed 429 with ``Retry-After`` (never an untyped drop), and a
+    retrying client must reach 202 once the queue frees.
+    """
+    _name, path = traces[0]
+    lines = read_trace_lines(path)
+    violations: List[str] = []
+    typed_429s = 0
+    config = ServeConfig(shards=1, max_queue_depth=1, retry_after_s=0.02)
+    with ServerThread(config) as srv:
+        with ServeClient(srv.base_url, retries=0) as raw, \
+                ServeClient(srv.base_url, retries=10, backoff_base_s=0.02,
+                            backoff_cap_s=0.2) as patient:
+            trace_id, _ = raw.upload_trace(lines)
+            with inject_plan(FaultPlan.single("worker-hang", 0,
+                                              seconds=0.4, times=1)):
+                first_job = raw.analyze(trace_id)   # occupies the queue
+                for i in range(probes):
+                    status, doc = raw.request(
+                        "POST", f"/v1/traces/{trace_id}/analyze",
+                        retry=False)
+                    err = doc.get("error", {})
+                    if status != 429 or err.get("type") != \
+                            "ServeOverloadError":
+                        violations.append(
+                            f"probe {i}: untyped shed {status}: {doc}")
+                    elif "retry-after" not in raw.last_headers:
+                        violations.append(
+                            f"probe {i}: 429 without Retry-After")
+                    else:
+                        typed_429s += 1
+                try:
+                    second_job = patient.analyze(trace_id)
+                except ReproError as exc:
+                    violations.append("backoff client could not ride out "
+                                      f"the full queue: {exc}")
+                    second_job = None
+            sleeps = patient.retry_sleeps
+            if sleeps == 0:
+                violations.append("backoff client never slept — the "
+                                  "queue was supposed to be full")
+            for job_id in (first_job, second_job):
+                if job_id is not None:
+                    done = patient.wait(job_id, timeout=120.0)
+                    if done["state"] != "done":
+                        violations.append(f"job {job_id} ended "
+                                          f"{done['state']!r}")
+    return {
+        "probes": probes,
+        "typed_429s": typed_429s,
+        "retry_sleeps": sleeps,
+        "violations": violations,
+        "ok": not violations,
+    }
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -494,6 +800,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="skip the offline byte-parity check per session")
     ap.add_argument("--faults", action="store_true",
                     help="run the chaos campaign instead of the load bench")
+    ap.add_argument("--kill-chaos", action="store_true",
+                    help="run the kill-and-restart durability campaign")
+    ap.add_argument("--kill-kinds", default=None,
+                    help="comma-separated fault kinds for --kill-chaos "
+                         "(default: wal-torn-write,kill-server)")
+    ap.add_argument("--overload", action="store_true",
+                    help="run the typed-429 overload round")
     ap.add_argument("--json", metavar="PATH", default=None,
                     help="write the bench document here")
     ap.add_argument("--merge-into", metavar="PATH", default=None,
@@ -518,7 +831,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         total_chunks = sum(len(read_trace_lines(p)) for _n, p in traces)
         print(f"  {len(traces)} traces, {total_chunks} chunks: "
               + ", ".join(name for name, _ in traces))
-        if args.faults:
+        if args.kill_chaos:
+            kinds = ([k.strip() for k in args.kill_kinds.split(",")
+                      if k.strip()] if args.kill_kinds else None)
+            doc = {"schema": SCHEMA, "bench": "serve-kill-chaos",
+                   "chaos": run_kill_chaos(traces, shards=args.shards,
+                                           kinds=kinds)}
+        elif args.overload:
+            doc = {"schema": SCHEMA, "bench": "serve-overload",
+                   "chaos": run_overload(traces)}
+        elif args.faults:
             doc = {"schema": SCHEMA, "bench": "serve-chaos",
                    "chaos": run_chaos(traces, shards=args.shards)}
         else:
@@ -533,9 +855,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             fh.write("\n")
         print(f"wrote {args.json}")
 
-    if args.faults:
+    if args.faults or args.kill_chaos or args.overload:
         chaos = doc["chaos"]
-        print(f"chaos campaign: {len(chaos['runs'])} fault sessions, "
+        label = doc["bench"]
+        sessions = len(chaos.get("runs", [])) or chaos.get("probes", 0)
+        print(f"{label}: {sessions} fault sessions, "
               f"{len(chaos['violations'])} violation(s)")
         for v in chaos["violations"]:
             print(f"  VIOLATION: {v}", file=sys.stderr)

@@ -322,6 +322,60 @@ class UploadSequenceError(ServeError):
                 "got_seq": self.got_seq, "reason": self.reason}
 
 
+class ServeOverloadError(ServeError):
+    """The service shed this request to protect itself (HTTP 429).
+
+    Raised by the admission-control layer (bounded job-queue depth,
+    bounded in-flight upload bytes), an open per-endpoint circuit breaker,
+    or a draining server.  Always carries ``retry_after_s`` — the server's
+    estimate of when capacity returns — which the HTTP layer surfaces as a
+    ``Retry-After`` header so well-behaved clients back off instead of
+    hammering an overloaded queue.
+    """
+
+    def __init__(self, resource: str, *, retry_after_s: float,
+                 limit: Optional[int] = None,
+                 current: Optional[int] = None,
+                 draining: bool = False) -> None:
+        detail = f"{resource} at capacity"
+        if limit is not None:
+            detail += f" ({current}/{limit})"
+        if draining:
+            detail = f"{resource}: server draining, not accepting work"
+        super().__init__(
+            f"overloaded: {detail}; retry after {retry_after_s:.3f}s")
+        self.resource = resource
+        self.retry_after_s = retry_after_s
+        self.limit = limit
+        self.current = current
+        self.draining = draining
+
+    def fields(self) -> dict:
+        return {"resource": self.resource,
+                "retry_after_s": round(self.retry_after_s, 4),
+                "limit": self.limit, "current": self.current,
+                "draining": self.draining}
+
+
+class StateDirError(ServeError):
+    """The durable serve layer cannot use its ``--state-dir``.
+
+    Raised when the directory is unwritable, the write-ahead journal
+    declares a schema this build does not speak, or recovery replay fails
+    structurally.  The CLI turns this into a one-line blame and a non-zero
+    exit — a server asked to be durable must never silently fall back to
+    in-memory state.
+    """
+
+    def __init__(self, state_dir: str, reason: str) -> None:
+        super().__init__(f"state dir {state_dir}: {reason}")
+        self.state_dir = state_dir
+        self.reason = reason
+
+    def fields(self) -> dict:
+        return {"state_dir": self.state_dir, "reason": self.reason}
+
+
 class JobStateError(ServeError):
     """A job-resource request its current lifecycle state cannot serve."""
 

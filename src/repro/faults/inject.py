@@ -111,6 +111,29 @@ class FaultInjector:
                 return _flip_payload(line)
         return line
 
+    def on_wal_record(self, seq: int, line: bytes) -> Optional[bytes]:
+        """Called by the serve write-ahead journal with each record line.
+
+        ``wal-torn-write`` returns ``None`` — the journal emits a torn
+        half-line and freezes, modelling a process killed mid-``write``.
+        ``kill-server`` raises :class:`~repro.errors.InjectedFault` at the
+        trigger record — the durable layer freezes the journal and the
+        chaos bench then restarts the server against the same state dir.
+        """
+        plan = self.plan
+        if plan is None:
+            return line
+        for point in plan.points_of("wal-torn-write"):
+            if point.at == seq and point.armed:
+                self._fire(point)
+                return None
+        for point in plan.points_of("kill-server"):
+            if point.at == seq and point.armed:
+                self._fire(point)
+                raise InjectedFault("kill-server",
+                                    f"server killed at WAL record {seq}")
+        return line
+
     def on_trace_chunk(self, seq: int, line: bytes) -> Optional[bytes]:
         """Called by the trace writer with each serialized chunk line.
 

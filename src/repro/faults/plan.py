@@ -26,6 +26,12 @@ kind                fires where
                     *after* computing its checksum
 ``save-crash``      the trace writer raises mid-stream after chunk ``at``
                     (exercises the atomic tmp+rename guarantee)
+``wal-torn-write``  the serve write-ahead journal emits a torn half-line
+                    at record ``at`` and freezes (a process killed
+                    mid-``write``); recovery must drop the torn record
+``kill-server``     the serve journal raises at record ``at`` and freezes
+                    — models SIGKILL; the chaos bench restarts the server
+                    against the same ``--state-dir`` and asserts recovery
 ==================  ========================================================
 """
 
@@ -44,12 +50,18 @@ FAULT_KINDS = (
     "trace-truncate",
     "trace-corrupt",
     "save-crash",
+    "wal-torn-write",
+    "kill-server",
 )
 
 #: kinds that target the analysis supervisor's chunk loop
 ANALYSIS_KINDS = ("worker-exc", "worker-hang")
 #: kinds that target the trace writer's chunk stream
 TRACE_KINDS = ("trace-truncate", "trace-corrupt", "save-crash")
+#: kinds that target the serve layer's write-ahead journal — exercised by
+#: the kill-restart chaos bench (``repro.bench.serve --faults``), not by
+#: the guest-pipeline selftest matrix (the journal never runs there)
+SERVE_WAL_KINDS = ("wal-torn-write", "kill-server")
 
 
 @dataclass
@@ -174,10 +186,13 @@ def load_fault_plan(path: str) -> FaultPlan:
 def builtin_matrix() -> List[FaultPlan]:
     """The fixed chaos-smoke matrix (CI + ``python -m repro.faults``).
 
-    One plan per fault class, trigger indices chosen so the target
-    structure exists by the time the fault fires (malloc op 1 exists once
-    the program allocates anything after its first block; analysis chunk 0
-    and trace chunk 1+ always exist for a racy program).
+    One plan per *guest-pipeline* fault class, trigger indices chosen so
+    the target structure exists by the time the fault fires (malloc op 1
+    exists once the program allocates anything after its first block;
+    analysis chunk 0 and trace chunk 1+ always exist for a racy program).
+    The serve-journal kinds live in :func:`serve_matrix` — a guest run
+    never touches the write-ahead journal, so putting them here would make
+    the selftest's "fired" invariant unprovable.
     """
     hang = FaultPlan.single("worker-hang", 0, seconds=0.2)
     return [
@@ -190,14 +205,28 @@ def builtin_matrix() -> List[FaultPlan]:
     ]
 
 
+def serve_matrix() -> List[FaultPlan]:
+    """The serve kill-chaos matrix (``repro.bench.serve --faults``).
+
+    Record 2 of a fresh journal is the first ``chunk-accepted`` (after
+    the header and ``upload-created``) — both plans therefore fire while
+    an upload is demonstrably mid-flight.
+    """
+    return [
+        FaultPlan.single("wal-torn-write", 2),
+        FaultPlan.single("kill-server", 2),
+    ]
+
+
 _BUILTIN_NAMES: Optional[Dict[str, FaultPlan]] = None
 
 
 def builtin_plan(name: str) -> FaultPlan:
-    """Look up a matrix plan by its ``kind@at`` name."""
+    """Look up a matrix plan (guest or serve) by its ``kind@at`` name."""
     global _BUILTIN_NAMES
     if _BUILTIN_NAMES is None:
-        _BUILTIN_NAMES = {p.name: p for p in builtin_matrix()}
+        _BUILTIN_NAMES = {p.name: p
+                          for p in builtin_matrix() + serve_matrix()}
     try:
         return _BUILTIN_NAMES[name]
     except KeyError:

@@ -7,6 +7,16 @@ sharded worker pool reusing the supervised analysis's deadline/retry/
 quarantine machinery (:mod:`repro.serve.jobs`), and a stdlib-only
 HTTP/1.1 JSON API (:mod:`repro.serve.http`, :mod:`repro.serve.app`).
 
+Durability (ROADMAP: crash-recoverable service): with ``--state-dir``
+every accepted chunk and job transition is journaled write-ahead
+(:mod:`repro.serve.wal`, :mod:`repro.serve.durable`) so a restarted
+server recovers sealed uploads byte-exactly, resumes partial uploads at
+the journaled ``next_seq``, and re-enqueues interrupted jobs exactly
+once.  Overload is shed, not absorbed (:mod:`repro.serve.overload`):
+bounded queues and a per-endpoint circuit breaker answer typed 429s with
+``Retry-After``, which :class:`ServeClient` honors with decorrelated-
+jitter backoff.
+
 Entry points: ``python -m repro serve`` (CLI), or in-process::
 
     from repro.serve import ServeConfig, ServerThread, ServeClient
@@ -18,5 +28,9 @@ Entry points: ``python -m repro serve`` (CLI), or in-process::
 """
 
 from repro.serve.app import ServeConfig, TraceService
-from repro.serve.client import ServeClient, read_trace_lines
+from repro.serve.client import ServeClient, error_from_body, read_trace_lines
+from repro.serve.durable import ChunkStore, DurableLog, RecoveredState
+from repro.serve.overload import (AdmissionControl, CircuitBreaker,
+                                  backoff_delays)
 from repro.serve.server import ServerThread, TraceServer
+from repro.serve.wal import WalRecord, WalWriter, read_wal

@@ -16,6 +16,8 @@ Error mapping (the :mod:`repro.errors` taxonomy → HTTP):
 :class:`UploadSequenceError`          409
 :class:`JobStateError`                409
 :class:`TraceCorruptionError`         422
+:class:`ServeOverloadError`           429 (503 while draining), with a
+                                      ``Retry-After`` header
 :class:`InjectedFault` (upload path)  503
 anything else                         500
 ====================================  ======
@@ -23,19 +25,23 @@ anything else                         500
 
 from __future__ import annotations
 
+import asyncio
 import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.reports import report_to_dict
 from repro.core.trace import analyze_loaded
 from repro.errors import (InjectedFault, JobStateError, ResourceNotFound,
-                          ServeError, TraceCorruptionError, TraceFormatError,
+                          ServeError, ServeOverloadError,
+                          TraceCorruptionError, TraceFormatError,
                           UploadSequenceError)
 from repro.obs.metrics import get_registry
 from repro.serve.cache import BuildCache
+from repro.serve.durable import DurableLog
 from repro.serve.http import Request, Response
 from repro.serve.jobs import AnalysisJob, JobPool
+from repro.serve.overload import AdmissionControl, CircuitBreaker
 from repro.serve.store import TraceStore
 
 import json
@@ -44,7 +50,8 @@ REPORT_SCHEMA = "taskgrind-serve-report/1"
 
 _STATUS_OF = ((UploadSequenceError, 409), (JobStateError, 409),
               (ResourceNotFound, 404), (TraceCorruptionError, 422),
-              (TraceFormatError, 400), (InjectedFault, 503))
+              (TraceFormatError, 400), (ServeOverloadError, 429),
+              (InjectedFault, 503))
 
 
 def error_response(exc: Exception) -> Response:
@@ -58,7 +65,13 @@ def error_response(exc: Exception) -> Response:
             if isinstance(exc, TraceCorruptionError):
                 body.update({"chunk_seq": exc.chunk_seq,
                              "byte_offset": exc.byte_offset})
-            return Response(status=status, doc={"error": body})
+            headers = {}
+            if isinstance(exc, ServeOverloadError):
+                # a draining server is *going away*, not momentarily busy
+                status = 503 if exc.draining else 429
+                headers["Retry-After"] = f"{exc.retry_after_s:.3f}"
+            return Response(status=status, doc={"error": body},
+                            headers=headers)
     return Response(status=500, doc={"error": {
         "type": type(exc).__name__, "message": str(exc)}})
 
@@ -75,6 +88,16 @@ class ServeConfig:
     kernel: str = "auto"
     graph_cache: int = 32
     result_cache: int = 128
+    #: durable state directory (None: in-memory only, nothing survives)
+    state_dir: Optional[str] = None
+    fsync: str = "always"              # WAL fsync policy: always|interval|never
+    #: admission control: bounded queue depth + in-flight upload bytes
+    max_queue_depth: int = 256
+    max_upload_bytes: int = 256 * 1024 * 1024
+    retry_after_s: float = 0.25
+    #: per-endpoint circuit breaker (consecutive 5xx → open for cooldown)
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 1.0
 
 
 class TraceService:
@@ -82,11 +105,56 @@ class TraceService:
 
     def __init__(self, config: Optional[ServeConfig] = None) -> None:
         self.config = config or ServeConfig()
-        self.store = TraceStore()
-        self.cache = BuildCache(graph_capacity=self.config.graph_cache,
-                                result_capacity=self.config.result_cache)
-        self.pool = JobPool(self._execute_job, shards=self.config.shards)
+        cfg = self.config
+        self.durable: Optional[DurableLog] = None
+        if cfg.state_dir is not None:
+            # raises StateDirError on an unusable dir: a server asked to
+            # be durable must refuse to start, not fall back to memory
+            self.durable = DurableLog(cfg.state_dir,
+                                      fsync_policy=cfg.fsync)
+        self.store = TraceStore(durable=self.durable)
+        self.cache = BuildCache(graph_capacity=cfg.graph_cache,
+                                result_capacity=cfg.result_cache)
+        self.pool = JobPool(self._execute_job, shards=cfg.shards,
+                            durable=self.durable)
+        self.admission = AdmissionControl(
+            max_queue_depth=cfg.max_queue_depth,
+            max_upload_bytes=cfg.max_upload_bytes,
+            retry_after_s=cfg.retry_after_s)
+        self.breaker = CircuitBreaker(threshold=cfg.breaker_threshold,
+                                      cooldown_s=cfg.breaker_cooldown_s)
+        self.draining = False
+        self._requeue: List[AnalysisJob] = []
+        if self.durable is not None:
+            self.store.restore(self.durable.recovered)
+            self._requeue = self.pool.restore(self.durable.recovered)
         self.started_at = time.time()
+
+    async def resume_recovered(self) -> None:
+        """Re-enqueue jobs that were queued/running at crash time.
+
+        Called once by the server after the pool's workers exist; submits
+        with ``journal=False`` because recovery compaction already
+        re-emitted each job's ``job-enqueued`` record — exactly once.
+        """
+        jobs, self._requeue = self._requeue, []
+        for job in jobs:
+            await self.pool.submit(job, journal=False)
+
+    def close(self, *, clean: bool = True) -> None:
+        """Release the durable log (journaling the clean-shutdown marker
+        on a graceful stop; a frozen/killed journal ignores both)."""
+        if self.durable is not None:
+            if clean:
+                self.durable.clean_shutdown()
+            self.durable.close()
+
+    def _admit(self, endpoint: str) -> None:
+        """Work-accepting endpoints check drain state + circuit breaker."""
+        if self.draining:
+            raise ServeOverloadError(endpoint, draining=True,
+                                     retry_after_s=self.config.retry_after_s)
+        self.breaker.check(endpoint)
 
     # -- routing -------------------------------------------------------------
 
@@ -102,6 +170,8 @@ class TraceService:
             reg.counter(f"serve.http.{endpoint}.requests").inc()
             if resp is not None and resp.status >= 400:
                 reg.counter(f"serve.http.{endpoint}.errors").inc()
+            if resp is not None:
+                self.breaker.record(endpoint, resp.status)
             reg.histogram(f"serve.http.{endpoint}.us").observe(
                 (time.perf_counter() - t0) * 1e6)
         return resp
@@ -121,50 +191,80 @@ class TraceService:
             if parts[1] == "traces":
                 return await self._dispatch_traces(method, parts, req)
             if parts[1] == "jobs":
-                return self._dispatch_jobs(method, parts)
+                return await self._dispatch_jobs(method, parts)
         return "unmatched", Response(status=404, doc={"error": {
             "type": "ResourceNotFound",
             "message": f"no route for {method} {req.path}"}})
 
+    async def _run(self, endpoint: str, fn, *args) -> Tuple[str, Response]:
+        """Run one matched route; errors become responses *with the
+        endpoint attributed*, which the circuit breaker depends on."""
+        try:
+            resp = fn(*args)
+            if asyncio.iscoroutine(resp):
+                resp = await resp
+            return endpoint, resp
+        except Exception as exc:  # noqa: BLE001 — every error becomes JSON
+            return endpoint, error_response(exc)
+
     async def _dispatch_traces(self, method: str, parts,
                                req: Request) -> Tuple[str, Response]:
         if parts == ["v1", "traces"] and method == "POST":
-            up = self.store.create()
-            return "create_trace", Response(status=201, doc=up.to_dict())
+            return await self._run("create_trace", self._create_trace)
         if len(parts) == 5 and parts[3] == "chunks" and method == "PUT":
-            try:
-                seq = int(parts[4])
-            except ValueError:
-                raise TraceFormatError(parts[2],
-                                       f"non-integer seq {parts[4]!r}")
-            with get_registry().phase("serve.ingest"):
-                ack = self.store.add_chunk(parts[2], seq, req.body)
-            return "upload_chunk", Response(doc=ack)
+            return await self._run("upload_chunk", self._upload_chunk,
+                                   parts[2], parts[4], req)
         if len(parts) == 3 and method == "GET":
-            return "trace_status", Response(
-                doc=self.store.get(parts[2]).to_dict())
+            return await self._run("trace_status", lambda: Response(
+                doc=self.store.get(parts[2]).to_dict()))
         if len(parts) == 4 and parts[3] == "analyze" and method == "POST":
-            return "analyze", await self._start_analysis(parts[2], req)
+            return await self._run("analyze", self._start_analysis,
+                                   parts[2], req)
         raise ResourceNotFound("route", "/".join(parts))
 
-    def _dispatch_jobs(self, method: str, parts) -> Tuple[str, Response]:
+    async def _dispatch_jobs(self, method: str,
+                             parts) -> Tuple[str, Response]:
         if method != "GET" or len(parts) not in (3, 4):
             raise ResourceNotFound("route", "/".join(parts))
-        job = self.pool.get(parts[2])
         if len(parts) == 3:
-            return "job_status", Response(doc=job.status_dict())
+            return await self._run("job_status", lambda: Response(
+                doc=self.pool.get(parts[2]).status_dict()))
         if parts[3] == "report":
-            doc = dict(self.pool.report_of(parts[2]))
-            doc["job_id"] = job.job_id
-            doc["trace_id"] = job.trace_id
-            return "report", Response(doc=doc)
+            return await self._run("report", self._report, parts[2])
         if parts[3] == "timeline":
-            return "timeline", Response(doc={
+            return await self._run("timeline", lambda: Response(doc={
                 "displayTimeUnit": "ms",
-                "traceEvents": job.timeline_events()})
+                "traceEvents": self.pool.get(parts[2]).timeline_events()}))
         raise ResourceNotFound("route", "/".join(parts))
 
+    def _create_trace(self) -> Response:
+        self._admit("create_trace")
+        up = self.store.create()
+        return Response(status=201, doc=up.to_dict())
+
+    def _upload_chunk(self, trace_id: str, seq_str: str,
+                      req: Request) -> Response:
+        self._admit("upload_chunk")
+        try:
+            seq = int(seq_str)
+        except ValueError:
+            raise TraceFormatError(trace_id,
+                                   f"non-integer seq {seq_str!r}") from None
+        self.admission.admit_upload(self.store.open_bytes(), len(req.body))
+        with get_registry().phase("serve.ingest"):
+            ack = self.store.add_chunk(trace_id, seq, req.body)
+        return Response(doc=ack)
+
+    def _report(self, job_id: str) -> Response:
+        job = self.pool.get(job_id)
+        doc = dict(self.pool.report_of(job_id))
+        doc["job_id"] = job.job_id
+        doc["trace_id"] = job.trace_id
+        return Response(doc=doc)
+
     async def _start_analysis(self, trace_id: str, req: Request) -> Response:
+        self._admit("analyze")
+        self.admission.admit_job(self.pool.active_count())
         up = self.store.get(trace_id)
         try:
             opts = json.loads(req.body) if req.body.strip() else {}

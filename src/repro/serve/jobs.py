@@ -60,6 +60,11 @@ class AnalysisJob:
     cache_hit: bool = False
     error: Optional[dict] = None
     result: Optional[dict] = None
+    #: how many times an executor actually ran this job — the chaos bench
+    #: asserts it never exceeds 1 across a kill/restart cycle
+    executions: int = 0
+    #: True when this job was rebuilt from the journal after a restart
+    recovered: bool = False
     _done: threading.Event = field(default_factory=threading.Event)
 
     @contextlib.contextmanager
@@ -81,6 +86,7 @@ class AnalysisJob:
             "shard": self.shard,
             "params": dict(self.params),
             "cache_hit": self.cache_hit,
+            "recovered": self.recovered,
             "queue_wait_s": ((self.started_at or now) - self.submitted_at),
             "phases": {name: dur for name, _start, dur in self.spans},
         }
@@ -120,7 +126,7 @@ class JobPool:
     """The sharded queues + executor threads behind ``POST .../analyze``."""
 
     def __init__(self, execute: Callable[[AnalysisJob], Tuple[dict, bool]],
-                 *, shards: int = 4) -> None:
+                 *, shards: int = 4, durable=None) -> None:
         self.shards = max(1, shards)
         self._execute_fn = execute
         self._queues: List[asyncio.Queue] = []
@@ -129,6 +135,7 @@ class JobPool:
         self._jobs: Dict[str, AnalysisJob] = {}
         self._next_id = 0
         self._lock = threading.Lock()
+        self._durable = durable
 
     def shard_of(self, content_hash: str) -> int:
         return int(content_hash[:8] or "0", 16) % self.shards
@@ -184,12 +191,31 @@ class JobPool:
                                 + str((job.error or {}).get("message")))
         return job.result
 
-    async def submit(self, job: AnalysisJob) -> None:
+    def active_count(self) -> int:
+        """Non-terminal jobs — the admission controller's queue-depth
+        measure (queued *and* running both hold resources)."""
+        with self._lock:
+            return sum(1 for j in self._jobs.values()
+                       if j.state not in TERMINAL)
+
+    async def submit(self, job: AnalysisJob, *, journal: bool = True) -> None:
+        if journal and self._durable is not None:
+            # write-ahead: enqueue survives a crash before execution.
+            # Recovered jobs re-submit with journal=False — compaction
+            # already re-emitted their record, and journaling again would
+            # violate the exactly-once re-enqueue contract.
+            self._durable.job_enqueued(job.job_id, job.trace_id,
+                                       job.content_hash, job.params)
         reg = get_registry()
         reg.counter("serve.jobs.submitted").inc()
         reg.gauge("serve.jobs.inflight").set(
             sum(1 for j in self._jobs.values() if j.state not in TERMINAL))
         await self._queues[job.shard].put(job)
+
+    async def drain(self) -> None:
+        """Graceful shutdown: wait for every queued job to finish."""
+        for queue in self._queues:
+            await queue.join()
 
     # -- the shard worker ----------------------------------------------------
 
@@ -210,18 +236,62 @@ class JobPool:
 
     def _run_one(self, job: AnalysisJob) -> None:
         reg = get_registry()
+        job.executions += 1
         try:
             result, degraded = self._execute_fn(job)
+            state = DEGRADED if degraded else DONE
+            if self._durable is not None:
+                # write-ahead: the terminal record (and its result blob)
+                # are durable before clients can observe the state.  If a
+                # kill fires inside this append, the journal freezes, the
+                # raise lands in the except arm, and the restarted server
+                # re-enqueues the job — losing the finish, never the job.
+                self._durable.job_terminal(job.job_id, state, result=result)
             job.result = result
-            job.state = DEGRADED if degraded else DONE
+            job.state = state
             reg.counter("serve.jobs.degraded" if degraded
                         else "serve.jobs.completed").inc()
         except Exception as exc:  # noqa: BLE001 — shard must survive any job
             job.error = {"type": type(exc).__name__, "message": str(exc)}
             job.state = FAILED
+            if self._durable is not None:
+                # a frozen (killed) journal makes this a no-op, which is
+                # exactly right: a dead server journals nothing
+                self._durable.job_terminal(job.job_id, FAILED,
+                                           error=job.error)
             reg.counter("serve.jobs.failed").inc()
         finally:
             job.finished_at = time.perf_counter()
             reg.histogram("serve.jobs.exec_us").observe(
                 (job.finished_at - job.started_at) * 1e6)
             job._done.set()
+
+    # -- crash recovery ------------------------------------------------------
+
+    def restore(self, recovered) -> List[AnalysisJob]:
+        """Rebuild jobs from a :class:`~repro.serve.durable.RecoveredState`.
+
+        Terminal jobs come back with their byte-identical result document
+        and a set done-event; jobs that were queued or running when the
+        server died are returned for the caller to re-submit **exactly
+        once** after the pool starts (they cannot be queued here — the
+        event loop does not exist yet).
+        """
+        requeue: List[AnalysisJob] = []
+        with self._lock:
+            for rec in recovered.jobs.values():
+                job = AnalysisJob(job_id=rec.job_id, trace_id=rec.trace_id,
+                                  content_hash=rec.content_hash,
+                                  shard=self.shard_of(rec.content_hash),
+                                  params=dict(rec.params), recovered=True)
+                if rec.state is not None:
+                    job.state = rec.state
+                    job.result = rec.result
+                    job.error = rec.error
+                    job.finished_at = job.submitted_at
+                    job._done.set()
+                else:
+                    requeue.append(job)
+                self._jobs[job.job_id] = job
+            self._next_id = max(self._next_id, recovered.max_job_num)
+        return requeue

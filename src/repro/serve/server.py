@@ -32,6 +32,9 @@ class TraceServer:
 
     async def start(self) -> None:
         await self.service.pool.start()
+        # jobs recovered as queued/running re-enter the shard queues now
+        # that workers exist — exactly once, no re-journaling
+        await self.service.resume_recovered()
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port)
 
@@ -45,6 +48,22 @@ class TraceServer:
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
         await self.service.pool.stop()
+        # journals the clean-shutdown marker — unless the log was frozen
+        # by a kill, in which case this is a no-op and recovery correctly
+        # classifies the restart as a crash
+        self.service.close()
+
+    async def drain(self) -> None:
+        """Graceful SIGTERM path: stop accepting, finish queued jobs.
+
+        New work-accepting requests get a typed 503 (``draining``) while
+        already-queued jobs run to completion and journal their terminal
+        records; only then does the server stop and write the
+        clean-shutdown marker.
+        """
+        self.service.draining = True
+        await self.service.pool.drain()
+        await self.stop()
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -110,6 +129,33 @@ class ServerThread:
             self._thread.join(timeout=10)
             self._loop = None
             self._thread = None
+
+    def kill(self) -> None:
+        """SIGKILL simulation: freeze the journal *first*, then stop.
+
+        Freezing makes every subsequent append — including the clean-
+        shutdown marker and any in-flight job's terminal record — a
+        silent no-op, exactly what a killed process would have written.
+        A restart against the same state dir then exercises real crash
+        recovery.
+        """
+        durable = self.server.service.durable
+        if durable is not None:
+            durable.freeze()
+        self.stop()
+
+    def drain(self) -> None:
+        """Run the graceful SIGTERM drain on the server's loop, then stop."""
+        if self._loop is None or self._thread is None:
+            return
+        import asyncio as _asyncio
+        fut = _asyncio.run_coroutine_threadsafe(self.server.drain(),
+                                                self._loop)
+        fut.result(timeout=60)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop = None
+        self._thread = None
 
     def __enter__(self) -> "ServerThread":
         return self.start()

@@ -7,8 +7,12 @@ body is validated *at the edge* before it is accepted:
   ``payload`` (→ :class:`~repro.errors.TraceFormatError`, 400);
 * ``seq`` must equal the next expected sequence number — the
   ``taskgrind-trace/2`` salvage contract only covers a **dense prefix**, so
-  gaps, duplicates and post-``end`` uploads are refused outright
-  (→ :class:`~repro.errors.UploadSequenceError`, 409);
+  gaps and post-``end`` uploads are refused outright
+  (→ :class:`~repro.errors.UploadSequenceError`, 409).  A **re-PUT of an
+  already-accepted seq with the identical CRC** is a 200 no-op instead —
+  a client that crashed after the server accepted but before the ack
+  arrived resumes by resending, and idempotence makes that safe; only a
+  *different* body under an old seq is a 409 conflict;
 * the payload CRC-32 must match the envelope's claim, computed over the
   same canonical JSON the writer used
   (→ :class:`~repro.errors.TraceCorruptionError`, 422);
@@ -19,6 +23,13 @@ Accepted chunks feed a running SHA-256 over their canonical payload form —
 the **content hash** that keys the segment-graph/HB-index cache.  Two
 clients uploading the same logical trace (even with different envelope
 whitespace or key order) land on the same hash and share one graph build.
+
+When the service runs with ``--state-dir``, every accept is journaled
+into the :class:`~repro.serve.durable.DurableLog` **before** the
+in-memory commit (chunk body to the content-addressed store, then the
+``chunk-accepted`` record), so :meth:`TraceStore.restore` can rebuild
+uploads after a crash: sealed uploads reappear complete, partial uploads
+resume at the exact journaled ``next_seq``.
 """
 
 from __future__ import annotations
@@ -58,6 +69,8 @@ class TraceUpload:
     next_seq: int = 0
     chunks: List[dict] = field(default_factory=list)
     bytes_received: int = 0
+    #: True when this upload was rebuilt from the journal after a restart
+    recovered: bool = False
     _hasher: "hashlib._Hash" = field(default_factory=hashlib.sha256)
 
     @property
@@ -73,6 +86,7 @@ class TraceUpload:
             "next_seq": self.next_seq,
             "bytes_received": self.bytes_received,
             "content_hash": self.content_hash,
+            "recovered": self.recovered,
         }
 
 
@@ -80,15 +94,20 @@ class TraceStore:
     """All live uploads, behind one lock (handlers run on the event loop,
     but the job executor threads read finished uploads too)."""
 
-    def __init__(self) -> None:
+    def __init__(self, durable=None) -> None:
         self._lock = threading.Lock()
         self._uploads: Dict[str, TraceUpload] = {}
         self._next_id = 0
+        self._durable = durable
 
     def create(self) -> TraceUpload:
         with self._lock:
             self._next_id += 1
             up = TraceUpload(trace_id=f"t{self._next_id}")
+            if self._durable is not None:
+                # write-ahead: the id is journaled before the client can
+                # ever see it, so a recovered server never re-issues it
+                self._durable.upload_created(up.trace_id)
             self._uploads[up.trace_id] = up
         get_registry().counter("serve.traces.created").inc()
         return up
@@ -100,6 +119,13 @@ class TraceStore:
             raise ResourceNotFound("trace", trace_id)
         return up
 
+    def open_bytes(self) -> int:
+        """Bytes held by in-flight (non-complete) uploads — the admission
+        controller's measure of ingest memory pressure."""
+        with self._lock:
+            return sum(u.bytes_received for u in self._uploads.values()
+                       if u.state == OPEN)
+
     def add_chunk(self, trace_id: str, url_seq: int, body: bytes) -> dict:
         """Validate + accept one uploaded chunk; returns the ack doc.
 
@@ -110,10 +136,6 @@ class TraceStore:
         up = self.get(trace_id)
         reg = get_registry()
         body = _FAULTS.on_upload_chunk(url_seq, body)
-        if up.state == COMPLETE:
-            raise UploadSequenceError(
-                trace_id, expected_seq=None, got_seq=url_seq,
-                reason="trace already complete (end chunk accepted)")
         try:
             doc = json.loads(body)
         except json.JSONDecodeError as exc:
@@ -128,11 +150,30 @@ class TraceStore:
             raise UploadSequenceError(
                 trace_id, expected_seq=up.next_seq, got_seq=url_seq,
                 reason=f"URL seq {url_seq} != envelope seq {doc['seq']}")
+        if url_seq < up.next_seq:
+            # idempotent re-PUT: a resuming client may resend a chunk whose
+            # ack it never saw.  Identical CRC → the accepted state already
+            # contains this exact chunk, so acknowledge it again (no-op);
+            # a different CRC is a genuine conflict.
+            if up.chunks[url_seq]["crc"] == doc["crc"]:
+                reg.counter("serve.ingest.duplicate_acks").inc()
+                return {"trace_id": trace_id, "seq": url_seq,
+                        "accepted": True, "duplicate": True,
+                        "state": up.state, "next_seq": up.next_seq,
+                        "content_hash": up.content_hash}
+            raise UploadSequenceError(
+                trace_id, expected_seq=up.next_seq, got_seq=url_seq,
+                reason="duplicate seq with different content "
+                       f"(accepted crc {up.chunks[url_seq]['crc']}, "
+                       f"re-PUT crc {doc['crc']})")
+        if up.state == COMPLETE:
+            raise UploadSequenceError(
+                trace_id, expected_seq=None, got_seq=url_seq,
+                reason="trace already complete (end chunk accepted)")
         if url_seq != up.next_seq:
-            why = ("duplicate chunk" if url_seq < up.next_seq
-                   else "out-of-order chunk (dense prefix required)")
-            raise UploadSequenceError(trace_id, expected_seq=up.next_seq,
-                                      got_seq=url_seq, reason=why)
+            raise UploadSequenceError(
+                trace_id, expected_seq=up.next_seq, got_seq=url_seq,
+                reason="out-of-order chunk (dense prefix required)")
         canon = _canonical(doc["payload"])
         computed = zlib.crc32(canon) & 0xFFFFFFFF
         if computed != doc["crc"]:
@@ -157,6 +198,12 @@ class TraceStore:
                 raise UploadSequenceError(
                     trace_id, expected_seq=up.next_seq, got_seq=url_seq,
                     reason="lost the accept race for this seq")
+            if self._durable is not None:
+                # write-ahead: body into the chunk store + journal record
+                # BEFORE the in-memory commit.  A crash between the two
+                # leaves a journaled chunk the memory never saw — recovery
+                # replays it, the resuming client gets a duplicate ack.
+                self._durable.chunk_accepted(trace_id, url_seq, doc)
             up.chunks.append(doc)
             up.next_seq += 1
             up.bytes_received += len(body)
@@ -164,8 +211,43 @@ class TraceStore:
             up._hasher.update(canon)
             if doc["kind"] == "end":
                 up.state = COMPLETE
+                if self._durable is not None:
+                    self._durable.upload_sealed(trace_id, up.content_hash,
+                                                len(up.chunks))
         reg.counter("serve.ingest.chunks").inc()
         reg.counter("serve.ingest.bytes").inc(len(body))
         return {"trace_id": trace_id, "seq": url_seq, "accepted": True,
                 "state": up.state, "next_seq": up.next_seq,
                 "content_hash": up.content_hash}
+
+    # -- crash recovery ------------------------------------------------------
+
+    def restore(self, recovered) -> None:
+        """Rebuild uploads from a :class:`~repro.serve.durable.RecoveredState`.
+
+        Each recovered upload's chunks are re-fed through the same
+        SHA-256 discipline as live accepts, so the content hash — and
+        therefore cache keys and report bytes — is identical across the
+        restart.  A seal record's claimed hash is cross-checked; on
+        mismatch the upload is left OPEN (the client must finish or
+        re-upload it) rather than serving analysis of dubious bytes.
+        """
+        reg = get_registry()
+        with self._lock:
+            for rec in recovered.uploads.values():
+                up = TraceUpload(trace_id=rec.trace_id, recovered=True)
+                for seq, doc in enumerate(rec.chunks):
+                    canon = _canonical(doc["payload"])
+                    up.chunks.append(doc)
+                    up.next_seq += 1
+                    up.bytes_received += len(canon)
+                    up._hasher.update(f"{seq}|{doc['kind']}|".encode())
+                    up._hasher.update(canon)
+                ends = bool(rec.chunks) and rec.chunks[-1]["kind"] == "end"
+                if rec.sealed and rec.content_hash is not None \
+                        and rec.content_hash != up.content_hash:
+                    reg.counter("serve.recovery.hash_mismatches").inc()
+                elif rec.sealed or ends:
+                    up.state = COMPLETE
+                self._uploads[up.trace_id] = up
+            self._next_id = max(self._next_id, recovered.max_trace_num)

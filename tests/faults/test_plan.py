@@ -59,16 +59,23 @@ class TestValidation:
 
 
 class TestBuiltins:
-    def test_matrix_covers_every_kind_once(self):
-        plans = builtin_matrix()
+    def test_matrices_cover_every_kind_once(self):
+        from repro.faults.plan import serve_matrix
+        plans = builtin_matrix() + serve_matrix()
         kinds = [p.points[0].kind for p in plans]
         assert sorted(kinds) == sorted(FAULT_KINDS)
         assert len({p.name for p in plans}) == len(plans)
         for plan in plans:
             assert plan.validate() == []
 
+    def test_serve_matrix_is_wal_only(self):
+        from repro.faults.plan import SERVE_WAL_KINDS, serve_matrix
+        assert sorted(p.points[0].kind for p in serve_matrix()) \
+            == sorted(SERVE_WAL_KINDS)
+
     def test_lookup_by_name(self):
         assert builtin_plan("alloc-oom@1").points[0].at == 1
+        assert builtin_plan("kill-server@2").points[0].kind == "kill-server"
 
     def test_lookup_unknown_name(self):
         with pytest.raises(ValueError, match="unknown builtin"):

@@ -56,14 +56,30 @@ class TestLifecycle:
 
 
 class TestStructuredErrors:
-    def test_duplicate_chunk_is_409(self, client, trace_lines):
+    def test_identical_reput_is_idempotent_200(self, client, trace_lines):
+        # a resuming client may resend a chunk whose ack it never saw;
+        # the identical body must ack as a no-op, not 409
         trace_id = client.create_trace()
         assert client.upload_chunk(trace_id, 0, trace_lines[0])[0] == 200
         status, doc = client.upload_chunk(trace_id, 0, trace_lines[0])
+        assert status == 200
+        assert doc["duplicate"] is True
+        assert doc["next_seq"] == 1
+
+    def test_conflicting_reput_is_409(self, client, trace_lines):
+        trace_id = client.create_trace()
+        assert client.upload_chunk(trace_id, 0, trace_lines[0])[0] == 200
+        assert client.upload_chunk(trace_id, 1, trace_lines[1])[0] == 200
+        # seq 1 again but with different (valid-envelope) content
+        other = json.loads(trace_lines[2])
+        other["seq"] = 1
+        status, doc = client.upload_chunk(trace_id, 1,
+                                          json.dumps(other).encode(),
+                                          retry=False)
         assert status == 409
         err = doc["error"]
         assert err["type"] == "UploadSequenceError"
-        assert err["expected_seq"] == 1 and err["got_seq"] == 0
+        assert "different content" in err["reason"]
 
     def test_out_of_order_chunk_is_409(self, client, trace_lines):
         trace_id = client.create_trace()

@@ -67,10 +67,25 @@ class TestSequenceErrors:
         assert fields["got_seq"] == 2
         assert "out-of-order" in fields["reason"]
 
-    def test_duplicate_seq(self, store, open_upload):
+    def test_identical_duplicate_seq_is_idempotent(self, store, open_upload):
+        # re-PUT of an accepted chunk with the same CRC: 200 no-op ack —
+        # a resuming client must be able to resend a chunk whose ack it
+        # never received
+        hash_before = open_upload.content_hash
+        ack = store.add_chunk(open_upload.trace_id, 0, header_line())
+        assert ack["accepted"] and ack["duplicate"]
+        assert ack["next_seq"] == 1
+        assert open_upload.content_hash == hash_before
+        assert len(open_upload.chunks) == 1
+
+    def test_conflicting_duplicate_seq_rejected(self, store, open_upload):
+        # same seq, different payload → different CRC → genuine conflict
+        other = chunk_line(0, "header", {"segments": 777},
+                           version=TRACE_VERSION,
+                           schema="taskgrind-trace/2")
         with pytest.raises(UploadSequenceError) as exc:
-            store.add_chunk(open_upload.trace_id, 0, header_line())
-        assert "duplicate" in exc.value.fields()["reason"]
+            store.add_chunk(open_upload.trace_id, 0, other)
+        assert "different content" in exc.value.fields()["reason"]
 
     def test_url_envelope_seq_mismatch(self, store, open_upload):
         # the *envelope* says seq 2, the URL says seq 1
